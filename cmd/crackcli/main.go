@@ -1,0 +1,182 @@
+// Command crackcli is an interactive shell for a cracking index: load or
+// generate a column, run range queries against any algorithm, watch the
+// index adapt, and persist the earned state.
+//
+// Usage:
+//
+//	crackcli -n 1000000 -algo dd1r
+//	crackcli -file column.txt -algo pmdd1r-10
+//
+// Commands (one per line on stdin):
+//
+//	q <lo> <hi>        query the half-open range [lo, hi)
+//	between <lo> <hi>  query the inclusive range [lo, hi]
+//	insert <v>         queue an insertion (merged on demand)
+//	delete <v>         queue a deletion (merged on demand)
+//	stats              print physical-cost counters
+//	pieces             print the piece-size summary and histogram
+//	save <path>        snapshot the index state
+//	help               list commands
+//	quit               exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/colload"
+	"repro/internal/core"
+	"repro/internal/snapshot"
+	"repro/internal/stats"
+	"repro/internal/updates"
+)
+
+func main() {
+	var (
+		algo = flag.String("algo", "dd1r", "cracking algorithm")
+		n    = flag.Int64("n", 1_000_000, "generated column size (ignored with -file)")
+		seed = flag.Uint64("seed", 42, "random seed")
+		file = flag.String("file", "", "load the column from a file")
+		load = flag.String("snapshot", "", "resume from a snapshot file")
+	)
+	flag.Parse()
+
+	ix, upd, err := buildIndex(*algo, *n, *seed, *file, *load)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crackcli:", err)
+		os.Exit(2)
+	}
+	eng := engineOf(ix)
+	fmt.Printf("crackcli: %s over %d tuples; type 'help' for commands\n",
+		ix.Name(), eng.Column().Len())
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "q", "query", "between":
+			lo, hi, err := parseRange(fields)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if fields[0] == "between" {
+				hi++
+			}
+			t0 := time.Now()
+			res := upd.Query(lo, hi)
+			dt := time.Since(t0)
+			fmt.Printf("%d rows, sum %d, in %v (pieces now: %d)\n",
+				res.Count(), res.Sum(), dt, ix.Stats().Pieces)
+		case "insert", "delete":
+			if len(fields) != 2 {
+				fmt.Println("error: usage:", fields[0], "<v>")
+				continue
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if fields[0] == "insert" {
+				upd.Insert(v)
+			} else {
+				upd.Delete(v)
+			}
+			fmt.Printf("queued; %d updates pending\n", upd.Pending())
+		case "stats":
+			s := ix.Stats()
+			fmt.Printf("queries=%d touched=%d swaps=%d cracks=%d pieces=%d pending-updates=%d\n",
+				s.Queries, s.Touched, s.Swaps, s.Cracks, s.Pieces, upd.Pending())
+		case "pieces":
+			ps := stats.Compute(eng.CrackerIndex(), eng.Column().Len())
+			fmt.Println(ps)
+			fmt.Print(stats.Histogram(eng.CrackerIndex(), eng.Column().Len()))
+		case "save":
+			if len(fields) != 2 {
+				fmt.Println("error: usage: save <path>")
+				continue
+			}
+			if upd.Pending() > 0 {
+				fmt.Println("error: merge pending updates first (query their ranges)")
+				continue
+			}
+			if err := snapshot.SaveFile(fields[1], eng.Snapshot()); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("saved to", fields[1])
+		case "help":
+			fmt.Println("q <lo> <hi> | between <lo> <hi> | insert <v> | delete <v> | stats | pieces | save <path> | quit")
+		case "quit", "exit":
+			return
+		default:
+			fmt.Printf("error: unknown command %q (try 'help')\n", fields[0])
+		}
+	}
+}
+
+func buildIndex(algo string, n int64, seed uint64, file, snap string) (core.Index, *updates.Index, error) {
+	var (
+		ix  core.Index
+		err error
+	)
+	switch {
+	case snap != "":
+		st, lerr := snapshot.LoadFile(snap)
+		if lerr != nil {
+			return nil, nil, lerr
+		}
+		ix, err = core.Restore(st, algo, core.Options{Seed: seed})
+	case file != "":
+		vals, lerr := colload.LoadFile(file)
+		if lerr != nil {
+			return nil, nil, lerr
+		}
+		ix, err = core.Build(vals, algo, core.Options{Seed: seed})
+	default:
+		ix, err = core.Build(bench.MakeData(n, seed), algo, core.Options{Seed: seed})
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	upd, ok := updates.Wrap(ix)
+	if !ok {
+		return nil, nil, fmt.Errorf("algorithm %q is not engine-backed; crackcli needs one of the cracking algorithms", algo)
+	}
+	return ix, upd, nil
+}
+
+func engineOf(ix core.Index) *core.Engine {
+	return ix.(interface{ Engine() *core.Engine }).Engine()
+}
+
+func parseRange(fields []string) (int64, int64, error) {
+	if len(fields) != 3 {
+		return 0, 0, fmt.Errorf("usage: %s <lo> <hi>", fields[0])
+	}
+	lo, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}

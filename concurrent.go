@@ -1,0 +1,52 @@
+package crackdb
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ConcurrentIndex is a goroutine-safe view of an Index. Cracking inverts
+// the usual reader/writer economics — every query physically reorganizes
+// the column — so access is serialized with a mutex (the paper leaves
+// finer-grained concurrency control to future work) and results are
+// returned as owned slices, safe to retain across queries.
+type ConcurrentIndex struct {
+	c *core.Concurrent
+
+	mu     sync.Mutex
+	facade *Index // fallback path for hybrids / update-carrying indexes
+}
+
+// Query answers [lo, hi) and returns an owned slice of qualifying values.
+func (ci *ConcurrentIndex) Query(lo, hi int64) []int64 {
+	if ci.c != nil {
+		return ci.c.Query(lo, hi)
+	}
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	res := ci.facade.Query(lo, hi)
+	return res.Materialize(make([]int64, 0, res.Count()))
+}
+
+// QueryAggregate answers [lo, hi) returning only (count, sum), skipping
+// the copy when the caller needs aggregates.
+func (ci *ConcurrentIndex) QueryAggregate(lo, hi int64) (count int, sum int64) {
+	if ci.c != nil {
+		return ci.c.QueryCount(lo, hi)
+	}
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	res := ci.facade.Query(lo, hi)
+	return res.Count(), res.Sum()
+}
+
+// Stats returns the wrapped index's counters.
+func (ci *ConcurrentIndex) Stats() Stats {
+	if ci.c != nil {
+		return ci.c.Stats()
+	}
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	return ci.facade.Stats()
+}

@@ -1,0 +1,220 @@
+// Package crackdb is a Go implementation of stochastic database cracking:
+// adaptive, incremental, workload-robust indexing for main-memory
+// column-stores, reproducing
+//
+//	Halim, Idreos, Karras, Yap.
+//	"Stochastic Database Cracking: Towards Robust Adaptive Indexing in
+//	Main-Memory Column-Stores." PVLDB 5(6), 2012.
+//
+// A cracking index starts as a plain unsorted array and physically
+// reorganizes itself a little with every range query, using the query's
+// bounds — and, in the stochastic variants, random pivots — as
+// partitioning hints. There is no offline index building step: the first
+// query is roughly as cheap as a scan, and performance converges toward a
+// full index as a side effect of query processing.
+//
+// # Quick start
+//
+//	ix, err := crackdb.New(values, crackdb.DD1R)
+//	if err != nil { ... }
+//	res := ix.Query(100, 200) // all v with 100 <= v < 200
+//	res.ForEach(func(v int64) { ... })
+//
+// # Algorithms
+//
+// The paper's full algorithm family is available: original cracking
+// (Crack), the Scan and Sort baselines, data-driven stochastic cracking
+// (DDC, DDR, DD1C, DD1R), stochastic cracking with materialization
+// (MDD1R), progressive stochastic cracking (PMDD1R / "P10%"), the
+// selective variants (FiftyFifty, FlipCoin, EveryX, ScrackMon,
+// SizeSelective), naive random-query injection (RXcrack), and the
+// partition/merge hybrids (AICC, AICS, AICC1R, AICS1R).
+//
+// Use DD1R for the best total cost, PMDD1R for the lowest per-query
+// overhead while adapting, and Crack to reproduce the original behavior.
+package crackdb
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/hybrids"
+	"repro/internal/updates"
+)
+
+// Algorithm names accepted by New. The parameterized families also accept
+// spec strings like "pmdd1r-25", "every-4", "scrackmon-10" and "r4crack".
+const (
+	Scan          = "scan"
+	Sort          = "sort"
+	Crack         = "crack"
+	DDC           = "ddc"
+	DDR           = "ddr"
+	DD1C          = "dd1c"
+	DD1R          = "dd1r"
+	MDD1R         = "mdd1r"
+	PMDD1R        = "pmdd1r-10" // progressive stochastic cracking, P10%
+	FiftyFifty    = "fiftyfifty"
+	FlipCoin      = "flipcoin"
+	SizeSelective = "sizeselective"
+	AutoTune      = "autotune" // extension: dynamic algorithm choice (paper §6)
+	AICC          = "aicc"
+	AICS          = "aics"
+	AICC1R        = "aicc1r"
+	AICS1R        = "aics1r"
+)
+
+// Result is the outcome of a range query: a contiguous view into the
+// cracker column, possibly flanked by materialized end pieces. See
+// Count, Sum, ForEach and Materialize. A Result is valid until the next
+// Query on the same index.
+type Result = core.Result
+
+// Stats are cumulative physical-cost counters of an index.
+type Stats = core.Stats
+
+// Options configure an index; the zero value uses the paper's defaults
+// (CrackSize = L1-sized pieces, ProgressiveSize = L2, SwapPct = 10).
+type Options = core.Options
+
+// Option customizes index construction.
+type Option func(*config)
+
+type config struct {
+	core       core.Options
+	partitions int
+}
+
+// WithSeed fixes the random seed; identical seeds and query sequences
+// reproduce identical physical layouts.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.core.Seed = seed }
+}
+
+// WithCrackSize sets the piece-size threshold (tuples) for the recursive
+// stochastic variants and SizeSelective.
+func WithCrackSize(tuples int) Option {
+	return func(c *config) { c.core.CrackSize = tuples }
+}
+
+// WithProgressiveSize sets the piece-size threshold (tuples) above which
+// progressive cracking spreads work across queries.
+func WithProgressiveSize(tuples int) Option {
+	return func(c *config) { c.core.ProgressiveSize = tuples }
+}
+
+// WithSwapBudget sets the progressive swap budget in percent (P1%..P100%).
+func WithSwapBudget(pct int) Option {
+	return func(c *config) { c.core.SwapPct = pct }
+}
+
+// WithRowIDs attaches a row-identifier payload permuted alongside values.
+func WithRowIDs() Option {
+	return func(c *config) { c.core.TrackRowIDs = true }
+}
+
+// WithPartitions sets the number of source partitions for the hybrid
+// algorithms (ignored by the others).
+func WithPartitions(k int) Option {
+	return func(c *config) { c.partitions = k }
+}
+
+// Index is an adaptive index over a single integer column. Queries refine
+// the physical organization as a side effect; there is no build step.
+// An Index is not safe for concurrent use; wrap it with Synchronized.
+type Index struct {
+	inner bench.Index
+	upd   *updates.Index // nil when the algorithm cannot take updates
+}
+
+// New builds an adaptive index over values using the named algorithm.
+// The slice is owned by the index afterwards and will be reorganized in
+// place.
+func New(values []int64, algorithm string, opts ...Option) (*Index, error) {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if ix, err := core.Build(values, algorithm, cfg.core); err == nil {
+		u, _ := updates.Wrap(ix)
+		return &Index{inner: ix, upd: u}, nil
+	}
+	h, err := hybrids.Build(values, algorithm, hybrids.Options{
+		Seed:          cfg.core.Seed,
+		CrackSize:     cfg.core.CrackSize,
+		NumPartitions: cfg.partitions,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("crackdb: unknown algorithm %q", algorithm)
+	}
+	return &Index{inner: h}, nil
+}
+
+// Query returns the qualifying tuples for the half-open value range
+// [lo, hi), adapting the index as a side effect.
+func (ix *Index) Query(lo, hi int64) Result {
+	if ix.upd != nil {
+		return ix.upd.Query(lo, hi)
+	}
+	return ix.inner.Query(lo, hi)
+}
+
+// Insert queues a value for insertion; it is merged into the column by
+// the first query whose range covers it (Ripple merge, [17]). It returns
+// an error for algorithms that cannot take updates (sorted/hybrid stores).
+func (ix *Index) Insert(v int64) error {
+	if ix.upd == nil {
+		return fmt.Errorf("crackdb: %s does not support updates", ix.inner.Name())
+	}
+	ix.upd.Insert(v)
+	return nil
+}
+
+// Delete queues the removal of one occurrence of v, merged on demand like
+// Insert.
+func (ix *Index) Delete(v int64) error {
+	if ix.upd == nil {
+		return fmt.Errorf("crackdb: %s does not support updates", ix.inner.Name())
+	}
+	ix.upd.Delete(v)
+	return nil
+}
+
+// PendingUpdates returns the number of queued, not-yet-merged updates.
+func (ix *Index) PendingUpdates() int {
+	if ix.upd == nil {
+		return 0
+	}
+	return ix.upd.Pending()
+}
+
+// Name returns the algorithm name.
+func (ix *Index) Name() string { return ix.inner.Name() }
+
+// Stats returns cumulative physical-cost counters: queries answered,
+// tuples touched during reorganization, swaps, cracks and pieces.
+func (ix *Index) Stats() Stats { return ix.inner.Stats() }
+
+// Pieces returns the current number of column pieces — a measure of how
+// refined the index is.
+func (ix *Index) Pieces() int { return ix.inner.Stats().Pieces }
+
+// Synchronized wraps the index for concurrent use. Every query may
+// reorganize the column, so access is serialized and results are returned
+// as owned slices.
+func (ix *Index) Synchronized() *ConcurrentIndex {
+	inner, ok := ix.inner.(core.Index)
+	if !ok || ix.upd != nil && ix.upd.Pending() > 0 {
+		// Hybrids and indexes with queued updates keep their own paths;
+		// serialize through the facade instead.
+		return &ConcurrentIndex{facade: ix}
+	}
+	return &ConcurrentIndex{c: core.NewConcurrent(inner)}
+}
+
+// Algorithms returns every algorithm spec New accepts (with representative
+// parameters for the parameterized families).
+func Algorithms() []string {
+	return append(core.Algorithms(), hybrids.Specs()...)
+}

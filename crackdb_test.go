@@ -1,0 +1,187 @@
+package crackdb_test
+
+import (
+	"sync"
+	"testing"
+
+	crackdb "repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	data := crackdb.MakeData(100_000, 1)
+	ix, err := crackdb.New(data, crackdb.DD1R, crackdb.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ix.Query(1000, 2000)
+	if res.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", res.Count())
+	}
+	var want int64
+	for v := int64(1000); v < 2000; v++ {
+		want += v
+	}
+	if res.Sum() != want {
+		t.Fatalf("sum = %d, want %d", res.Sum(), want)
+	}
+	if ix.Pieces() < 2 {
+		t.Fatal("query did not crack the column")
+	}
+	if ix.Name() != "dd1r" {
+		t.Fatalf("name = %q", ix.Name())
+	}
+}
+
+func TestAllFacadeAlgorithms(t *testing.T) {
+	for _, spec := range crackdb.Algorithms() {
+		ix, err := crackdb.New(crackdb.MakeData(10_000, 2), spec, crackdb.WithSeed(3))
+		if err != nil {
+			t.Fatalf("New(%q): %v", spec, err)
+		}
+		res := ix.Query(100, 400)
+		if res.Count() != 300 {
+			t.Fatalf("%s: count = %d, want 300", spec, res.Count())
+		}
+	}
+	if _, err := crackdb.New(nil, "not-an-algorithm"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestFacadeOptions(t *testing.T) {
+	ix, err := crackdb.New(crackdb.MakeData(50_000, 3), "pmdd1r-1",
+		crackdb.WithSeed(11), crackdb.WithCrackSize(128),
+		crackdb.WithProgressiveSize(1024), crackdb.WithSwapBudget(5),
+		crackdb.WithRowIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := ix.Query(10, 20); res.Count() != 10 {
+		t.Fatalf("count = %d", res.Count())
+	}
+	h, err := crackdb.New(crackdb.MakeData(10_000, 4), crackdb.AICC1R,
+		crackdb.WithPartitions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := h.Query(0, 100); res.Count() != 100 {
+		t.Fatal("hybrid with custom partitions failed")
+	}
+}
+
+func TestFacadeUpdates(t *testing.T) {
+	ix, err := crackdb.New(crackdb.MakeData(10_000, 5), crackdb.Crack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Query(2000, 3000)
+	if err := ix.Insert(2500); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(2600); err != nil {
+		t.Fatal(err)
+	}
+	if ix.PendingUpdates() != 2 {
+		t.Fatalf("pending = %d", ix.PendingUpdates())
+	}
+	res := ix.Query(2400, 2700)
+	if res.Count() != 300 { // +1 insert, -1 delete
+		t.Fatalf("count after updates = %d, want 300", res.Count())
+	}
+	if ix.PendingUpdates() != 0 {
+		t.Fatal("updates not merged")
+	}
+
+	srt, err := crackdb.New(crackdb.MakeData(1000, 6), crackdb.Sort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srt.Insert(5); err == nil {
+		t.Fatal("sort accepted an update")
+	}
+	hyb, err := crackdb.New(crackdb.MakeData(1000, 6), crackdb.AICS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hyb.Insert(5); err == nil {
+		t.Fatal("hybrid accepted an update")
+	}
+	if hyb.PendingUpdates() != 0 {
+		t.Fatal("hybrid pending should be 0")
+	}
+}
+
+func TestSynchronizedFacade(t *testing.T) {
+	for _, spec := range []string{crackdb.MDD1R, crackdb.AICS} {
+		ix, err := crackdb.New(crackdb.MakeData(50_000, 7), spec, crackdb.WithSeed(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ci := ix.Synchronized()
+		var wg sync.WaitGroup
+		bad := make(chan int, 16)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 25; i++ {
+					a := int64((g*1000 + i*37) % 49000)
+					vals := ci.Query(a, a+100)
+					if len(vals) != 100 {
+						bad <- len(vals)
+						return
+					}
+					c, _ := ci.QueryAggregate(a, a+100)
+					if c != 100 {
+						bad <- c
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(bad)
+		for b := range bad {
+			t.Fatalf("%s: bad concurrent result size %d", spec, b)
+		}
+		if ci.Stats().Queries == 0 {
+			t.Fatal("no queries recorded")
+		}
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	if len(crackdb.Workloads()) != 15 {
+		t.Fatalf("workloads = %d, want 15", len(crackdb.Workloads()))
+	}
+	g, err := crackdb.NewWorkload("sequential", crackdb.WorkloadParams{N: 10_000, Q: 100, S: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := crackdb.New(crackdb.MakeData(10_000, 8), crackdb.PMDD1R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		lo, hi := g.Next()
+		res := ix.Query(lo, hi)
+		if int64(res.Count()) != hi-lo {
+			t.Fatalf("query %d [%d,%d): count %d", i, lo, hi, res.Count())
+		}
+	}
+	if _, err := crackdb.NewWorkload("unknown", crackdb.WorkloadParams{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestStatsExposure(t *testing.T) {
+	ix, err := crackdb.New(crackdb.MakeData(10_000, 9), crackdb.Crack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Query(100, 200)
+	s := ix.Stats()
+	if s.Queries != 1 || s.Touched == 0 || s.Cracks == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

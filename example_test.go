@@ -1,0 +1,90 @@
+package crackdb_test
+
+import (
+	"fmt"
+
+	crackdb "repro"
+)
+
+// Building an index and querying it: there is no build step; the column
+// adapts as queries arrive.
+func ExampleNew() {
+	data := crackdb.MakeData(1000, 42) // shuffled [0, 1000)
+	ix, err := crackdb.New(data, crackdb.DD1R, crackdb.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	res := ix.Query(100, 110)
+	fmt.Println("rows:", res.Count(), "sum:", res.Sum())
+	// Output:
+	// rows: 10 sum: 1045
+}
+
+// Results can be iterated, counted, summed, or copied out; they remain
+// valid until the next query on the same index.
+func ExampleIndex_Query() {
+	ix, _ := crackdb.New([]int64{13, 16, 4, 9, 2, 12, 7, 1, 19, 3, 14, 11, 8, 6}, crackdb.Crack)
+	res := ix.Query(10, 14) // the paper's Fig. 1 Q1: 10 < A < 14 over ints
+	vals := res.Materialize(nil)
+	sum := int64(0)
+	for _, v := range vals {
+		sum += v
+	}
+	fmt.Println("qualifying:", res.Count(), "sum:", sum)
+	// Output:
+	// qualifying: 3 sum: 36
+}
+
+// SQL-shaped predicates normalize onto the engine's half-open ranges.
+func ExamplePredicate() {
+	q1 := crackdb.Greater(10).And(crackdb.Less(14))
+	fmt.Println(q1)
+	lo, hi := q1.Bounds()
+	fmt.Println(lo, hi)
+	// Output:
+	// 11 <= v < 14
+	// 11 14
+}
+
+// Updates queue as pending and merge into the column exactly when a query
+// touches their range (Ripple merge).
+func ExampleIndex_Insert() {
+	ix, _ := crackdb.New(crackdb.MakeData(1000, 1), crackdb.Crack)
+	ix.Query(0, 500) // establish some cracks
+	_ = ix.Insert(250)
+	fmt.Println("pending before:", ix.PendingUpdates())
+	res := ix.Query(240, 260)
+	fmt.Println("pending after:", ix.PendingUpdates(), "rows:", res.Count())
+	// Output:
+	// pending before: 1
+	// pending after: 0 rows: 21
+}
+
+// Workload generators reproduce the paper's query patterns (Fig. 7).
+func ExampleNewWorkload() {
+	gen, _ := crackdb.NewWorkload("sequential", crackdb.WorkloadParams{N: 1000, Q: 10, S: 10, Seed: 1})
+	for i := 0; i < 3; i++ {
+		lo, hi := gen.Next()
+		fmt.Println(lo, hi)
+	}
+	// Output:
+	// 0 10
+	// 99 109
+	// 198 208
+}
+
+// Multi-column tables crack per attribute and reconstruct projections on
+// demand.
+func ExampleNewTable() {
+	a := []int64{5, 3, 1, 4, 2, 0}
+	b := []int64{50, 30, 10, 40, 20, 0}
+	tbl, _ := crackdb.NewTable(map[string][]int64{"a": a, "b": b}, crackdb.Crack)
+	proj, _ := tbl.SelectProjectSideways("a", "b", 2, 5)
+	sum := int64(0)
+	for _, v := range proj {
+		sum += v
+	}
+	fmt.Println("projected values:", len(proj), "sum:", sum)
+	// Output:
+	// projected values: 3 sum: 90
+}

@@ -1,0 +1,92 @@
+// Multi-column selection and projection: cracking at the attribute level.
+//
+// Cracking is applied per attribute (paper §2): a query reorganizes only
+// the column its predicate touches. Projected attributes are
+// reconstructed either late (via row ids, one random access per result
+// tuple) or through sideways cracker maps (after [18]): the projected
+// attribute's values physically travel with the selection attribute
+// during cracking, so projection becomes a contiguous copy.
+//
+// The example models a tiny telescope catalog — right ascension,
+// brightness, object id — and runs the astronomy query the paper's
+// SkyServer discussion motivates: "brightness of all objects in this
+// strip of the sky".
+//
+//	go run ./examples/multicolumn
+package main
+
+import (
+	"fmt"
+	"time"
+
+	crackdb "repro"
+)
+
+const n = 2_000_000
+
+func main() {
+	// Build the catalog: ra is a shuffled dense domain standing in for
+	// right-ascension; brightness and id are derived so results are easy
+	// to eyeball.
+	ra := crackdb.MakeData(n, 21)
+	brightness := make([]int64, n)
+	objID := make([]int64, n)
+	for i, v := range ra {
+		brightness[i] = 1000 + v%500
+		objID[i] = int64(i)
+	}
+
+	tbl, err := crackdb.NewTable(map[string][]int64{
+		"ra":         ra,
+		"brightness": brightness,
+		"obj_id":     objID,
+	}, crackdb.DD1R, crackdb.WithSeed(3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("catalog: %d rows, columns %v\n\n", tbl.Rows(), tbl.Columns())
+
+	// A scan of one strip of the sky, projected two ways.
+	strips := []struct{ lo, hi int64 }{
+		{100_000, 101_000},
+		{100_200, 100_800}, // refining inside the previous strip
+		{1_500_000, 1_502_000},
+	}
+	for _, s := range strips {
+		t0 := time.Now()
+		late, err := tbl.SelectProject("ra", "brightness", s.lo, s.hi)
+		if err != nil {
+			panic(err)
+		}
+		dLate := time.Since(t0)
+
+		t0 = time.Now()
+		side, err := tbl.SelectProjectSideways("ra", "brightness", s.lo, s.hi)
+		if err != nil {
+			panic(err)
+		}
+		dSide := time.Since(t0)
+
+		var sumLate, sumSide int64
+		for _, v := range late {
+			sumLate += v
+		}
+		for _, v := range side {
+			sumSide += v
+		}
+		if sumLate != sumSide || len(late) != len(side) {
+			panic("reconstruction strategies disagree")
+		}
+		fmt.Printf("strip [%7d,%7d): %5d objects, mean brightness %d\n",
+			s.lo, s.hi, len(late), sumLate/int64(len(late)))
+		fmt.Printf("   late (row-id) reconstruction: %10v\n", dLate)
+		fmt.Printf("   sideways cracker map:         %10v\n", dSide)
+	}
+
+	st := tbl.Stats()
+	fmt.Printf("\ntable state: %d cracks across indexes and maps, %d tuples touched\n",
+		st.Cracks, st.Touched)
+	fmt.Println("\nonly the 'ra' index and the (ra->brightness) map were ever built or")
+	fmt.Println("reorganized; 'obj_id' and unqueried attribute pairs cost nothing (§2:")
+	fmt.Println("non-queried columns remain non-indexed).")
+}

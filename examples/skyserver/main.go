@@ -1,0 +1,87 @@
+// SkyServer replay: adaptive indexing under a realistic exploration trace.
+//
+// The paper's Fig. 16 replays 160k selection predicates from the Sloan
+// Digital Sky Survey: astronomers scan one area of the sky at a time, so
+// queries cluster in a narrow region for hundreds of queries, then jump.
+// This example replays the repository's synthetic SkyServer trace (see
+// DESIGN.md §4 for the substitution) against original and stochastic
+// cracking and prints the cumulative-time series of Fig. 16(a) plus a
+// text rendering of the access pattern of Fig. 16(b).
+//
+//	go run ./examples/skyserver
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	crackdb "repro"
+)
+
+const (
+	n = 4_000_000
+	q = 8_000
+)
+
+func replay(algo string) []time.Duration {
+	ix, err := crackdb.New(crackdb.MakeData(n, 11), algo, crackdb.WithSeed(11))
+	if err != nil {
+		panic(err)
+	}
+	gen, err := crackdb.NewWorkload("skyserver", crackdb.WorkloadParams{N: n, Q: q, S: 10, Seed: 11})
+	if err != nil {
+		panic(err)
+	}
+	cum := make([]time.Duration, 0, q)
+	var total time.Duration
+	for i := 0; i < q; i++ {
+		lo, hi := gen.Next()
+		t0 := time.Now()
+		ix.Query(lo, hi)
+		total += time.Since(t0)
+		cum = append(cum, total)
+	}
+	return cum
+}
+
+func main() {
+	// Fig. 16(b): the access pattern. Render range midpoints as a strip
+	// chart: one row per 500 queries, '*' marking the touched region.
+	fmt.Println("access pattern (each row = 500 queries, columns = value domain):")
+	gen, err := crackdb.NewWorkload("skyserver", crackdb.WorkloadParams{N: n, Q: q, S: 10, Seed: 11})
+	if err != nil {
+		panic(err)
+	}
+	const cols = 64
+	row := make([]bool, cols)
+	for i := 0; i < q; i++ {
+		lo, hi := gen.Next()
+		mid := (lo + hi) / 2
+		row[int(mid*cols/n)] = true
+		if (i+1)%500 == 0 {
+			var b strings.Builder
+			for _, hit := range row {
+				if hit {
+					b.WriteByte('*')
+				} else {
+					b.WriteByte('.')
+				}
+			}
+			fmt.Printf("  q%5d  %s\n", i+1, b.String())
+			row = make([]bool, cols)
+		}
+	}
+
+	// Fig. 16(a): cumulative response time, original vs stochastic.
+	fmt.Println("\ncumulative response time:")
+	crack := replay(crackdb.Crack)
+	scrack := replay(crackdb.PMDD1R)
+	fmt.Printf("%10s %14s %14s\n", "query", "crack", "scrack(P10%)")
+	for _, c := range []int{100, 500, 1000, 2000, 4000, 8000} {
+		fmt.Printf("%10d %14v %14v\n", c, crack[c-1].Round(time.Millisecond), scrack[c-1].Round(time.Millisecond))
+	}
+	fmt.Println("\npaper shape (Fig. 16a): original cracking keeps paying for the large")
+	fmt.Println("unindexed areas each campaign leaves behind; stochastic cracking answers")
+	fmt.Println("the entire trace within a small, flat time budget.")
+}

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/updates"
+)
+
+func tinyConfig() Config {
+	return Config{N: 50_000, Q: 200, S: 10, Seed: 42, Validate: true}
+}
+
+func TestOracleClosedForm(t *testing.T) {
+	cases := []struct {
+		a, b, n    int64
+		count, sum int64
+	}{
+		{0, 10, 100, 10, 45},
+		{90, 110, 100, 10, 945},
+		{-5, 5, 100, 5, 10},
+		{50, 50, 100, 0, 0},
+		{60, 40, 100, 0, 0},
+		{0, 100, 100, 100, 4950},
+	}
+	for _, c := range cases {
+		count, sum := oracle(c.a, c.b, c.n)
+		if count != c.count || sum != c.sum {
+			t.Errorf("oracle(%d,%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, c.n, count, sum, c.count, c.sum)
+		}
+	}
+}
+
+func TestMakeDataIsPermutation(t *testing.T) {
+	d := MakeData(1000, 7)
+	seen := make([]bool, 1000)
+	for _, v := range d {
+		if v < 0 || v >= 1000 || seen[v] {
+			t.Fatal("MakeData is not a permutation")
+		}
+		seen[v] = true
+	}
+	d2 := MakeData(1000, 7)
+	for i := range d {
+		if d[i] != d2[i] {
+			t.Fatal("MakeData not deterministic")
+		}
+	}
+}
+
+func TestRunValidatesEveryAlgorithm(t *testing.T) {
+	cfg := tinyConfig()
+	specs := []string{"scan", "sort", "crack", "ddr", "dd1r", "mdd1r", "pmdd1r-10",
+		"fiftyfifty", "flipcoin", "scrackmon-5", "r2crack", "aicc", "aics", "aicc1r", "aics1r"}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			s, err := Run(cfg, spec, "sequential")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s.PerQueryNS) != cfg.Q || s.TotalNS <= 0 {
+				t.Fatalf("bad series: %d points, total %d", len(s.PerQueryNS), s.TotalNS)
+			}
+			if s.CumulativeNS[cfg.Q-1] != s.TotalNS {
+				t.Fatal("cumulative tail != total")
+			}
+		})
+	}
+}
+
+func TestRunAllWorkloadsWithValidation(t *testing.T) {
+	cfg := tinyConfig()
+	for _, wl := range []string{"random", "skew", "periodic", "zoomin", "zoomout",
+		"sequential", "seqreverse", "zoominalt", "zoomoutalt", "skewzoomoutalt",
+		"seqrandom", "seqzoomin", "seqzoomout", "mixed", "skyserver"} {
+		if _, err := Run(cfg, "mdd1r", wl); err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+	}
+}
+
+func TestRunUnknownSpecAndWorkload(t *testing.T) {
+	if _, err := Run(tinyConfig(), "nope", "random"); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+	if _, err := Run(tinyConfig(), "crack", "nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunWithUpdates(t *testing.T) {
+	// With updates the closed-form oracle no longer holds, so run without
+	// Validate and check the update stream was exercised.
+	cfg := tinyConfig()
+	cfg.Validate = false
+	var queued int
+	var wrapped *updates.Index
+	s, err := RunWithUpdates(cfg, "crack", "random", func(i int, u *updates.Index) {
+		wrapped = u
+		if i%10 == 0 {
+			u.Insert(int64(i))
+			queued++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued == 0 || wrapped == nil {
+		t.Fatal("update stream never ran")
+	}
+	if wrapped.Merged()+int64(wrapped.Pending()) != int64(queued) {
+		t.Fatalf("merged %d + pending %d != queued %d",
+			wrapped.Merged(), wrapped.Pending(), queued)
+	}
+	if s.TotalNS <= 0 {
+		t.Fatal("no time recorded")
+	}
+	if _, err := RunWithUpdates(cfg, "sort", "random", func(int, *updates.Index) {}); err == nil {
+		t.Fatal("sort must reject updates")
+	}
+	if _, err := RunWithUpdates(cfg, "aicc", "random", func(int, *updates.Index) {}); err == nil {
+		t.Fatal("hybrids must reject updates (not engine-backed)")
+	}
+}
+
+func TestCheckpoints(t *testing.T) {
+	cp := Checkpoints(1000)
+	if cp[0] != 1 || cp[len(cp)-1] != 1000 {
+		t.Fatalf("checkpoints = %v", cp)
+	}
+	for i := 1; i < len(cp)-1; i++ {
+		if cp[i] != cp[i-1]*2 {
+			t.Fatalf("checkpoints not log-spaced: %v", cp)
+		}
+	}
+}
+
+func TestSecondsFormatting(t *testing.T) {
+	cases := map[int64]string{
+		1_500_000_000:   "1.50",
+		15_000_000_000:  "15.0",
+		150_000_000_000: "150",
+		1_000_000:       "0.001",
+	}
+	for ns, want := range cases {
+		if got := Seconds(ns); got != want {
+			t.Errorf("Seconds(%d) = %q, want %q", ns, got, want)
+		}
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("experiment count = %d, want 15", len(all))
+	}
+	if _, ok := ByID("fig2"); !ok {
+		t.Fatal("fig2 missing")
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("fig99 found")
+	}
+	if !strings.Contains(IDs(), "fig17") || !strings.Contains(IDs(), "all") {
+		t.Fatalf("IDs() = %q", IDs())
+	}
+}
+
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	cfg := Config{N: 20_000, Q: 64, S: 5, Seed: 1, Validate: false}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := e.Run(cfg, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestStochasticBeatsCrackShapeAtHarnessLevel(t *testing.T) {
+	// The headline reproduction claim, asserted at harness level: on the
+	// sequential workload the stochastic default beats original cracking
+	// in tuples touched by a wide margin.
+	cfg := Config{N: 200_000, Q: 400, S: 10, Seed: 3, Validate: true}
+	crack, err := Run(cfg, "crack", "sequential")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrack, err := Run(cfg, "pmdd1r-10", "sequential")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrack.Final.Touched*5 > crack.Final.Touched {
+		t.Fatalf("scrack touched %d vs crack %d; expected >=5x gap",
+			scrack.Final.Touched, crack.Final.Touched)
+	}
+	// And on random workloads the two stay within a small factor.
+	crackR, err := Run(cfg, "crack", "random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrackR, err := Run(cfg, "pmdd1r-10", "random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrackR.Final.Touched > crackR.Final.Touched*4 {
+		t.Fatalf("on random, scrack touched %d vs crack %d; overhead too large",
+			scrackR.Final.Touched, crackR.Final.Touched)
+	}
+}

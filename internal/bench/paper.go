@@ -1,0 +1,98 @@
+package bench
+
+// The paper's published measurements, transcribed from the VLDB 2012
+// camera-ready. All values are cumulative seconds on the authors' testbed
+// (2x Intel E5620, 24 GB RAM, N = 10^8 tuples; SkyServer = 1.6*10^5 real
+// queries over a 500M-tuple attribute). Absolute numbers are not
+// comparable across machines/languages/scales; the report generator uses
+// them exclusively for *shape* checks — who wins, and by roughly what
+// factor.
+
+// PaperFig8 is Fig. 8: DDC cumulative seconds for 10^4 sequential-workload
+// queries, varying the piece-size threshold.
+var PaperFig8 = map[string]float64{
+	"L1/4": 2.2,
+	"L1/2": 2.2,
+	"L1":   2.2,
+	"L2":   7.8,
+	"3L2":  54.7,
+}
+
+// PaperFig11 is Fig. 11: cumulative seconds for 10^3 queries, by workload,
+// algorithm, and selectivity column {1e-7, 1e-2, 10%, 50%, Rand}.
+var PaperFig11 = map[string]map[string][5]float64{
+	"random": {
+		"scan":      {360, 360, 500, 628, 550},
+		"sort":      {11.8, 11.8, 11.8, 11.8, 11.8},
+		"crack":     {6.1, 6.0, 5.7, 5.9, 5.9},
+		"dd1r":      {6.5, 6.5, 6.4, 6.4, 6.4},
+		"pmdd1r-10": {8.6, 8.6, 10.3, 10.3, 10.3},
+	},
+	"sequential": {
+		"scan":      {125, 125, 260, 550, 410},
+		"sort":      {11.8, 11.8, 11.8, 11.8, 11.8},
+		"crack":     {92, 96, 108, 103, 6},
+		"dd1r":      {0.9, 0.9, 1.1, 1.5, 5.9},
+		"pmdd1r-10": {1, 1, 1.9, 3.4, 9.1},
+	},
+}
+
+// PaperFig17 is Fig. 17: cumulative seconds per workload for the four
+// strategies {Crack, Scrack(MDD1R), FiftyFifty, FlipCoin}. 10^4 queries
+// per workload; SkyServer 1.6*10^5.
+var PaperFig17 = map[string][4]float64{
+	"periodic":       {15.4, 5, 8.4, 6.9},
+	"zoomout":        {1019, 1.6, 2, 2},
+	"zoomin":         {7.2, 1.4, 1.3, 2},
+	"zoominalt":      {1822, 1.8, 916, 1.2},
+	"random":         {8.6, 10, 9.5, 9.4},
+	"skew":           {7.6, 7.1, 8.8, 8.7},
+	"seqreverse":     {2791, 1, 1.8, 1.6},
+	"seqzoomin":      {2.3, 1.2, 1.9, 1.2},
+	"seqrandom":      {8.6, 9.6, 7.8, 9.2},
+	"sequential":     {861, 0.4, 1.6, 2.4},
+	"seqzoomout":     {1215, 1.3, 2, 1.5},
+	"zoomoutalt":     {920, 1.2, 224, 1.2},
+	"skewzoomoutalt": {1382, 1.1, 1381, 2.2},
+	"mixed":          {331, 3.2, 30.5, 4.5},
+	"skyserver":      {2274, 25, 62, 35},
+}
+
+// PaperFig17Strategies names Fig. 17's columns in order.
+var PaperFig17Strategies = [4]string{"crack", "mdd1r", "fiftyfifty", "flipcoin"}
+
+// PaperFig18 is Fig. 18: SkyServer cumulative seconds with stochastic
+// cracking applied every X queries.
+var PaperFig18 = map[int]float64{1: 25, 2: 62, 4: 65, 8: 97, 16: 153, 32: 239}
+
+// PaperFig19 is Fig. 19: SkyServer cumulative seconds with monitored
+// stochastic cracking at per-piece threshold X.
+var PaperFig19 = map[int]float64{1: 25, 5: 83, 10: 127, 50: 366, 100: 585, 500: 1316}
+
+// PaperFig16 is Fig. 16(a)'s narrative numbers for the SkyServer trace:
+// full trace cumulative seconds per strategy.
+var PaperFig16 = map[string]float64{
+	"crack":     2274, // "more than 2000 seconds"
+	"pmdd1r-10": 25,
+	"sort":      70,
+	"scan":      8000, // "more than 8000 seconds"
+}
+
+// PaperPathologicalWorkloads lists the workloads on which the paper shows
+// original cracking losing by orders of magnitude (Fig. 13/17); used by
+// the report's direction checks.
+var PaperPathologicalWorkloads = []string{
+	"periodic", "zoomout", "zoomin", "zoominalt",
+	"seqreverse", "sequential", "seqzoomout",
+	"zoomoutalt", "skewzoomoutalt", "mixed",
+}
+
+// PaperCrackFriendlyWorkloads lists the workloads with enough inherent
+// randomness that original cracking stays competitive (its benefit over
+// stochastic cracking is bounded by ~1 second over 10^4 queries).
+var PaperCrackFriendlyWorkloads = []string{"random", "skew", "seqrandom"}
+
+// PaperFiftyFiftyFailures lists the workloads on which the deterministic
+// FiftyFifty policy collapses while the probabilistic FlipCoin stays
+// robust (Fig. 17's analysis).
+var PaperFiftyFiftyFailures = []string{"zoominalt", "zoomoutalt", "skewzoomoutalt"}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PlotCumulative renders the cumulative-response-time curves of several
+// series as an ASCII log-log chart — the visual idiom of the paper's
+// Fig. 2/9/10/13 — so a terminal run of crackbench shows the shape
+// comparison directly, without gnuplot.
+//
+// X axis: query sequence (log scale). Y axis: cumulative seconds (log
+// scale). Each series is drawn with its own glyph; collisions keep the
+// glyph of the later series in the argument list (draw order = legend
+// order).
+func PlotCumulative(w io.Writer, series ...*Series) {
+	if len(series) == 0 {
+		return
+	}
+	const width, height = 72, 20
+	glyphs := []byte("*o+x#@%&")
+
+	// Value ranges across all series (log domain, clamped to >= 1ns).
+	minY, maxY := math.MaxFloat64, -math.MaxFloat64
+	maxQ := 0
+	for _, s := range series {
+		if len(s.CumulativeNS) > maxQ {
+			maxQ = len(s.CumulativeNS)
+		}
+		for _, v := range s.CumulativeNS {
+			y := math.Log10(math.Max(float64(v), 1))
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if maxQ < 2 {
+		return
+	}
+	if maxY-minY < 1e-9 {
+		maxY = minY + 1
+	}
+	logQ := math.Log10(float64(maxQ))
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for qi, v := range s.CumulativeNS {
+			x := int(math.Log10(float64(qi+1)) / logQ * float64(width-1))
+			y := math.Log10(math.Max(float64(v), 1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			if x >= 0 && x < width && row >= 0 && row < height {
+				grid[row][x] = g
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "cumulative response time (log-log): x = query 1..%d, y = %.3gs..%.3gs\n",
+		maxQ, math.Pow(10, minY)/1e9, math.Pow(10, maxY)/1e9)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", width))
+	for si, s := range series {
+		fmt.Fprintf(w, "   %c %s/%s (total %s s)\n",
+			glyphs[si%len(glyphs)], s.Algo, s.Workload, Seconds(s.TotalNS))
+	}
+}
+
+// PlotCell runs the given algorithms over one workload and renders the
+// comparison chart — the generic figure generator behind crackbench's
+// -plot flag.
+func PlotCell(cfg Config, w io.Writer, workloadName string, specs []string) error {
+	var all []*Series
+	for _, spec := range specs {
+		s, err := Run(cfg, spec, workloadName)
+		if err != nil {
+			return err
+		}
+		all = append(all, s)
+	}
+	PlotCumulative(w, all...)
+	return nil
+}

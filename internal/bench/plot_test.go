@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func fakeSeries(algo string, scale int64, q int) *Series {
+	s := &Series{Algo: algo, Workload: "test"}
+	var cum int64
+	for i := 0; i < q; i++ {
+		cum += scale * int64(i+1)
+		s.PerQueryNS = append(s.PerQueryNS, scale*int64(i+1))
+		s.CumulativeNS = append(s.CumulativeNS, cum)
+		s.Touched = append(s.Touched, 1)
+	}
+	s.TotalNS = cum
+	return s
+}
+
+func TestPlotCumulativeRenders(t *testing.T) {
+	var buf bytes.Buffer
+	PlotCumulative(&buf, fakeSeries("alpha", 1000, 256), fakeSeries("beta", 1_000_000, 256))
+	out := buf.String()
+	if !strings.Contains(out, "alpha/test") || !strings.Contains(out, "beta/test") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("glyphs missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 20 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+	// The cheap series' glyph must appear below the expensive one
+	// somewhere (higher row index = lower value).
+	firstStar, firstO := -1, -1
+	for i, l := range lines {
+		if firstStar == -1 && strings.Contains(l, "*") {
+			firstStar = i
+		}
+		if firstO == -1 && strings.Contains(l, "o") {
+			firstO = i
+		}
+	}
+	if firstO >= firstStar {
+		t.Fatalf("expensive series (o) should top the chart: o at %d, * at %d", firstO, firstStar)
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	PlotCumulative(&buf) // no series
+	if buf.Len() != 0 {
+		t.Fatal("empty plot produced output")
+	}
+	PlotCumulative(&buf, fakeSeries("one", 10, 1)) // single point
+	if buf.Len() != 0 {
+		t.Fatal("single-point plot produced output")
+	}
+}
+
+func TestPlotCell(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{N: 20_000, Q: 64, S: 5, Seed: 1}
+	if err := PlotCell(cfg, &buf, "sequential", []string{"crack", "dd1r"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "crack/sequential") {
+		t.Fatal("plot cell legend missing")
+	}
+	if err := PlotCell(cfg, &buf, "sequential", []string{"nope"}); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+}

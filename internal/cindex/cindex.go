@@ -1,0 +1,319 @@
+// Package cindex implements the cracker index: the tree structure a
+// cracking DBMS maintains to record which piece of the cracker column holds
+// which value range (original cracking uses AVL trees [16]; so does this
+// package).
+//
+// A crack (key, pos) states that every tuple at a position < pos has a
+// value < key, and every tuple at a position >= pos has a value >= key.
+// Cracks are immutable once placed — physical reorganization only ever
+// happens inside pieces — with one exception: updates. Ripple insertion and
+// deletion shift all cracks above the affected piece by one position, which
+// this tree supports in O(log n) through lazy subtree position deltas.
+//
+// Each node additionally carries the crack counter of the piece that starts
+// at it (used by the ScrackMon selective strategy of §4): when a crack
+// splits a piece, the new piece inherits its parent piece's counter, exactly
+// as the paper specifies.
+package cindex
+
+// Tree is an AVL tree over cracks, keyed by pivot value. The zero value is
+// an empty tree ready for use.
+type Tree struct {
+	root     *node
+	size     int
+	counter0 int64 // crack counter of the piece that starts at position 0
+}
+
+type node struct {
+	key     int64 // pivot value
+	pos     int   // crack position, relative to accumulated ancestor shifts
+	shift   int   // lazy position delta applying to both children's subtrees
+	counter int64 // crack counter of the piece starting at this crack
+	height  int
+	left    *node
+	right   *node
+}
+
+// Len returns the number of cracks in the index.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the height of the tree (0 for an empty tree).
+func (t *Tree) Height() int { return height(t.root) }
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+// pushDown moves this node's pending subtree shift onto its children. It
+// must be called on every node along a path that is about to be
+// restructured (rotations re-parent subtrees, which would otherwise change
+// the set of ancestors whose shifts apply).
+func (n *node) pushDown() {
+	if n.shift == 0 {
+		return
+	}
+	if n.left != nil {
+		n.left.pos += n.shift
+		n.left.shift += n.shift
+	}
+	if n.right != nil {
+		n.right.pos += n.shift
+		n.right.shift += n.shift
+	}
+	n.shift = 0
+}
+
+func (n *node) fix() {
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		n.height = hl + 1
+	} else {
+		n.height = hr + 1
+	}
+}
+
+func (n *node) balance() int { return height(n.left) - height(n.right) }
+
+// rotations assume the participating nodes have zero pending shift, which
+// insert guarantees by pushing down along the descent path.
+func rotateRight(y *node) *node {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	y.fix()
+	x.fix()
+	return x
+}
+
+func rotateLeft(x *node) *node {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	x.fix()
+	y.fix()
+	return y
+}
+
+func rebalance(n *node) *node {
+	n.fix()
+	switch b := n.balance(); {
+	case b > 1:
+		n.pushDown()
+		n.left.pushDown()
+		if n.left.balance() < 0 {
+			n.left.right.pushDown()
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case b < -1:
+		n.pushDown()
+		n.right.pushDown()
+		if n.right.balance() > 0 {
+			n.right.left.pushDown()
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// Insert adds the crack (key, pos). If a crack with the same key already
+// exists the tree is unchanged and Insert returns false. The piece split by
+// the new crack passes its crack counter on to the new piece.
+func (t *Tree) Insert(key int64, pos int) bool {
+	inherited := *t.CounterFor(key)
+	inserted := false
+	t.root = t.insert(t.root, key, pos, inherited, &inserted)
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+func (t *Tree) insert(n *node, key int64, pos int, counter int64, inserted *bool) *node {
+	if n == nil {
+		*inserted = true
+		return &node{key: key, pos: pos, counter: counter, height: 1}
+	}
+	n.pushDown()
+	switch {
+	case key < n.key:
+		n.left = t.insert(n.left, key, pos, counter, inserted)
+	case key > n.key:
+		n.right = t.insert(n.right, key, pos, counter, inserted)
+	default:
+		return n // crack already known
+	}
+	if !*inserted {
+		return n
+	}
+	return rebalance(n)
+}
+
+// PieceFor returns the piece [lo, hi) of a column of n tuples that holds
+// value v, together with exact: whether a crack lies exactly at key v (in
+// which case a query bound at v needs no further cracking).
+func (t *Tree) PieceFor(v int64, n int) (lo, hi int, exact bool) {
+	lo, hi = 0, n
+	acc := 0
+	cur := t.root
+	for cur != nil {
+		abs := cur.pos + acc
+		switch {
+		case v < cur.key:
+			hi = abs
+			acc += cur.shift
+			cur = cur.left
+		case v > cur.key:
+			lo = abs
+			acc += cur.shift
+			cur = cur.right
+		default:
+			lo = abs
+			exact = true
+			// The piece's end is the successor crack's position.
+			acc += cur.shift
+			cur = cur.right
+			for cur != nil {
+				hi = cur.pos + acc
+				acc += cur.shift
+				cur = cur.left
+			}
+			return lo, hi, true
+		}
+	}
+	return lo, hi, false
+}
+
+// Has reports whether a crack at exactly key v exists.
+func (t *Tree) Has(v int64) bool {
+	cur := t.root
+	for cur != nil {
+		switch {
+		case v < cur.key:
+			cur = cur.left
+		case v > cur.key:
+			cur = cur.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// CounterFor returns a pointer to the crack counter of the piece containing
+// value v. Counters survive position shifts; the pointer remains valid until
+// the piece is split by a new crack.
+func (t *Tree) CounterFor(v int64) *int64 {
+	best := &t.counter0
+	cur := t.root
+	for cur != nil {
+		if v < cur.key {
+			cur = cur.left
+		} else {
+			best = &cur.counter
+			cur = cur.right
+		}
+	}
+	return best
+}
+
+// RangeShift adds delta to the position of every crack whose key is
+// strictly greater than afterKey, in O(log n). Ripple updates use it: an
+// insertion into the piece containing value v shifts every crack above that
+// piece one position to the right.
+func (t *Tree) RangeShift(afterKey int64, delta int) {
+	cur := t.root
+	for cur != nil {
+		if cur.key > afterKey {
+			cur.pos += delta
+			if cur.right != nil {
+				cur.right.pos += delta
+				cur.right.shift += delta
+			}
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+}
+
+// Ascend calls fn for every crack in increasing key order with its absolute
+// position, stopping early if fn returns false.
+func (t *Tree) Ascend(fn func(key int64, pos int) bool) {
+	ascend(t.root, 0, fn)
+}
+
+func ascend(n *node, acc int, fn func(key int64, pos int) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, acc+n.shift, fn) {
+		return false
+	}
+	if !fn(n.key, n.pos+acc) {
+		return false
+	}
+	return ascend(n.right, acc+n.shift, fn)
+}
+
+// AscendGreater calls fn for every crack with key strictly greater than
+// afterKey, in increasing key order, stopping early if fn returns false.
+func (t *Tree) AscendGreater(afterKey int64, fn func(key int64, pos int) bool) {
+	ascendGreater(t.root, 0, afterKey, fn)
+}
+
+func ascendGreater(n *node, acc int, after int64, fn func(key int64, pos int) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.key > after {
+		if !ascendGreater(n.left, acc+n.shift, after, fn) {
+			return false
+		}
+		if !fn(n.key, n.pos+acc) {
+			return false
+		}
+	}
+	return ascendGreater(n.right, acc+n.shift, after, fn)
+}
+
+// DescendGreater calls fn for every crack with key strictly greater than
+// afterKey, in decreasing key order, stopping early if fn returns false.
+// Ripple insertion visits exactly these cracks, highest piece first.
+func (t *Tree) DescendGreater(afterKey int64, fn func(key int64, pos int) bool) {
+	descendGreater(t.root, 0, afterKey, fn)
+}
+
+func descendGreater(n *node, acc int, after int64, fn func(key int64, pos int) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !descendGreater(n.right, acc+n.shift, after, fn) {
+		return false
+	}
+	if n.key > after {
+		if !fn(n.key, n.pos+acc) {
+			return false
+		}
+		return descendGreater(n.left, acc+n.shift, after, fn)
+	}
+	return true
+}
+
+// Pieces returns the piece boundaries of a column with n tuples as a sorted
+// slice of positions, beginning with 0 and ending with n. A freshly created
+// index yields [0, n]: one piece covering the whole column.
+func (t *Tree) Pieces(n int) []int {
+	out := make([]int, 0, t.size+2)
+	out = append(out, 0)
+	t.Ascend(func(_ int64, pos int) bool {
+		out = append(out, pos)
+		return true
+	})
+	out = append(out, n)
+	return out
+}

@@ -1,0 +1,429 @@
+package cindex
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// refIndex is a brute-force reference model: a sorted slice of cracks.
+type refIndex struct {
+	keys []int64
+	pos  []int
+}
+
+func (r *refIndex) insert(key int64, pos int) bool {
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= key })
+	if i < len(r.keys) && r.keys[i] == key {
+		return false
+	}
+	r.keys = append(r.keys, 0)
+	r.pos = append(r.pos, 0)
+	copy(r.keys[i+1:], r.keys[i:])
+	copy(r.pos[i+1:], r.pos[i:])
+	r.keys[i], r.pos[i] = key, pos
+	return true
+}
+
+func (r *refIndex) pieceFor(v int64, n int) (lo, hi int, exact bool) {
+	lo, hi = 0, n
+	for i, k := range r.keys {
+		if k <= v {
+			lo = r.pos[i]
+			if k == v {
+				exact = true
+			}
+		} else {
+			hi = r.pos[i]
+			break
+		}
+	}
+	return lo, hi, exact
+}
+
+func (r *refIndex) rangeShift(afterKey int64, delta int) {
+	for i, k := range r.keys {
+		if k > afterKey {
+			r.pos[i] += delta
+		}
+	}
+}
+
+// checkAVL verifies BST ordering, AVL balance, and height bookkeeping.
+func checkAVL(t *testing.T, tr *Tree) {
+	t.Helper()
+	var walk func(n *node, lo, hi int64) int
+	walk = func(n *node, lo, hi int64) int {
+		if n == nil {
+			return 0
+		}
+		if n.key <= lo || n.key >= hi {
+			t.Fatalf("BST order violated at key %d (bounds %d..%d)", n.key, lo, hi)
+		}
+		hl := walk(n.left, lo, n.key)
+		hr := walk(n.right, n.key, hi)
+		h := hl
+		if hr > h {
+			h = hr
+		}
+		h++
+		if n.height != h {
+			t.Fatalf("stale height at key %d: %d want %d", n.key, n.height, h)
+		}
+		if b := hl - hr; b < -1 || b > 1 {
+			t.Fatalf("AVL balance violated at key %d: %d", n.key, b)
+		}
+		return h
+	}
+	const inf = int64(1) << 62
+	walk(tr.root, -inf, inf)
+}
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	lo, hi, exact := tr.PieceFor(42, 100)
+	if lo != 0 || hi != 100 || exact {
+		t.Fatalf("empty tree piece = [%d,%d) exact=%v, want [0,100) false", lo, hi, exact)
+	}
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatal("empty tree has nonzero size or height")
+	}
+	if got := tr.Pieces(100); len(got) != 2 || got[0] != 0 || got[1] != 100 {
+		t.Fatalf("empty tree pieces = %v, want [0 100]", got)
+	}
+}
+
+func TestInsertAndPieceFor(t *testing.T) {
+	var tr Tree
+	// Fig. 1's end state: cracks at 7->pos2? use synthetic positions.
+	tr.Insert(10, 40)
+	tr.Insert(14, 60)
+	tr.Insert(7, 25)
+	tr.Insert(16, 80)
+
+	cases := []struct {
+		v      int64
+		lo, hi int
+		exact  bool
+	}{
+		{0, 0, 25, false},
+		{6, 0, 25, false},
+		{7, 25, 40, true},
+		{8, 25, 40, false},
+		{10, 40, 60, true},
+		{13, 40, 60, false},
+		{14, 60, 80, true},
+		{15, 60, 80, false},
+		{16, 80, 100, true},
+		{99, 80, 100, false},
+	}
+	for _, c := range cases {
+		lo, hi, exact := tr.PieceFor(c.v, 100)
+		if lo != c.lo || hi != c.hi || exact != c.exact {
+			t.Errorf("PieceFor(%d) = [%d,%d) %v, want [%d,%d) %v", c.v, lo, hi, exact, c.lo, c.hi, c.exact)
+		}
+	}
+	checkAVL(t, &tr)
+}
+
+func TestInsertDuplicateKey(t *testing.T) {
+	var tr Tree
+	if !tr.Insert(5, 10) {
+		t.Fatal("first insert rejected")
+	}
+	if tr.Insert(5, 20) {
+		t.Fatal("duplicate insert accepted")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("size = %d, want 1", tr.Len())
+	}
+	lo, _, _ := tr.PieceFor(5, 100)
+	if lo != 10 {
+		t.Fatalf("duplicate insert changed position: %d", lo)
+	}
+}
+
+func TestHas(t *testing.T) {
+	var tr Tree
+	for _, k := range []int64{8, 3, 12, 1, 6} {
+		tr.Insert(k, int(k)*10)
+	}
+	for _, k := range []int64{8, 3, 12, 1, 6} {
+		if !tr.Has(k) {
+			t.Fatalf("Has(%d) = false", k)
+		}
+	}
+	for _, k := range []int64{0, 2, 7, 100} {
+		if tr.Has(k) {
+			t.Fatalf("Has(%d) = true", k)
+		}
+	}
+}
+
+func TestAscendOrderAndPieces(t *testing.T) {
+	var tr Tree
+	r := xrand.New(3)
+	keys := r.Perm(200)
+	for _, k := range keys {
+		tr.Insert(k, int(k)) // position = key for a sorted column of [0,200)
+	}
+	var prev int64 = -1
+	count := 0
+	tr.Ascend(func(key int64, pos int) bool {
+		if key <= prev {
+			t.Fatalf("Ascend out of order: %d after %d", key, prev)
+		}
+		if pos != int(key) {
+			t.Fatalf("Ascend position mismatch at key %d: %d", key, pos)
+		}
+		prev = key
+		count++
+		return true
+	})
+	if count != 200 {
+		t.Fatalf("Ascend visited %d cracks, want 200", count)
+	}
+	pieces := tr.Pieces(200)
+	if len(pieces) != 202 {
+		t.Fatalf("Pieces length = %d, want 202", len(pieces))
+	}
+	if !sort.IntsAreSorted(pieces) {
+		t.Fatal("piece boundaries not sorted")
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 50; i++ {
+		tr.Insert(i, int(i))
+	}
+	count := 0
+	tr.Ascend(func(key int64, pos int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d, want 10", count)
+	}
+}
+
+func TestBalancedHeightUnderSequentialInserts(t *testing.T) {
+	// Sequential key insertion is the classic AVL stress: a plain BST would
+	// degenerate to a list. 2^12 keys must stay within AVL height bounds
+	// (~1.44 log2 n ≈ 18).
+	var tr Tree
+	for i := 0; i < 4096; i++ {
+		tr.Insert(int64(i), i)
+	}
+	if h := tr.Height(); h > 18 {
+		t.Fatalf("height %d too large for 4096 sequential inserts", h)
+	}
+	checkAVL(t, &tr)
+}
+
+func TestAgainstReferenceModel(t *testing.T) {
+	const n = 1 << 16
+	r := xrand.New(7)
+	var tr Tree
+	ref := &refIndex{}
+	for i := 0; i < 500; i++ {
+		k := r.Int63n(n)
+		p := int(k) // any monotone mapping works for piece semantics
+		got := tr.Insert(k, p)
+		want := ref.insert(k, p)
+		if got != want {
+			t.Fatalf("insert(%d) = %v, ref %v", k, got, want)
+		}
+	}
+	checkAVL(t, &tr)
+	for i := 0; i < 2000; i++ {
+		v := r.Int63n(n)
+		lo, hi, exact := tr.PieceFor(v, n)
+		rlo, rhi, rexact := ref.pieceFor(v, n)
+		if lo != rlo || hi != rhi || exact != rexact {
+			t.Fatalf("PieceFor(%d) = [%d,%d) %v, ref [%d,%d) %v", v, lo, hi, exact, rlo, rhi, rexact)
+		}
+	}
+}
+
+func TestRangeShiftAgainstReference(t *testing.T) {
+	const n = 1 << 16
+	r := xrand.New(11)
+	var tr Tree
+	ref := &refIndex{}
+	for i := 0; i < 300; i++ {
+		k := r.Int63n(n)
+		tr.Insert(k, int(k))
+		ref.insert(k, int(k))
+	}
+	for i := 0; i < 200; i++ {
+		after := r.Int63n(n)
+		delta := 1
+		if r.Bool() {
+			delta = -1
+		}
+		tr.RangeShift(after, delta)
+		ref.rangeShift(after, delta)
+		// Interleave inserts to exercise pushDown during rebalancing.
+		if i%3 == 0 {
+			k := r.Int63n(n)
+			// Positions must stay consistent with the reference; insert at
+			// the reference's notion of position for this key.
+			lo, _, exact := ref.pieceFor(k, n<<1)
+			if !exact {
+				p := lo + int(k)%97
+				tr.Insert(k, p)
+				ref.insert(k, p)
+			}
+		}
+	}
+	checkAVL(t, &tr)
+	for i := 0; i < 3000; i++ {
+		v := r.Int63n(n)
+		lo, hi, exact := tr.PieceFor(v, n<<1)
+		rlo, rhi, rexact := ref.pieceFor(v, n<<1)
+		if lo != rlo || hi != rhi || exact != rexact {
+			t.Fatalf("after shifts, PieceFor(%d) = [%d,%d) %v, ref [%d,%d) %v", v, lo, hi, exact, rlo, rhi, rexact)
+		}
+	}
+	// Ascend must also report shifted absolute positions.
+	i := 0
+	tr.Ascend(func(key int64, pos int) bool {
+		if key != ref.keys[i] || pos != ref.pos[i] {
+			t.Fatalf("Ascend[%d] = (%d,%d), ref (%d,%d)", i, key, pos, ref.keys[i], ref.pos[i])
+		}
+		i++
+		return true
+	})
+}
+
+func TestRangeShiftQuick(t *testing.T) {
+	f := func(keys []int64, after int64, delta8 int8, seed uint64) bool {
+		var tr Tree
+		ref := &refIndex{}
+		for _, k := range keys {
+			tr.Insert(k, int(k%1000))
+			ref.insert(k, int(k%1000))
+		}
+		delta := int(delta8)
+		tr.RangeShift(after, delta)
+		ref.rangeShift(after, delta)
+		ok := true
+		i := 0
+		tr.Ascend(func(key int64, pos int) bool {
+			if i >= len(ref.keys) || key != ref.keys[i] || pos != ref.pos[i] {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok && i == len(ref.keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterInheritance(t *testing.T) {
+	var tr Tree
+	// Whole column is one piece; bump its counter to 5.
+	*tr.CounterFor(50) = 5
+	// Crack at 40 splits it; both resulting pieces must hold counter 5.
+	tr.Insert(40, 400)
+	if c := *tr.CounterFor(10); c != 5 {
+		t.Fatalf("left piece counter = %d, want 5", c)
+	}
+	if c := *tr.CounterFor(99); c != 5 {
+		t.Fatalf("right piece counter = %d, want 5", c)
+	}
+	// Bump only the right piece, then split it again.
+	*tr.CounterFor(99) = 9
+	tr.Insert(70, 700)
+	if c := *tr.CounterFor(45); c != 9 {
+		t.Fatalf("piece [40,70) counter = %d, want 9 (inherited)", c)
+	}
+	if c := *tr.CounterFor(80); c != 9 {
+		t.Fatalf("piece [70,inf) counter = %d, want 9 (inherited)", c)
+	}
+	if c := *tr.CounterFor(10); c != 5 {
+		t.Fatalf("piece below 40 counter = %d, want 5 (untouched)", c)
+	}
+}
+
+func TestCounterPointerStability(t *testing.T) {
+	var tr Tree
+	tr.Insert(100, 10)
+	p := tr.CounterFor(150)
+	*p = 3
+	// Inserting far below must not invalidate the pointer's meaning.
+	for i := int64(0); i < 50; i++ {
+		tr.Insert(i, int(i))
+	}
+	if *tr.CounterFor(150) != 3 {
+		t.Fatal("counter lost after unrelated inserts")
+	}
+}
+
+func TestCrackPositionsMonotone(t *testing.T) {
+	// In a real cracking run, keys and positions are inserted in tandem
+	// (larger keys at larger positions). Verify Pieces stays sorted through
+	// a random cracking simulation.
+	r := xrand.New(13)
+	const n = 10000
+	var tr Tree
+	ref := make(map[int64]bool)
+	for i := 0; i < 500; i++ {
+		k := r.Int63n(n)
+		if ref[k] {
+			continue
+		}
+		ref[k] = true
+		tr.Insert(k, int(k)) // sorted column: position == key
+	}
+	pieces := tr.Pieces(n)
+	if !sort.IntsAreSorted(pieces) {
+		t.Fatal("piece positions not monotone in key order")
+	}
+	checkAVL(t, &tr)
+}
+
+func BenchmarkInsert(b *testing.B) {
+	r := xrand.New(1)
+	keys := make([]int64, b.N)
+	for i := range keys {
+		keys[i] = r.Int63n(1 << 40)
+	}
+	b.ResetTimer()
+	var tr Tree
+	for i := 0; i < b.N; i++ {
+		tr.Insert(keys[i], int(keys[i]&0xffff))
+	}
+}
+
+func BenchmarkPieceFor(b *testing.B) {
+	r := xrand.New(1)
+	var tr Tree
+	for i := 0; i < 100000; i++ {
+		k := r.Int63n(1 << 40)
+		tr.Insert(k, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.PieceFor(r.Int63n(1<<40), 1<<30)
+	}
+}
+
+func BenchmarkRangeShift(b *testing.B) {
+	r := xrand.New(1)
+	var tr Tree
+	for i := 0; i < 100000; i++ {
+		tr.Insert(r.Int63n(1<<40), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.RangeShift(r.Int63n(1<<40), 1)
+	}
+}

@@ -1,0 +1,139 @@
+// Package colload reads and writes integer columns in the two formats a
+// column-store tool realistically meets: newline-delimited text (one
+// integer per line, '#' comments and blank lines ignored) and a dense
+// little-endian binary format matching the in-memory representation
+// (magic header + count + raw int64 values).
+//
+// The binary format is what cmd tools use to hand datasets around without
+// re-parsing; the text format is the interchange/debugging path.
+package colload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// binaryMagic identifies the binary column format ("CRKC" + version 1).
+var binaryMagic = [8]byte{'C', 'R', 'K', 'C', 0, 0, 0, 1}
+
+// WriteText writes one value per line.
+func WriteText(w io.Writer, values []int64) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range values {
+		if _, err := fmt.Fprintln(bw, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses one integer per line; blank lines and lines starting
+// with '#' are skipped. Malformed lines yield an error naming the line.
+func ReadText(r io.Reader) ([]int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []int64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("colload: line %d: %w", lineNo, err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("colload: %w", err)
+	}
+	return out, nil
+}
+
+// WriteBinary writes the dense binary format: magic, count, values.
+func WriteBinary(w io.Writer, values []int64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(values))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, values); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads the dense binary format written by WriteBinary.
+func ReadBinary(r io.Reader) ([]int64, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("colload: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("colload: not a CRKC column file (magic %x)", magic)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("colload: reading count: %w", err)
+	}
+	const maxCount = 1 << 33 // 64 GiB of values: refuse absurd headers
+	if count > maxCount {
+		return nil, fmt.Errorf("colload: column claims %d values", count)
+	}
+	out := make([]int64, count)
+	if err := binary.Read(br, binary.LittleEndian, out); err != nil {
+		return nil, fmt.Errorf("colload: reading %d values: %w", count, err)
+	}
+	return out, nil
+}
+
+// LoadFile loads a column from path, sniffing the format: the binary magic
+// wins, anything else parses as text.
+func LoadFile(path string) ([]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var magic [8]byte
+	n, err := io.ReadFull(f, magic[:])
+	if err != nil && n == 0 {
+		return nil, fmt.Errorf("colload: %s is empty", path)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if magic == binaryMagic {
+		return ReadBinary(f)
+	}
+	return ReadText(f)
+}
+
+// SaveFile writes a column to path; binary selects the format.
+func SaveFile(path string, values []int64, binaryFormat bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if binaryFormat {
+		if err := WriteBinary(f, values); err != nil {
+			return err
+		}
+	} else {
+		if err := WriteText(f, values); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}

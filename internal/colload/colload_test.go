@@ -1,0 +1,157 @@
+package colload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	vals := []int64{0, -1, 42, 1 << 60, -(1 << 60)}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("got %d values", len(got))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d: %d != %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestTextCommentsAndBlanks(t *testing.T) {
+	in := "# header\n1\n\n  2 \n# trailing\n3\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTextMalformed(t *testing.T) {
+	_, err := ReadText(strings.NewReader("1\nbanana\n3\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 error", err)
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, vals); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a column file at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("CR")); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+	// Correct magic, truncated payload.
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, []int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestBinaryRefusesAbsurdCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("absurd count accepted")
+	}
+}
+
+func TestFileRoundTripAndSniffing(t *testing.T) {
+	dir := t.TempDir()
+	vals := xrand.New(1).Perm(1000)
+
+	binPath := filepath.Join(dir, "col.bin")
+	if err := SaveFile(binPath, vals, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1000 || got[0] != vals[0] {
+		t.Fatal("binary file round trip failed")
+	}
+
+	txtPath := filepath.Join(dir, "col.txt")
+	if err := SaveFile(txtPath, vals, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadFile(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1000 || got[999] != vals[999] {
+		t.Fatal("text file round trip failed")
+	}
+
+	if _, err := LoadFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(empty); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+func TestShortTextFileSniffsAsText(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "tiny.txt")
+	if err := os.WriteFile(p, []byte("7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,293 @@
+// Package column implements the column-store storage substrate that
+// database cracking operates on.
+//
+// A cracker column is a fixed-width dense array of int64 values — the same
+// representation modern column-stores use on disk and in memory — that is
+// physically reorganized in place by the cracking operators. The package
+// provides the three physical reorganization primitives every cracking
+// algorithm in the paper is built from:
+//
+//   - CrackInTwo: Hoare-style partition on one pivot (crack on one bound),
+//   - CrackInThree: single-pass dual-pivot partition (first query on an
+//     uncracked piece, both bounds at once),
+//   - SplitAndMaterialize: the MDD1R primitive of Fig. 5 — partition on a
+//     random pivot while simultaneously collecting the query's qualifying
+//     tuples, and
+//   - PartitionState/StepPartition: a resumable, swap-budgeted partition
+//     used by progressive stochastic cracking (a single crack completed
+//     collaboratively by several queries).
+//
+// A column optionally carries a row-identifier payload that is permuted in
+// tandem with the values, mirroring a column-store's (rowid, value) pairs.
+// All primitives maintain the cost counters the paper reports (tuples
+// touched, swaps performed).
+package column
+
+import "fmt"
+
+// Stats accumulates the physical-cost counters the paper's evaluation
+// reports. Touched counts tuples examined during reorganization or scans;
+// Swaps counts element exchanges.
+type Stats struct {
+	Touched int64
+	Swaps   int64
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { s.Touched, s.Swaps = 0, 0 }
+
+// Column is a cracker column: a dense array of values, optionally paired
+// with row identifiers and/or a second attribute's values permuted in
+// tandem. The Payload column is what sideways cracking ([18], see
+// internal/table) uses: the projected attribute physically travels with
+// the selection attribute, so projection never needs random access.
+type Column struct {
+	Values  []int64
+	RowIDs  []uint32 // nil when row identifiers are not tracked
+	Payload []int64  // nil when no tandem attribute is attached
+	Stats   Stats
+}
+
+// New wraps values in a Column. The slice is owned by the column afterwards
+// and will be reorganized in place.
+func New(values []int64) *Column {
+	return &Column{Values: values}
+}
+
+// NewWithRowIDs wraps values and assigns each tuple its initial position as
+// row identifier, as a column-store load would.
+func NewWithRowIDs(values []int64) *Column {
+	ids := make([]uint32, len(values))
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	return &Column{Values: values, RowIDs: ids}
+}
+
+// Len returns the number of tuples in the column.
+func (c *Column) Len() int { return len(c.Values) }
+
+// Clone returns a deep copy of the column with fresh counters, used by the
+// benchmark harness so every algorithm cracks its own copy of the data.
+func (c *Column) Clone() *Column {
+	cp := &Column{Values: append([]int64(nil), c.Values...)}
+	if c.RowIDs != nil {
+		cp.RowIDs = append([]uint32(nil), c.RowIDs...)
+	}
+	if c.Payload != nil {
+		cp.Payload = append([]int64(nil), c.Payload...)
+	}
+	return cp
+}
+
+// NewWithPayload wraps a selection column and a second attribute whose
+// values are permuted in tandem with it (a sideways cracker map).
+func NewWithPayload(values, payload []int64) *Column {
+	if len(values) != len(payload) {
+		panic("column: payload length mismatch")
+	}
+	return &Column{Values: values, Payload: payload}
+}
+
+func (c *Column) swap(i, j int) {
+	c.Values[i], c.Values[j] = c.Values[j], c.Values[i]
+	if c.RowIDs != nil {
+		c.RowIDs[i], c.RowIDs[j] = c.RowIDs[j], c.RowIDs[i]
+	}
+	if c.Payload != nil {
+		c.Payload[i], c.Payload[j] = c.Payload[j], c.Payload[i]
+	}
+	c.Stats.Swaps++
+}
+
+func (c *Column) checkRange(lo, hi int) {
+	if lo < 0 || hi > len(c.Values) || lo > hi {
+		panic(fmt.Sprintf("column: invalid range [%d,%d) on column of %d tuples", lo, hi, len(c.Values)))
+	}
+}
+
+// CrackInTwo partitions positions [lo, hi) so that all values < pivot
+// precede all values >= pivot, and returns the split position p: after the
+// call, Values[lo:p] < pivot <= Values[p:hi]. It is the physical operation
+// behind a crack (pivot, p).
+func (c *Column) CrackInTwo(lo, hi int, pivot int64) int {
+	c.checkRange(lo, hi)
+	c.Stats.Touched += int64(hi - lo)
+	v := c.Values
+	L, R := lo, hi-1
+	for L <= R {
+		for L <= R && v[L] < pivot {
+			L++
+		}
+		for L <= R && v[R] >= pivot {
+			R--
+		}
+		if L < R {
+			c.swap(L, R)
+			L++
+			R--
+		}
+	}
+	return L
+}
+
+// CrackInThree partitions positions [lo, hi) on two pivots a < b in a
+// single pass so that values < a come first, then values in [a, b), then
+// values >= b. It returns (p1, p2): Values[lo:p1] < a <= Values[p1:p2] < b
+// <= Values[p2:hi]. This is the first-query operation of original cracking
+// (Fig. 1, query Q1) performed in one pass instead of two.
+func (c *Column) CrackInThree(lo, hi int, a, b int64) (p1, p2 int) {
+	c.checkRange(lo, hi)
+	if a > b {
+		panic(fmt.Sprintf("column: CrackInThree with a=%d > b=%d", a, b))
+	}
+	c.Stats.Touched += int64(hi - lo)
+	v := c.Values
+	// Dual-pivot partition: [lo,l) < a, [l,i) in [a,b), [i,r] unseen,
+	// (r,hi) >= b.
+	l, i, r := lo, lo, hi-1
+	for i <= r {
+		switch x := v[i]; {
+		case x < a:
+			if i != l {
+				c.swap(i, l)
+			}
+			l++
+			i++
+		case x >= b:
+			c.swap(i, r)
+			r--
+		default:
+			i++
+		}
+	}
+	return l, r + 1
+}
+
+// Position returns the first index p in [lo, hi) such that all values in
+// [lo, p) are < pivot, assuming [lo, hi) is already partitioned on pivot.
+// It is used in tests to validate crack invariants; O(n).
+func (c *Column) Position(lo, hi int, pivot int64) int {
+	for i := lo; i < hi; i++ {
+		if c.Values[i] >= pivot {
+			return i
+		}
+	}
+	return hi
+}
+
+// SplitAndMaterialize is the MDD1R primitive (Fig. 5): it partitions
+// [lo, hi) on pivot while collecting into out every value in [a, b)
+// encountered along the way, returning the grown slice and the split
+// position. One pass performs both the random crack and the query's result
+// materialization for this piece.
+func (c *Column) SplitAndMaterialize(lo, hi int, pivot, a, b int64, out []int64) ([]int64, int) {
+	c.checkRange(lo, hi)
+	c.Stats.Touched += int64(hi - lo)
+	v := c.Values
+	L, R := lo, hi-1
+	for L <= R {
+		for L <= R && v[L] < pivot {
+			if x := v[L]; a <= x && x < b {
+				out = append(out, x)
+			}
+			L++
+		}
+		for L <= R && v[R] >= pivot {
+			if x := v[R]; a <= x && x < b {
+				out = append(out, x)
+			}
+			R--
+		}
+		if L < R {
+			c.swap(L, R)
+		}
+	}
+	return out, L
+}
+
+// SplitAndMaterializeGE is the specialized end-piece variant used when the
+// query's two bounds fall in different pieces (Fig. 6): in the leftmost
+// intersecting piece every value >= a qualifies (the piece lies entirely
+// below the query's upper bound). It partitions on pivot while collecting
+// values >= a.
+func (c *Column) SplitAndMaterializeGE(lo, hi int, pivot, a int64, out []int64) ([]int64, int) {
+	c.checkRange(lo, hi)
+	c.Stats.Touched += int64(hi - lo)
+	v := c.Values
+	L, R := lo, hi-1
+	for L <= R {
+		for L <= R && v[L] < pivot {
+			if v[L] >= a {
+				out = append(out, v[L])
+			}
+			L++
+		}
+		for L <= R && v[R] >= pivot {
+			if v[R] >= a {
+				out = append(out, v[R])
+			}
+			R--
+		}
+		if L < R {
+			c.swap(L, R)
+		}
+	}
+	return out, L
+}
+
+// SplitAndMaterializeLT is the mirrored end-piece variant: in the rightmost
+// intersecting piece every value < b qualifies. It partitions on pivot
+// while collecting values < b.
+func (c *Column) SplitAndMaterializeLT(lo, hi int, pivot, b int64, out []int64) ([]int64, int) {
+	c.checkRange(lo, hi)
+	c.Stats.Touched += int64(hi - lo)
+	v := c.Values
+	L, R := lo, hi-1
+	for L <= R {
+		for L <= R && v[L] < pivot {
+			if v[L] < b {
+				out = append(out, v[L])
+			}
+			L++
+		}
+		for L <= R && v[R] >= pivot {
+			if v[R] < b {
+				out = append(out, v[R])
+			}
+			R--
+		}
+		if L < R {
+			c.swap(L, R)
+		}
+	}
+	return out, L
+}
+
+// ScanMaterialize appends to out every value in [a, b) found in positions
+// [lo, hi) without reorganizing, as a plain column-store select operator
+// does.
+func (c *Column) ScanMaterialize(lo, hi int, a, b int64, out []int64) []int64 {
+	c.checkRange(lo, hi)
+	c.Stats.Touched += int64(hi - lo)
+	for _, x := range c.Values[lo:hi] {
+		if a <= x && x < b {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// CountRange counts values in [a, b) within positions [lo, hi) without
+// reorganizing or materializing.
+func (c *Column) CountRange(lo, hi int, a, b int64) int {
+	c.checkRange(lo, hi)
+	c.Stats.Touched += int64(hi - lo)
+	n := 0
+	for _, x := range c.Values[lo:hi] {
+		if a <= x && x < b {
+			n++
+		}
+	}
+	return n
+}

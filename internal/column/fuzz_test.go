@@ -1,0 +1,116 @@
+package column
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// decodeVals turns fuzz bytes into a value slice (8 bytes per value).
+func decodeVals(data []byte) []int64 {
+	n := len(data) / 8
+	if n > 4096 {
+		n = 4096
+	}
+	vals := make([]int64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = int64(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return vals
+}
+
+// FuzzCrackInTwo drives the partition primitive with arbitrary data and
+// pivots, asserting the crack invariant and multiset preservation.
+func FuzzCrackInTwo(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0}, int64(5))
+	f.Add([]byte{}, int64(0))
+	f.Fuzz(func(t *testing.T, data []byte, pivot int64) {
+		vals := decodeVals(data)
+		before := multiset(vals, 0, len(vals))
+		c := New(append([]int64(nil), vals...))
+		p := c.CrackInTwo(0, len(vals), pivot)
+		if p < 0 || p > len(vals) {
+			t.Fatalf("split %d out of range", p)
+		}
+		for i := 0; i < p; i++ {
+			if c.Values[i] >= pivot {
+				t.Fatal("left side violates crack")
+			}
+		}
+		for i := p; i < len(vals); i++ {
+			if c.Values[i] < pivot {
+				t.Fatal("right side violates crack")
+			}
+		}
+		if !sameMultiset(before, multiset(c.Values, 0, len(vals))) {
+			t.Fatal("multiset changed")
+		}
+	})
+}
+
+// FuzzCrackInThree mirrors FuzzCrackInTwo for the dual-pivot pass.
+func FuzzCrackInThree(f *testing.F) {
+	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0}, int64(2), int64(6))
+	f.Fuzz(func(t *testing.T, data []byte, a, b int64) {
+		if a > b {
+			a, b = b, a
+		}
+		vals := decodeVals(data)
+		before := multiset(vals, 0, len(vals))
+		c := New(append([]int64(nil), vals...))
+		p1, p2 := c.CrackInThree(0, len(vals), a, b)
+		if p1 < 0 || p2 < p1 || p2 > len(vals) {
+			t.Fatalf("splits (%d,%d) invalid", p1, p2)
+		}
+		for i := 0; i < p1; i++ {
+			if c.Values[i] >= a {
+				t.Fatal("first region violates < a")
+			}
+		}
+		for i := p1; i < p2; i++ {
+			if c.Values[i] < a || c.Values[i] >= b {
+				t.Fatal("middle region violates [a,b)")
+			}
+		}
+		for i := p2; i < len(vals); i++ {
+			if c.Values[i] < b {
+				t.Fatal("last region violates >= b")
+			}
+		}
+		if !sameMultiset(before, multiset(c.Values, 0, len(vals))) {
+			t.Fatal("multiset changed")
+		}
+	})
+}
+
+// FuzzSplitAndMaterialize asserts the fused MDD1R primitive collects
+// exactly the qualifying values while maintaining the partition.
+func FuzzSplitAndMaterialize(f *testing.F) {
+	f.Add([]byte{5, 0, 0, 0, 0, 0, 0, 0}, int64(3), int64(1), int64(8))
+	f.Fuzz(func(t *testing.T, data []byte, pivot, a, b int64) {
+		if a > b {
+			a, b = b, a
+		}
+		vals := decodeVals(data)
+		want := 0
+		for _, v := range vals {
+			if a <= v && v < b {
+				want++
+			}
+		}
+		c := New(append([]int64(nil), vals...))
+		out, p := c.SplitAndMaterialize(0, len(vals), pivot, a, b, nil)
+		if len(out) != want {
+			t.Fatalf("materialized %d, want %d", len(out), want)
+		}
+		for i := 0; i < p; i++ {
+			if c.Values[i] >= pivot {
+				t.Fatal("left side violates crack")
+			}
+		}
+		for i := p; i < len(vals); i++ {
+			if c.Values[i] < pivot {
+				t.Fatal("right side violates crack")
+			}
+		}
+	})
+}

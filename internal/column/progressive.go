@@ -1,0 +1,75 @@
+package column
+
+// PartitionState is a partially completed CrackInTwo over one piece of the
+// column. Progressive stochastic cracking (PMDD1R, §4 of the paper) bounds
+// the number of swaps a single query may perform; the partition is resumed
+// by subsequent queries that touch the same piece until it completes, at
+// which point the crack is finally published to the cracker index.
+//
+// While a partition is in progress the piece holds the same multiset of
+// values (a partial Hoare partition only exchanges elements within the
+// piece), so queries remain answerable by scanning the piece.
+type PartitionState struct {
+	Pivot int64
+	Lo    int // piece start (fixed for the lifetime of the state)
+	Hi    int // piece end, exclusive (fixed for the lifetime of the state)
+	L     int // next unexamined position from the left
+	R     int // next unexamined position from the right (inclusive)
+}
+
+// NewPartitionState starts a partition of [lo, hi) on pivot.
+func NewPartitionState(lo, hi int, pivot int64) *PartitionState {
+	return &PartitionState{Pivot: pivot, Lo: lo, Hi: hi, L: lo, R: hi - 1}
+}
+
+// Done reports whether the partition has fully completed.
+func (ps *PartitionState) Done() bool { return ps.L > ps.R }
+
+// SplitPos returns the final crack position; valid only once Done().
+func (ps *PartitionState) SplitPos() int { return ps.L }
+
+// Remaining returns the number of positions not yet examined.
+func (ps *PartitionState) Remaining() int {
+	if ps.Done() {
+		return 0
+	}
+	return ps.R - ps.L + 1
+}
+
+// StepPartition advances the partition by at most maxSwaps element
+// exchanges (maxSwaps <= 0 means unbounded, completing the partition). It
+// returns true when the partition is complete. Pointer movement between
+// swaps is not budgeted — as in the paper, the restriction is on the number
+// of swaps, the expensive memory operation.
+func (c *Column) StepPartition(ps *PartitionState, maxSwaps int) bool {
+	if ps.Done() {
+		return true
+	}
+	if ps.Lo < 0 || ps.Hi > len(c.Values) {
+		panic("column: partition state out of range")
+	}
+	v := c.Values
+	swaps := 0
+	startL, startR := ps.L, ps.R
+	L, R := ps.L, ps.R
+	for L <= R {
+		for L <= R && v[L] < ps.Pivot {
+			L++
+		}
+		for L <= R && v[R] >= ps.Pivot {
+			R--
+		}
+		if L < R {
+			c.swap(L, R)
+			L++
+			R--
+			swaps++
+			if maxSwaps > 0 && swaps >= maxSwaps {
+				break
+			}
+		}
+	}
+	ps.L, ps.R = L, R
+	c.Stats.Touched += int64(L - startL + startR - R)
+	return ps.Done()
+}

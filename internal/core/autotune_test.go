@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestAutoTuneMatchesOracle(t *testing.T) {
+	vals := xrand.New(40).Perm(6000)
+	testAlgorithmAgainstOracle(t, "autotune", vals, 400)
+}
+
+func TestAutoTuneSwitchesOnSequential(t *testing.T) {
+	const n = 200000
+	const q = 500
+	ix := NewAutoTune(xrand.New(41).Perm(n), Options{Seed: 1})
+	jump := int64(n / q)
+	for i := 0; i < q; i++ {
+		a := int64(i) * jump
+		ix.Query(a, a+10)
+	}
+	if !ix.Stochastic() && ix.Switches() == 0 {
+		t.Fatal("autotune never engaged stochastic mode on the sequential workload")
+	}
+	// It must land within a small factor of pure stochastic cracking.
+	ref := NewMDD1R(xrand.New(41).Perm(n), Options{Seed: 1})
+	for i := 0; i < q; i++ {
+		a := int64(i) * jump
+		ref.Query(a, a+10)
+	}
+	if at, st := ix.Stats().Touched, ref.Stats().Touched; at > st*6 {
+		t.Fatalf("autotune touched %d, mdd1r %d; policy not helping", at, st)
+	}
+	// And far below original cracking.
+	crk := NewCrack(xrand.New(41).Perm(n), Options{Seed: 1})
+	for i := 0; i < q; i++ {
+		a := int64(i) * jump
+		crk.Query(a, a+10)
+	}
+	if at, ct := ix.Stats().Touched, crk.Stats().Touched; at*3 > ct {
+		t.Fatalf("autotune touched %d, crack %d; expected >=3x improvement", at, ct)
+	}
+}
+
+func TestAutoTuneStaysQueryDrivenOnRandom(t *testing.T) {
+	const n = 200000
+	ix := NewAutoTune(xrand.New(42).Perm(n), Options{Seed: 2})
+	rng := xrand.New(43)
+	for i := 0; i < 500; i++ {
+		a := rng.Int63n(n - 10)
+		ix.Query(a, a+10)
+	}
+	if ix.Stochastic() {
+		t.Fatal("autotune stuck in stochastic mode on a random workload")
+	}
+	// Cost must track original cracking closely.
+	crk := NewCrack(xrand.New(42).Perm(n), Options{Seed: 2})
+	rng = xrand.New(43)
+	for i := 0; i < 500; i++ {
+		a := rng.Int63n(n - 10)
+		crk.Query(a, a+10)
+	}
+	if at, ct := ix.Stats().Touched, crk.Stats().Touched; at > ct*2 {
+		t.Fatalf("autotune touched %d on random, crack %d; overhead too high", at, ct)
+	}
+}
+
+func TestAutoTuneRecoversAfterWorkloadShift(t *testing.T) {
+	// Sequential phase engages stochastic mode; a long random phase should
+	// let the EWMA collapse and the policy return to query-driven mode.
+	const n = 300000
+	ix := NewAutoTune(xrand.New(44).Perm(n), Options{Seed: 3})
+	for i := 0; i < 300; i++ {
+		a := int64(i) * int64(n/300)
+		ix.Query(a, a+10)
+	}
+	engaged := ix.Switches() > 0
+	rng := xrand.New(45)
+	for i := 0; i < 500; i++ {
+		a := rng.Int63n(n - 10)
+		ix.Query(a, a+10)
+	}
+	if engaged && ix.Stochastic() {
+		t.Fatal("autotune did not disengage after the workload turned random")
+	}
+}
+
+func TestAutoTuneBuildSpec(t *testing.T) {
+	ix, err := Build(xrand.New(46).Perm(100), "autotune", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Name() != "autotune" {
+		t.Fatalf("name = %q", ix.Name())
+	}
+}

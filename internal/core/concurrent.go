@@ -1,0 +1,51 @@
+package core
+
+import "sync"
+
+// Concurrent makes any Index safe for use from multiple goroutines.
+//
+// Cracking inverts the usual reader/writer economics: every query may
+// physically reorganize the column, so even "reads" are writes and a
+// mutual-exclusion lock is the correct baseline (the paper leaves
+// finer-grained schemes to future work, §6). Because results may reference
+// engine-owned buffers that the next query reuses, Concurrent returns
+// fully materialized copies.
+type Concurrent struct {
+	mu    sync.Mutex
+	inner Index
+}
+
+// NewConcurrent wraps inner; the wrapper assumes exclusive ownership.
+func NewConcurrent(inner Index) *Concurrent {
+	return &Concurrent{inner: inner}
+}
+
+// Query answers [a, b) and returns an owned slice of the qualifying
+// values.
+func (c *Concurrent) Query(a, b int64) []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res := c.inner.Query(a, b)
+	return res.Materialize(make([]int64, 0, res.Count()))
+}
+
+// QueryCount answers [a, b) returning only the qualifying-tuple count and
+// value sum, avoiding the copy when the caller needs just aggregates.
+func (c *Concurrent) QueryCount(a, b int64) (count int, sum int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res := c.inner.Query(a, b)
+	return res.Count(), res.Sum()
+}
+
+// Name identifies the wrapped algorithm.
+func (c *Concurrent) Name() string {
+	return "concurrent(" + c.inner.Name() + ")"
+}
+
+// Stats reports the wrapped index's counters.
+func (c *Concurrent) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Stats()
+}

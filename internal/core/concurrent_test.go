@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestConcurrentQueriesRaceFree(t *testing.T) {
+	const n = 50000
+	vals := xrand.New(30).Perm(n)
+	inner := NewMDD1R(vals, Options{Seed: 13})
+	ix := NewConcurrent(inner)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(100 + g))
+			for i := 0; i < 50; i++ {
+				a := rng.Int63n(n - 200)
+				b := a + 200
+				count, sum := ix.QueryCount(a, b)
+				if count != 200 {
+					errs <- "bad count"
+					return
+				}
+				var want int64
+				for v := a; v < b; v++ {
+					want += v
+				}
+				if sum != want {
+					errs <- "bad sum"
+					return
+				}
+				vals := ix.Query(a, b)
+				if len(vals) != 200 {
+					errs <- "bad materialized length"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if got := ix.Stats().Queries; got != 8*50*2 {
+		t.Fatalf("queries = %d, want %d", got, 8*50*2)
+	}
+	if ix.Name() != "concurrent(mdd1r)" {
+		t.Fatalf("name = %q", ix.Name())
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import "fmt"
+
+// RCrack is the naive robustness strategy of Fig. 12: original cracking,
+// plus one synthetic random range query injected for every X user queries.
+// The injected queries crack the column at random places, independent of
+// query processing — precisely the "afterthought" design the paper shows
+// to be an order of magnitude worse than integrated stochastic cracking.
+type RCrack struct {
+	e *Engine
+	x int64
+	// injected query generation: random ranges of the data's value domain
+	// with the workload's selectivity.
+	domLo, domHi int64
+	selectivity  int64
+}
+
+// NewRCrack builds an RXcrack index: one random query injected before
+// every x user queries (x=1: before every query; x=2: the paper's R2crack,
+// and so on). selectivity is the width of injected ranges in value units;
+// the paper's default workloads use 10.
+func NewRCrack(values []int64, x int, selectivity int64, opt Options) *RCrack {
+	if x < 1 {
+		x = 1
+	}
+	if selectivity < 1 {
+		selectivity = 1
+	}
+	lo, hi := int64(0), int64(0)
+	if len(values) > 0 {
+		lo, hi = values[0], values[0]
+		for _, v := range values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return &RCrack{
+		e:           newEngine(values, opt),
+		x:           int64(x),
+		domLo:       lo,
+		domHi:       hi,
+		selectivity: selectivity,
+	}
+}
+
+// Query answers [a, b) with original cracking, first injecting a random
+// query when due.
+func (r *RCrack) Query(a, b int64) Result {
+	if r.e.queries%r.x == 0 && r.domHi > r.domLo+r.selectivity {
+		ra := r.domLo + r.e.rng.Int63n(r.domHi-r.domLo-r.selectivity)
+		r.e.queryMixed(ra, ra+r.selectivity, neverStochastic)
+		r.e.queries-- // injected queries are overhead, not answered queries
+	}
+	return r.e.queryMixed(a, b, neverStochastic)
+}
+
+// Name implements Index.
+func (r *RCrack) Name() string { return fmt.Sprintf("r%dcrack", r.x) }
+
+// Stats implements Index.
+func (r *RCrack) Stats() Stats { return r.e.stats() }
+
+// Engine exposes the underlying engine.
+func (r *RCrack) Engine() *Engine { return r.e }

@@ -1,0 +1,93 @@
+// Package core implements the adaptive indexing algorithms of the paper:
+// original database cracking, the full-index and scan baselines, the
+// stochastic cracking family (DDC, DDR, DD1C, DD1R, MDD1R), progressive
+// stochastic cracking (PMDD1R), the selective variants (FiftyFifty,
+// FlipCoin, EveryX, ScrackMon, SizeSelective) and the naive random-query
+// injection strategies (RXcrack).
+//
+// All algorithms share one Engine: a cracker column (internal/column) plus
+// a cracker index (internal/cindex) plus a seeded PRNG. Each algorithm is a
+// different policy for how a select operator's range [a, b) reorganizes the
+// column; the policies are small and composable, exactly as the paper
+// presents them (§4: "all our algorithms are proposed as replacements for
+// the original cracking physical reorganization algorithm").
+package core
+
+// Cache-derived defaults, expressed in tuples of 8 bytes. The paper found
+// the L1 cache size to be the best piece-size threshold for recursive
+// stochastic cracking (Fig. 8) and uses the L2 size as the cutoff below
+// which progressive cracking hands over to plain MDD1R.
+const (
+	// DefaultCrackSize is an L1-sized piece threshold: 32 KB / 8 B.
+	DefaultCrackSize = 4096
+	// DefaultProgressiveSize is an L2-sized piece threshold: 256 KB / 8 B.
+	DefaultProgressiveSize = 32768
+	// DefaultSwapPct is the progressive swap budget (P10% in the paper,
+	// its default stochastic cracking strategy for most experiments).
+	DefaultSwapPct = 10
+)
+
+// Options configure an Engine. The zero value selects the paper's defaults.
+type Options struct {
+	// CrackSize is the piece-size threshold (in tuples) below which DDC,
+	// DDR, DD1C and DD1R stop introducing auxiliary cracks, and below
+	// which SizeSelective switches back to original cracking.
+	// Defaults to DefaultCrackSize (≈ L1).
+	CrackSize int
+
+	// ProgressiveSize is the piece-size threshold (in tuples) above which
+	// progressive cracking spreads a crack across queries; at or below it,
+	// full MDD1R takes over. Defaults to DefaultProgressiveSize (≈ L2).
+	ProgressiveSize int
+
+	// SwapPct is the progressive swap budget as a percentage of the piece
+	// size (P1%..P100%). Defaults to DefaultSwapPct. 100 makes PMDD1R
+	// behave exactly like MDD1R.
+	SwapPct int
+
+	// Seed drives every random choice (pivots, coin flips, injected
+	// queries). Two indexes built with the same seed, data and query
+	// sequence behave identically. Defaults to 1.
+	Seed uint64
+
+	// TrackRowIDs attaches a row-identifier payload that is permuted in
+	// tandem with the values, as a column-store's (rowid, value) pairs.
+	TrackRowIDs bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.CrackSize <= 0 {
+		o.CrackSize = DefaultCrackSize
+	}
+	if o.CrackSize < 2 {
+		o.CrackSize = 2
+	}
+	if o.ProgressiveSize <= 0 {
+		o.ProgressiveSize = DefaultProgressiveSize
+	}
+	if o.SwapPct <= 0 {
+		o.SwapPct = DefaultSwapPct
+	}
+	if o.SwapPct > 100 {
+		o.SwapPct = 100
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Stats reports the cumulative physical cost of an index since creation.
+type Stats struct {
+	// Queries answered so far.
+	Queries int64
+	// Touched is the number of tuples examined by reorganizations and
+	// scans — the cost metric of the paper's Fig. 2(e).
+	Touched int64
+	// Swaps is the number of element exchanges performed.
+	Swaps int64
+	// Cracks is the number of cracks in the cracker index.
+	Cracks int
+	// Pieces is Cracks+1: the number of column pieces.
+	Pieces int
+}

@@ -1,0 +1,101 @@
+package core
+
+import "repro/internal/column"
+
+// Result is the outcome of a range query [a, b).
+//
+// Following the paper's column-store contract, a result is the
+// concatenation of (left materialized values ‖ a contiguous view into the
+// cracker column ‖ right materialized values). Algorithms that collect all
+// qualifying tuples contiguously (Crack, Sort, DDC/DDR/DD1C/DD1R) return a
+// pure view; Scan returns a fully materialized result; MDD1R and the
+// progressive/selective variants materialize only the end pieces and
+// return the middle as a view (Fig. 6).
+//
+// Materialized parts may reference buffers owned by the index and reused
+// across queries: a Result is valid until the next Query on the same
+// index. Use Materialize to copy it out.
+type Result struct {
+	col    *column.Column
+	lo, hi int // view range; empty when lo >= hi
+	left   []int64
+	right  []int64
+}
+
+// Count returns the number of qualifying tuples.
+func (r Result) Count() int {
+	n := len(r.left) + len(r.right)
+	if r.hi > r.lo {
+		n += r.hi - r.lo
+	}
+	return n
+}
+
+// ViewLen returns the number of tuples returned as a non-materialized view
+// into the cracker column (0 for fully materialized results).
+func (r Result) ViewLen() int {
+	if r.hi > r.lo {
+		return r.hi - r.lo
+	}
+	return 0
+}
+
+// ViewLo returns the start position of the view part within the cracker
+// column (meaningful only when ViewLen > 0).
+func (r Result) ViewLo() int { return r.lo }
+
+// ViewHi returns the end position (exclusive) of the view part within the
+// cracker column (meaningful only when ViewLen > 0).
+func (r Result) ViewHi() int { return r.hi }
+
+// Sum returns the sum of all qualifying values; together with Count it is
+// the checksum the test-suite validates against the oracle.
+func (r Result) Sum() int64 {
+	var s int64
+	for _, v := range r.left {
+		s += v
+	}
+	if r.hi > r.lo {
+		for _, v := range r.col.Values[r.lo:r.hi] {
+			s += v
+		}
+	}
+	for _, v := range r.right {
+		s += v
+	}
+	return s
+}
+
+// ForEach calls fn for every qualifying value, in storage order (left
+// materialized, view, right materialized).
+func (r Result) ForEach(fn func(v int64)) {
+	for _, v := range r.left {
+		fn(v)
+	}
+	if r.hi > r.lo {
+		for _, v := range r.col.Values[r.lo:r.hi] {
+			fn(v)
+		}
+	}
+	for _, v := range r.right {
+		fn(v)
+	}
+}
+
+// Materialize appends all qualifying values to dst and returns it. The
+// returned slice is independent of the index's internal buffers.
+func (r Result) Materialize(dst []int64) []int64 {
+	dst = append(dst, r.left...)
+	if r.hi > r.lo {
+		dst = append(dst, r.col.Values[r.lo:r.hi]...)
+	}
+	dst = append(dst, r.right...)
+	return dst
+}
+
+// NewMaterializedResult wraps an owned, fully materialized slice of
+// qualifying values as a Result. Used by composite indexes (e.g. the
+// partition/merge hybrids) whose results span non-contiguous storage.
+func NewMaterializedResult(vals []int64) Result {
+	return Result{left: vals}
+}

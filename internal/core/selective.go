@@ -1,0 +1,154 @@
+package core
+
+import "fmt"
+
+// Selective stochastic cracking (§4, "Selective Stochastic Cracking"):
+// eschew the stochastic action for some queries or pieces and fall back to
+// original query-driven cracking there. The paper evaluates five policies:
+//
+//   - FiftyFifty: stochastic cracking every other query (deterministic);
+//   - EveryX: stochastic cracking every X-th query (Fig. 18's sweep);
+//   - FlipCoin: stochastic cracking with probability 1/2 per query;
+//   - ScrackMon: per-piece crack counters; a piece is cracked
+//     stochastically only on every X-th access (Fig. 19's sweep);
+//   - SizeSelective: stochastic only while the piece exceeds CrackSize.
+//
+// All of them build on MDD1R for the stochastic action, as in Fig. 17-19.
+
+// EveryX applies stochastic cracking (MDD1R) on one query out of every X,
+// answering the remaining queries with original cracking. X=1 is
+// continuous stochastic cracking (plain MDD1R); X=2 is the paper's
+// FiftyFifty.
+type EveryX struct {
+	e *Engine
+	x int64
+}
+
+// NewEveryX builds a periodic selective index; x must be >= 1.
+func NewEveryX(values []int64, x int, opt Options) *EveryX {
+	if x < 1 {
+		x = 1
+	}
+	return &EveryX{e: newEngine(values, opt), x: int64(x)}
+}
+
+// NewFiftyFifty is the paper's FiftyFifty: EveryX with X=2.
+func NewFiftyFifty(values []int64, opt Options) *EveryX {
+	return NewEveryX(values, 2, opt)
+}
+
+// Query implements Index.
+func (s *EveryX) Query(a, b int64) Result {
+	stochastic := s.e.queries%s.x == 0
+	return s.e.queryMixed(a, b, func(_, _ int, _ int64) bool { return stochastic })
+}
+
+// Name implements Index.
+func (s *EveryX) Name() string {
+	if s.x == 2 {
+		return "fiftyfifty"
+	}
+	return fmt.Sprintf("every-%d", s.x)
+}
+
+// Stats implements Index.
+func (s *EveryX) Stats() Stats { return s.e.stats() }
+
+// Engine exposes the underlying engine.
+func (s *EveryX) Engine() *Engine { return s.e }
+
+// FlipCoin decides per query, with probability 1/2, whether to apply
+// stochastic cracking or original cracking, avoiding the deterministic bad
+// access patterns FiftyFifty is vulnerable to.
+type FlipCoin struct {
+	e *Engine
+}
+
+// NewFlipCoin builds a coin-flipping selective index.
+func NewFlipCoin(values []int64, opt Options) *FlipCoin {
+	return &FlipCoin{e: newEngine(values, opt)}
+}
+
+// Query implements Index.
+func (s *FlipCoin) Query(a, b int64) Result {
+	stochastic := s.e.rng.Bool()
+	return s.e.queryMixed(a, b, func(_, _ int, _ int64) bool { return stochastic })
+}
+
+// Name implements Index.
+func (s *FlipCoin) Name() string { return "flipcoin" }
+
+// Stats implements Index.
+func (s *FlipCoin) Stats() Stats { return s.e.stats() }
+
+// Engine exposes the underlying engine.
+func (s *FlipCoin) Engine() *Engine { return s.e }
+
+// ScrackMon monitors accesses per piece: each piece carries a crack
+// counter (inherited on splits); once a piece's counter reaches X it is
+// cracked stochastically and the counter resets. X=1 degenerates to
+// continuous stochastic cracking applied piece-wise.
+type ScrackMon struct {
+	e *Engine
+	x int64
+}
+
+// NewScrackMon builds a monitoring selective index with threshold x >= 1.
+func NewScrackMon(values []int64, x int, opt Options) *ScrackMon {
+	if x < 1 {
+		x = 1
+	}
+	return &ScrackMon{e: newEngine(values, opt), x: int64(x)}
+}
+
+// Query implements Index.
+func (s *ScrackMon) Query(a, b int64) Result {
+	return s.e.queryMixed(a, b, func(_, _ int, v int64) bool {
+		cnt := s.e.idx.CounterFor(v)
+		*cnt++
+		if *cnt >= s.x {
+			*cnt = 0
+			return true
+		}
+		return false
+	})
+}
+
+// Name implements Index.
+func (s *ScrackMon) Name() string { return fmt.Sprintf("scrackmon-%d", s.x) }
+
+// Stats implements Index.
+func (s *ScrackMon) Stats() Stats { return s.e.stats() }
+
+// Engine exposes the underlying engine.
+func (s *ScrackMon) Engine() *Engine { return s.e }
+
+// SizeSelective applies stochastic cracking only to pieces larger than
+// CrackSize, resorting to original cracking inside the cache where
+// cracking costs are minimal. The paper found this 2-3x slower than pure
+// stochastic cracking on all but the Random workload; it is included for
+// the ablation benchmarks.
+type SizeSelective struct {
+	e *Engine
+}
+
+// NewSizeSelective builds a size-thresholded selective index.
+func NewSizeSelective(values []int64, opt Options) *SizeSelective {
+	return &SizeSelective{e: newEngine(values, opt)}
+}
+
+// Query implements Index.
+func (s *SizeSelective) Query(a, b int64) Result {
+	return s.e.queryMixed(a, b, func(lo, hi int, _ int64) bool {
+		return hi-lo > s.e.opt.CrackSize
+	})
+}
+
+// Name implements Index.
+func (s *SizeSelective) Name() string { return "sizeselective" }
+
+// Stats implements Index.
+func (s *SizeSelective) Stats() Stats { return s.e.stats() }
+
+// Engine exposes the underlying engine.
+func (s *SizeSelective) Engine() *Engine { return s.e }

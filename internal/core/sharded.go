@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sharded is a parallel cracking index: the column is value-range
+// partitioned into k shards, each an independent engine-backed index, and
+// queries fan out to the shards their range intersects, cracking them
+// concurrently. It addresses the paper's §6 "distribution" direction at
+// the scale of one process: cracking is embarrassingly parallel across
+// disjoint value ranges because all physical reorganization stays inside
+// a shard.
+//
+// Shard boundaries are chosen by sampling so each shard holds roughly the
+// same number of tuples. Results are returned materialized (shards are
+// not contiguous with one another).
+type Sharded struct {
+	shards []shard
+	spec   string
+	mu     sync.Mutex // guards queries counter only; shards self-synchronize
+	q      int64
+}
+
+type shard struct {
+	lo, hi int64 // value range [lo, hi) this shard owns
+	ix     Index
+	mu     *sync.Mutex
+}
+
+// NewSharded builds a sharded index: values are split into k value-range
+// shards, each indexed independently with the given algorithm spec.
+func NewSharded(values []int64, spec string, k int, opt Options) (*Sharded, error) {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(values) && len(values) > 0 {
+		k = len(values)
+	}
+	bounds := shardBounds(values, k, opt.Seed)
+	buckets := make([][]int64, len(bounds)+1)
+	for _, v := range values {
+		buckets[bucketOf(bounds, v)] = append(buckets[bucketOf(bounds, v)], v)
+	}
+	s := &Sharded{spec: spec}
+	lo := int64(minVal)
+	for i, b := range buckets {
+		hi := int64(maxVal)
+		if i < len(bounds) {
+			hi = bounds[i]
+		}
+		ix, err := Build(b, spec, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: sharded: %w", err)
+		}
+		s.shards = append(s.shards, shard{lo: lo, hi: hi, ix: ix, mu: &sync.Mutex{}})
+		lo = hi
+	}
+	return s, nil
+}
+
+// shardBounds picks k-1 splitting values by sampling and sorting.
+func shardBounds(values []int64, k int, seed uint64) []int64 {
+	if k <= 1 || len(values) == 0 {
+		return nil
+	}
+	// Deterministic sample: stride over the unsorted input. The input is
+	// workload data, typically a shuffle, so strided sampling is unbiased;
+	// worst case we get uneven shards, never wrong results.
+	const perShard = 32
+	sampleSize := k * perShard
+	if sampleSize > len(values) {
+		sampleSize = len(values)
+	}
+	stride := len(values) / sampleSize
+	if stride < 1 {
+		stride = 1
+	}
+	sample := make([]int64, 0, sampleSize)
+	for i := 0; i < len(values) && len(sample) < sampleSize; i += stride {
+		sample = append(sample, values[i])
+	}
+	insertionSort(sample)
+	bounds := make([]int64, 0, k-1)
+	for i := 1; i < k; i++ {
+		b := sample[i*len(sample)/k]
+		if len(bounds) == 0 || b > bounds[len(bounds)-1] {
+			bounds = append(bounds, b)
+		}
+	}
+	_ = seed
+	return bounds
+}
+
+func insertionSort(v []int64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func bucketOf(bounds []int64, v int64) int {
+	// Linear scan: bounds is small (k-1) and this is load-time only.
+	for i, b := range bounds {
+		if v < b {
+			return i
+		}
+	}
+	return len(bounds)
+}
+
+// Name implements Index.
+func (s *Sharded) Name() string {
+	return fmt.Sprintf("sharded-%d(%s)", len(s.shards), s.spec)
+}
+
+// Stats aggregates across shards.
+func (s *Sharded) Stats() Stats {
+	s.mu.Lock()
+	q := s.q
+	s.mu.Unlock()
+	agg := Stats{Queries: q}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st := sh.ix.Stats()
+		sh.mu.Unlock()
+		agg.Touched += st.Touched
+		agg.Swaps += st.Swaps
+		agg.Cracks += st.Cracks
+		agg.Pieces += st.Pieces
+	}
+	return agg
+}
+
+// Query answers [a, b), cracking intersected shards in parallel, and
+// returns the qualifying values as one owned slice. Sharded is safe for
+// concurrent use: disjoint shards crack independently; per-shard locks
+// serialize same-shard access.
+func (s *Sharded) Query(a, b int64) []int64 {
+	s.mu.Lock()
+	s.q++
+	s.mu.Unlock()
+	if a >= b {
+		return nil
+	}
+	type part struct {
+		idx  int
+		vals []int64
+	}
+	var (
+		wg      sync.WaitGroup
+		results = make([][]int64, len(s.shards))
+	)
+	touched := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if sh.hi <= a || sh.lo >= b {
+			continue
+		}
+		touched++
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			sh.mu.Lock()
+			res := sh.ix.Query(a, b)
+			out := res.Materialize(make([]int64, 0, res.Count()))
+			sh.mu.Unlock()
+			results[i] = out
+		}(i, sh)
+	}
+	wg.Wait()
+	var total int
+	for _, r := range results {
+		total += len(r)
+	}
+	out := make([]int64, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// NumShards returns the number of shards.
+func (s *Sharded) NumShards() int { return len(s.shards) }

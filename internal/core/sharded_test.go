@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestShardedMatchesOracle(t *testing.T) {
+	const n = 50000
+	vals := xrand.New(60).Perm(n)
+	for _, k := range []int{1, 2, 7, 16} {
+		s, err := NewSharded(append([]int64(nil), vals...), "dd1r", k, Options{Seed: 61})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := xrand.New(62)
+		for i := 0; i < 200; i++ {
+			a := rng.Int63n(n)
+			b := a + rng.Int63n(n/4) + 1
+			got := s.Query(a, b)
+			wantCount := 0
+			var wantSum, gotSum int64
+			for _, v := range vals {
+				if a <= v && v < b {
+					wantCount++
+					wantSum += v
+				}
+			}
+			for _, v := range got {
+				gotSum += v
+			}
+			if len(got) != wantCount || gotSum != wantSum {
+				t.Fatalf("k=%d query [%d,%d): got (%d,%d), want (%d,%d)",
+					k, a, b, len(got), gotSum, wantCount, wantSum)
+			}
+		}
+	}
+}
+
+func TestShardedConcurrentQueries(t *testing.T) {
+	const n = 100000
+	s, err := NewSharded(xrand.New(63).Perm(n), "mdd1r", 8, Options{Seed: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(200 + g))
+			for i := 0; i < 40; i++ {
+				a := rng.Int63n(n - 500)
+				got := s.Query(a, a+500)
+				if len(got) != 500 {
+					errs <- "bad count"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if s.Stats().Queries != 16*40 {
+		t.Fatalf("queries = %d", s.Stats().Queries)
+	}
+}
+
+func TestShardedBalancedShards(t *testing.T) {
+	const n = 64000
+	s, err := NewSharded(xrand.New(65).Perm(n), "crack", 8, Options{Seed: 66})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() != 8 {
+		t.Fatalf("shards = %d", s.NumShards())
+	}
+	// Each shard should hold a reasonable share: between 1/4x and 4x the
+	// even split, given sampling-based bounds.
+	for i := range s.shards {
+		sh := &s.shards[i]
+		acc, ok := sh.ix.(interface{ Engine() *Engine })
+		if !ok {
+			t.Fatal("shard not engine-backed")
+		}
+		size := acc.Engine().Column().Len()
+		if size < n/8/4 || size > n/8*4 {
+			t.Fatalf("shard %d holds %d tuples; even split is %d", i, size, n/8)
+		}
+	}
+}
+
+func TestShardedNarrowQueriesTouchOneShard(t *testing.T) {
+	const n = 80000
+	s, err := NewSharded(xrand.New(67).Perm(n), "crack", 8, Options{Seed: 68})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm every shard with one wide query.
+	s.Query(0, n)
+	before := s.Stats().Touched
+	// A narrow query intersects one shard; the work must be bounded by
+	// that shard's size, not the column's.
+	s.Query(100, 110)
+	if d := s.Stats().Touched - before; d > int64(n)/4 {
+		t.Fatalf("narrow query touched %d tuples across shards", d)
+	}
+}
+
+func TestShardedDegenerate(t *testing.T) {
+	s, err := NewSharded(nil, "crack", 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Query(0, 100); len(got) != 0 {
+		t.Fatal("empty sharded index returned rows")
+	}
+	s2, err := NewSharded([]int64{5, 5, 5, 5}, "dd1r", 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Query(0, 10); len(got) != 4 {
+		t.Fatalf("all-equal column: got %d rows", len(got))
+	}
+	if got := s2.Query(10, 0); len(got) != 0 {
+		t.Fatal("inverted range returned rows")
+	}
+	if _, err := NewSharded([]int64{1}, "bogus", 2, Options{}); err == nil {
+		t.Fatal("bogus spec accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import "fmt"
+
+// CrackEntry is one crack of a snapshot: all values before Pos are < Key,
+// all values from Pos on are >= Key.
+type CrackEntry struct {
+	Key int64
+	Pos int
+}
+
+// SnapshotState captures the physical state of an engine-backed index:
+// the (cracked) column contents and the crack set. It is the unit the
+// snapshot package serializes; restoring it yields an index that resumes
+// with all adaptation earned so far (the paper's §6 "disk-based
+// processing" direction needs exactly this ability to persist cracker
+// state).
+type SnapshotState struct {
+	Values []int64
+	RowIDs []uint32 // nil when row ids were not tracked
+	Cracks []CrackEntry
+}
+
+// Snapshot captures the engine's current physical state. The returned
+// slices are copies; the engine can keep cracking afterwards.
+func (e *Engine) Snapshot() SnapshotState {
+	st := SnapshotState{
+		Values: append([]int64(nil), e.col.Values...),
+	}
+	if e.col.RowIDs != nil {
+		st.RowIDs = append([]uint32(nil), e.col.RowIDs...)
+	}
+	e.idx.Ascend(func(key int64, pos int) bool {
+		st.Cracks = append(st.Cracks, CrackEntry{Key: key, Pos: pos})
+		return true
+	})
+	return st
+}
+
+// Validate checks the snapshot's internal consistency: crack keys strictly
+// ascending, positions monotone and in range, and every crack's partition
+// invariant holding over the values (one O(n + k) pass).
+func (st SnapshotState) Validate() error {
+	n := len(st.Values)
+	if st.RowIDs != nil && len(st.RowIDs) != n {
+		return fmt.Errorf("core: snapshot has %d row ids for %d values", len(st.RowIDs), n)
+	}
+	prevKey := int64(0)
+	prevPos := 0
+	for i, c := range st.Cracks {
+		if i > 0 && c.Key <= prevKey {
+			return fmt.Errorf("core: snapshot cracks not strictly ascending at %d (key %d after %d)", i, c.Key, prevKey)
+		}
+		if c.Pos < prevPos || c.Pos > n {
+			return fmt.Errorf("core: snapshot crack %d has position %d (prev %d, n %d)", i, c.Pos, prevPos, n)
+		}
+		prevKey, prevPos = c.Key, c.Pos
+	}
+	ci := 0
+	for i, v := range st.Values {
+		for ci < len(st.Cracks) && st.Cracks[ci].Pos <= i {
+			ci++
+		}
+		if ci > 0 && v < st.Cracks[ci-1].Key {
+			return fmt.Errorf("core: value %d at position %d violates crack (%d,%d)",
+				v, i, st.Cracks[ci-1].Key, st.Cracks[ci-1].Pos)
+		}
+		if ci < len(st.Cracks) && v >= st.Cracks[ci].Key {
+			return fmt.Errorf("core: value %d at position %d violates crack (%d,%d)",
+				v, i, st.Cracks[ci].Key, st.Cracks[ci].Pos)
+		}
+	}
+	return nil
+}
+
+// Restore rebuilds an index from a snapshot. The snapshot is validated
+// first; the returned index resumes with the snapshot's cracks in place.
+// spec selects the algorithm that continues the cracking (it need not be
+// the one that produced the snapshot — crack state is algorithm-agnostic).
+func Restore(st SnapshotState, spec string, opt Options) (Index, error) {
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	ix, err := Build(append([]int64(nil), st.Values...), spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	acc, ok := ix.(interface{ Engine() *Engine })
+	if !ok {
+		return nil, fmt.Errorf("core: %q cannot restore snapshots (no engine)", spec)
+	}
+	e := acc.Engine()
+	if st.RowIDs != nil {
+		e.col.RowIDs = append([]uint32(nil), st.RowIDs...)
+	}
+	for _, c := range st.Cracks {
+		e.idx.Insert(c.Key, c.Pos)
+	}
+	return ix, nil
+}

@@ -1,0 +1,188 @@
+package hybrids
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func oracleQuery(vals []int64, a, b int64) (int, int64) {
+	count := 0
+	var sum int64
+	for _, v := range vals {
+		if a <= v && v < b {
+			count++
+			sum += v
+		}
+	}
+	return count, sum
+}
+
+func TestHybridsMatchOracle(t *testing.T) {
+	const n = 20000
+	vals := xrand.New(1).Perm(n)
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			h, err := Build(append([]int64(nil), vals...), spec,
+				Options{NumPartitions: 7, Seed: 3, CrackSize: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := xrand.New(5)
+			for i := 0; i < 400; i++ {
+				var a, b int64
+				switch i % 4 {
+				case 0:
+					a = rng.Int63n(n - 50)
+					b = a + 50
+				case 1: // sequential
+					a = (int64(i) * 37) % (n - 100)
+					b = a + 100
+				case 2: // overlapping previously merged ranges
+					a = rng.Int63n(n / 2)
+					b = a + n/4
+				default: // repeats
+					a, b = 5000, 5500
+				}
+				res := h.Query(a, b)
+				wc, ws := oracleQuery(vals, a, b)
+				if res.Count() != wc || res.Sum() != ws {
+					t.Fatalf("%s query %d [%d,%d): got (%d,%d), want (%d,%d)",
+						spec, i, a, b, res.Count(), res.Sum(), wc, ws)
+				}
+			}
+		})
+	}
+}
+
+func TestHybridsWithDuplicates(t *testing.T) {
+	rng := xrand.New(2)
+	vals := make([]int64, 8000)
+	for i := range vals {
+		vals[i] = rng.Int63n(200)
+	}
+	for _, spec := range Specs() {
+		h, err := Build(append([]int64(nil), vals...), spec, Options{NumPartitions: 4, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			a := rng.Int63n(190)
+			b := a + rng.Int63n(20) + 1
+			res := h.Query(a, b)
+			wc, ws := oracleQuery(vals, a, b)
+			if res.Count() != wc || res.Sum() != ws {
+				t.Fatalf("%s dup query %d [%d,%d): got (%d,%d), want (%d,%d)",
+					spec, i, a, b, res.Count(), res.Sum(), wc, ws)
+			}
+		}
+	}
+}
+
+func TestMergeHappensOnce(t *testing.T) {
+	const n = 10000
+	h := New(xrand.New(3).Perm(n), CrackSort, false, Options{NumPartitions: 4, Seed: 1})
+	h.Query(1000, 2000)
+	if h.Runs() != 1 {
+		t.Fatalf("runs = %d after first query, want 1", h.Runs())
+	}
+	touched := h.Stats().Touched
+	// Re-querying a merged range must not touch the source partitions.
+	h.Query(1200, 1800)
+	if h.Runs() != 1 {
+		t.Fatalf("re-query created a run: %d", h.Runs())
+	}
+	delta := h.Stats().Touched - touched
+	if delta > 200 {
+		t.Fatalf("re-query of merged range touched %d tuples; want only final-store access", delta)
+	}
+	// A partially overlapping query merges only the missing sub-range.
+	h.Query(1500, 2500)
+	if h.Runs() != 2 {
+		t.Fatalf("runs = %d after partial overlap, want 2", h.Runs())
+	}
+}
+
+func TestStochasticHybridsBeatPlainOnSequential(t *testing.T) {
+	// Fig. 14's claim: AICC/AICS inherit the query-driven pathology on the
+	// sequential workload; AICC1R/AICS1R escape it.
+	const n = 200000
+	const q = 400
+	vals := xrand.New(4).Perm(n)
+	jump := int64(n / q)
+	run := func(spec string) int64 {
+		h, err := Build(append([]int64(nil), vals...), spec,
+			Options{NumPartitions: 8, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < q; i++ {
+			a := int64(i) * jump
+			h.Query(a, a+10)
+		}
+		return h.Stats().Touched
+	}
+	plainCC, stochCC := run("aicc"), run("aicc1r")
+	plainCS, stochCS := run("aics"), run("aics1r")
+	if stochCC*3 > plainCC {
+		t.Errorf("aicc1r touched %d, aicc %d; expected >=3x improvement", stochCC, plainCC)
+	}
+	if stochCS*3 > plainCS {
+		t.Errorf("aics1r touched %d, aics %d; expected >=3x improvement", stochCS, plainCS)
+	}
+}
+
+func TestHybridEmptyAndDegenerate(t *testing.T) {
+	for _, spec := range Specs() {
+		h, err := Build(nil, spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := h.Query(0, 100); res.Count() != 0 {
+			t.Fatalf("%s: empty column returned %d tuples", spec, res.Count())
+		}
+		h2, _ := Build([]int64{5}, spec, Options{})
+		if res := h2.Query(0, 10); res.Count() != 1 || res.Sum() != 5 {
+			t.Fatalf("%s: single-value column wrong", spec)
+		}
+		if res := h2.Query(10, 0); res.Count() != 0 {
+			t.Fatalf("%s: inverted range returned tuples", spec)
+		}
+	}
+}
+
+func TestBuildUnknownSpec(t *testing.T) {
+	if _, err := Build([]int64{1}, "aixx", Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := map[string]string{"aicc": "aicc", "aics": "aics", "aicc1r": "aicc1r", "aics1r": "aics1r"}
+	for spec, name := range want {
+		h, err := Build([]int64{1, 2, 3, 4}, spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Name() != name {
+			t.Fatalf("Name() = %q, want %q", h.Name(), name)
+		}
+	}
+}
+
+func TestPartitionCountDefaults(t *testing.T) {
+	o := Options{}.withDefaults(100)
+	if o.NumPartitions != 2 {
+		t.Fatalf("small column partitions = %d, want 2", o.NumPartitions)
+	}
+	o = Options{}.withDefaults(5 << 20)
+	if o.NumPartitions != 5 {
+		t.Fatalf("5M column partitions = %d, want 5", o.NumPartitions)
+	}
+	o = Options{NumPartitions: 64}.withDefaults(16)
+	if o.NumPartitions != 16 {
+		t.Fatalf("partitions not clamped to column size: %d", o.NumPartitions)
+	}
+}

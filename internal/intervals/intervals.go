@@ -1,0 +1,91 @@
+// Package intervals implements a set of disjoint half-open int64 intervals
+// with union and complement-within-a-range queries. The adaptive indexing
+// hybrids (internal/hybrids) use it to track which value ranges have
+// already been merged out of the source partitions into the final store.
+package intervals
+
+import "sort"
+
+type iv struct{ lo, hi int64 }
+
+// Set is a set of values represented as sorted, disjoint, non-adjacent
+// half-open intervals. The zero value is an empty set.
+type Set struct {
+	ivs []iv
+}
+
+// Len returns the number of disjoint intervals in the set.
+func (s *Set) Len() int { return len(s.ivs) }
+
+// Total returns the total number of values covered.
+func (s *Set) Total() int64 {
+	var t int64
+	for _, v := range s.ivs {
+		t += v.hi - v.lo
+	}
+	return t
+}
+
+// Add unions [lo, hi) into the set. Empty or inverted ranges are ignored.
+func (s *Set) Add(lo, hi int64) {
+	if lo >= hi {
+		return
+	}
+	// Find the first interval ending at or after lo (a candidate for
+	// merging; adjacency counts as overlap since intervals are half-open).
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].hi >= lo })
+	j := i
+	for j < len(s.ivs) && s.ivs[j].lo <= hi {
+		if s.ivs[j].lo < lo {
+			lo = s.ivs[j].lo
+		}
+		if s.ivs[j].hi > hi {
+			hi = s.ivs[j].hi
+		}
+		j++
+	}
+	merged := iv{lo, hi}
+	out := append(s.ivs[:i:i], merged)
+	s.ivs = append(out, s.ivs[j:]...)
+}
+
+// Covered reports whether every value of [lo, hi) is in the set.
+func (s *Set) Covered(lo, hi int64) bool {
+	if lo >= hi {
+		return true
+	}
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].hi > lo })
+	return i < len(s.ivs) && s.ivs[i].lo <= lo && hi <= s.ivs[i].hi
+}
+
+// Missing returns the sub-ranges of [lo, hi) not present in the set, in
+// increasing order.
+func (s *Set) Missing(lo, hi int64) [][2]int64 {
+	if lo >= hi {
+		return nil
+	}
+	var out [][2]int64
+	cur := lo
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].hi > lo })
+	for ; i < len(s.ivs) && s.ivs[i].lo < hi; i++ {
+		if s.ivs[i].lo > cur {
+			out = append(out, [2]int64{cur, s.ivs[i].lo})
+		}
+		if s.ivs[i].hi > cur {
+			cur = s.ivs[i].hi
+		}
+	}
+	if cur < hi {
+		out = append(out, [2]int64{cur, hi})
+	}
+	return out
+}
+
+// Each calls fn for every interval in increasing order.
+func (s *Set) Each(fn func(lo, hi int64) bool) {
+	for _, v := range s.ivs {
+		if !fn(v.lo, v.hi) {
+			return
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package intervals
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// refSet is a brute-force boolean-array reference over a small domain.
+type refSet struct {
+	in []bool
+}
+
+func newRef(n int) *refSet { return &refSet{in: make([]bool, n)} }
+
+func (r *refSet) add(lo, hi int64) {
+	for i := max64(lo, 0); i < min64(hi, int64(len(r.in))); i++ {
+		r.in[i] = true
+	}
+}
+
+func (r *refSet) covered(lo, hi int64) bool {
+	for i := lo; i < hi; i++ {
+		if i < 0 || i >= int64(len(r.in)) || !r.in[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *refSet) missing(lo, hi int64) [][2]int64 {
+	var out [][2]int64
+	i := lo
+	for i < hi {
+		if i >= 0 && i < int64(len(r.in)) && r.in[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < hi && !(j >= 0 && j < int64(len(r.in)) && r.in[j]) {
+			j++
+		}
+		out = append(out, [2]int64{i, j})
+		i = j
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestAddAndCoveredBasics(t *testing.T) {
+	var s Set
+	s.Add(10, 20)
+	s.Add(30, 40)
+	if !s.Covered(10, 20) || !s.Covered(12, 18) || s.Covered(10, 21) || s.Covered(25, 26) {
+		t.Fatal("basic coverage wrong")
+	}
+	if s.Len() != 2 || s.Total() != 20 {
+		t.Fatalf("len=%d total=%d", s.Len(), s.Total())
+	}
+	// Bridge the gap.
+	s.Add(20, 30)
+	if s.Len() != 1 || !s.Covered(10, 40) {
+		t.Fatalf("merge across adjacency failed: len=%d", s.Len())
+	}
+}
+
+func TestAddOverlapVariants(t *testing.T) {
+	cases := []struct {
+		adds  [][2]int64
+		len   int
+		total int64
+	}{
+		{[][2]int64{{0, 10}, {5, 15}}, 1, 15},              // right overlap
+		{[][2]int64{{5, 15}, {0, 10}}, 1, 15},              // left overlap
+		{[][2]int64{{0, 10}, {2, 8}}, 1, 10},               // contained
+		{[][2]int64{{2, 8}, {0, 10}}, 1, 10},               // containing
+		{[][2]int64{{0, 5}, {10, 15}, {4, 11}}, 1, 15},     // spanning two
+		{[][2]int64{{0, 5}, {5, 10}}, 1, 10},               // adjacent
+		{[][2]int64{{0, 5}, {6, 10}}, 2, 9},                // gap of one
+		{[][2]int64{{3, 3}, {5, 4}}, 0, 0},                 // empty/inverted
+		{[][2]int64{{0, 1}, {2, 3}, {4, 5}, {0, 5}}, 1, 5}, // swallow all
+	}
+	for i, c := range cases {
+		var s Set
+		for _, a := range c.adds {
+			s.Add(a[0], a[1])
+		}
+		if s.Len() != c.len || s.Total() != c.total {
+			t.Errorf("case %d: len=%d total=%d, want %d/%d", i, s.Len(), s.Total(), c.len, c.total)
+		}
+	}
+}
+
+func TestMissing(t *testing.T) {
+	var s Set
+	s.Add(10, 20)
+	s.Add(30, 40)
+	got := s.Missing(5, 45)
+	want := [][2]int64{{5, 10}, {20, 30}, {40, 45}}
+	if len(got) != len(want) {
+		t.Fatalf("missing = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("missing = %v, want %v", got, want)
+		}
+	}
+	if m := s.Missing(12, 18); m != nil {
+		t.Fatalf("missing inside covered = %v", m)
+	}
+	if m := s.Missing(18, 18); m != nil {
+		t.Fatalf("missing of empty range = %v", m)
+	}
+}
+
+func TestAgainstReference(t *testing.T) {
+	f := func(ops [][2]uint8, qlo, qhi uint8) bool {
+		const n = 256
+		var s Set
+		ref := newRef(n)
+		for _, op := range ops {
+			lo, hi := int64(op[0]), int64(op[1])
+			s.Add(lo, hi)
+			ref.add(lo, hi)
+		}
+		lo, hi := int64(qlo), int64(qhi)
+		if s.Covered(lo, hi) != ref.covered(lo, hi) {
+			return false
+		}
+		gm := s.Missing(lo, hi)
+		rm := ref.missing(lo, hi)
+		if len(gm) != len(rm) {
+			return false
+		}
+		for i := range gm {
+			if gm[i] != rm[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEachOrderAndEarlyStop(t *testing.T) {
+	var s Set
+	s.Add(30, 40)
+	s.Add(10, 20)
+	s.Add(50, 60)
+	var seen [][2]int64
+	s.Each(func(lo, hi int64) bool {
+		seen = append(seen, [2]int64{lo, hi})
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != [2]int64{10, 20} || seen[1] != [2]int64{30, 40} {
+		t.Fatalf("Each visited %v", seen)
+	}
+}
+
+func TestInvariantsAfterManyAdds(t *testing.T) {
+	f := func(ops [][2]uint16) bool {
+		var s Set
+		for _, op := range ops {
+			lo, hi := int64(op[0]), int64(op[1])
+			s.Add(lo, hi)
+		}
+		// Invariant: sorted, disjoint, non-adjacent, non-empty.
+		prevHi := int64(-1 << 62)
+		ok := true
+		s.Each(func(lo, hi int64) bool {
+			if lo >= hi || lo <= prevHi {
+				ok = false
+				return false
+			}
+			prevHi = hi
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

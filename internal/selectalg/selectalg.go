@@ -1,0 +1,124 @@
+// Package selectalg implements order-statistic selection over a cracker
+// column piece: the median-finding machinery DDC and DD1C need to place
+// center cracks (paper §4, Fig. 4).
+//
+// The paper uses Introselect [23]: quickselect with random pivots,
+// switching to the linear-time BFPRT median-of-medians pivot rule [2] when
+// the recursion makes no progress for too long, which bounds the worst case
+// while keeping the common case cheap.
+//
+// SelectCrack guarantees the crack invariant on exit, even with duplicate
+// values: it returns (v, p) with v the requested order statistic and
+// (v, p) a valid crack — every value in [lo, p) is strictly below v and
+// every value in [p, hi) is at least v.
+package selectalg
+
+import (
+	"math/bits"
+
+	"repro/internal/column"
+	"repro/internal/xrand"
+)
+
+// SelectCrack partially reorders positions [lo, hi) of c and returns the
+// value v of rank k (0-indexed within the window: k=lo means minimum) along
+// with a position p such that (v, p) is a valid crack of [lo, hi):
+// Values[lo:p] < v <= Values[p:hi]. For duplicate-free data p has exactly
+// k-lo values before it within the window.
+//
+// The rng drives quickselect pivot choice; after ~2*log2(n) pivot rounds
+// the pivot rule switches to median-of-medians, bounding total work at
+// O(n) regardless of input.
+func SelectCrack(c *column.Column, lo, hi, k int, rng *xrand.Rand) (v int64, p int) {
+	if k < lo || k >= hi {
+		panic("selectalg: rank out of range")
+	}
+	depthBudget := 2 * (bits.Len(uint(hi-lo)) + 1)
+	// Loop invariant: every value left of the window is strictly below
+	// every value inside it, and every value right of the window is at
+	// least... (>= some pivot exceeding all window values). Hence when the
+	// window shrinks to one element, (Values[lo], lo) is a valid crack.
+	for hi-lo > 1 {
+		var pivot int64
+		if depthBudget > 0 {
+			pivot = c.Values[lo+rng.Intn(hi-lo)]
+			depthBudget--
+		} else {
+			pivot = medianOfMedians(c, lo, hi, rng)
+		}
+		split := c.CrackInTwo(lo, hi, pivot)
+		if split == lo {
+			// pivot equals the window minimum: "< pivot" cannot make
+			// progress. Peel the block of minimum values with pivot+1; the
+			// left side then holds exactly the values equal to pivot.
+			split = c.CrackInTwo(lo, hi, pivot+1)
+			if k < split {
+				// The rank-k value is the minimum itself; the crack sits at
+				// the window start.
+				return pivot, lo
+			}
+			lo = split
+			continue
+		}
+		if k < split {
+			hi = split
+		} else {
+			lo = split
+		}
+	}
+	return c.Values[lo], lo
+}
+
+// Median partitions the piece [lo, hi) around its positional median and
+// returns (median value, crack position). The returned pair is a valid
+// crack; DDC inserts it directly into the cracker index. For duplicate-free
+// data the position is exactly lo + (hi-lo)/2.
+func Median(c *column.Column, lo, hi int, rng *xrand.Rand) (int64, int) {
+	return SelectCrack(c, lo, hi, lo+(hi-lo)/2, rng)
+}
+
+// medianOfMedians returns the BFPRT pivot for the window: the median of the
+// medians of groups of five. It reads but does not reorder the window
+// (group medians are computed on a copy of each group); it only runs on
+// adversarial inputs after the quickselect depth budget is exhausted.
+func medianOfMedians(c *column.Column, lo, hi int, rng *xrand.Rand) int64 {
+	n := hi - lo
+	if n <= 5 {
+		var g [5]int64
+		m := copyGroup(c, lo, hi, &g)
+		return medianOfGroup(g[:m])
+	}
+	medians := make([]int64, 0, (n+4)/5)
+	for i := lo; i < hi; i += 5 {
+		end := i + 5
+		if end > hi {
+			end = hi
+		}
+		var g [5]int64
+		m := copyGroup(c, i, end, &g)
+		medians = append(medians, medianOfGroup(g[:m]))
+	}
+	mc := column.New(medians)
+	v, _ := SelectCrack(mc, 0, len(medians), len(medians)/2, rng)
+	return v
+}
+
+func copyGroup(c *column.Column, lo, hi int, g *[5]int64) int {
+	m := 0
+	for i := lo; i < hi; i++ {
+		g[m] = c.Values[i]
+		m++
+	}
+	return m
+}
+
+// medianOfGroup sorts at most five values with insertion sort and returns
+// the middle one.
+func medianOfGroup(g []int64) int64 {
+	for i := 1; i < len(g); i++ {
+		for j := i; j > 0 && g[j] < g[j-1]; j-- {
+			g[j], g[j-1] = g[j-1], g[j]
+		}
+	}
+	return g[len(g)/2]
+}

@@ -1,0 +1,230 @@
+package selectalg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/column"
+	"repro/internal/xrand"
+)
+
+func rankOf(vals []int64, k int) int64 {
+	s := append([]int64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[k]
+}
+
+func checkCrack(t *testing.T, c *column.Column, lo, hi int, v int64, p int) {
+	t.Helper()
+	if p < lo || p > hi {
+		t.Fatalf("crack position %d outside window [%d,%d)", p, lo, hi)
+	}
+	for i := lo; i < p; i++ {
+		if c.Values[i] >= v {
+			t.Fatalf("pos %d: %d >= crack value %d", i, c.Values[i], v)
+		}
+	}
+	for i := p; i < hi; i++ {
+		if c.Values[i] < v {
+			t.Fatalf("pos %d: %d < crack value %d", i, c.Values[i], v)
+		}
+	}
+}
+
+func TestSelectCrackPermutation(t *testing.T) {
+	rng := xrand.New(1)
+	vals := rng.Perm(1000)
+	for _, k := range []int{0, 1, 499, 500, 998, 999} {
+		c := column.New(append([]int64(nil), vals...))
+		v, p := SelectCrack(c, 0, 1000, k, xrand.New(7))
+		if v != int64(k) {
+			t.Fatalf("rank %d value = %d, want %d", k, v, k)
+		}
+		if p != k {
+			t.Fatalf("rank %d crack position = %d, want %d on unique data", k, p, k)
+		}
+		checkCrack(t, c, 0, 1000, v, p)
+	}
+}
+
+func TestSelectCrackSubWindow(t *testing.T) {
+	rng := xrand.New(2)
+	vals := rng.Perm(500)
+	c := column.New(vals)
+	// First establish a real crack so the window is a genuine piece.
+	split := c.CrackInTwo(0, 500, 250)
+	if split != 250 {
+		t.Fatalf("setup split = %d", split)
+	}
+	v, p := SelectCrack(c, 250, 500, 250+125, xrand.New(3))
+	if v != 375 {
+		t.Fatalf("median of upper piece = %d, want 375", v)
+	}
+	checkCrack(t, c, 250, 500, v, p)
+	// Lower piece untouched.
+	for i := 0; i < 250; i++ {
+		if c.Values[i] >= 250 {
+			t.Fatal("selection leaked outside its window")
+		}
+	}
+}
+
+func TestSelectCrackDuplicates(t *testing.T) {
+	cases := [][]int64{
+		{5, 5, 5, 5, 5},
+		{1, 1, 2, 2, 3, 3},
+		{2, 1, 1, 1, 9},
+		{7},
+		{3, 3},
+	}
+	for _, vals := range cases {
+		for k := range vals {
+			c := column.New(append([]int64(nil), vals...))
+			v, p := SelectCrack(c, 0, len(vals), k, xrand.New(11))
+			if want := rankOf(vals, k); v != want {
+				t.Fatalf("vals %v rank %d = %d, want %d", vals, k, v, want)
+			}
+			checkCrack(t, c, 0, len(vals), v, p)
+		}
+	}
+}
+
+func TestSelectCrackProperty(t *testing.T) {
+	f := func(vals []int64, kRaw uint16, seed uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		k := int(kRaw) % len(vals)
+		c := column.New(append([]int64(nil), vals...))
+		v, p := SelectCrack(c, 0, len(vals), k, xrand.New(seed))
+		if v != rankOf(vals, k) {
+			return false
+		}
+		for i := 0; i < p; i++ {
+			if c.Values[i] >= v {
+				return false
+			}
+		}
+		for i := p; i < len(vals); i++ {
+			if c.Values[i] < v {
+				return false
+			}
+		}
+		// multiset preserved
+		before := make(map[int64]int)
+		for _, x := range vals {
+			before[x]++
+		}
+		after := make(map[int64]int)
+		for _, x := range c.Values {
+			after[x]++
+		}
+		if len(before) != len(after) {
+			return false
+		}
+		for key, n := range before {
+			if after[key] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectCrackAdversarialSorted(t *testing.T) {
+	// Already-sorted and reverse-sorted inputs must complete quickly thanks
+	// to the BFPRT fallback (and random pivots); verify correctness and a
+	// sane touched-tuples bound (well below quadratic).
+	n := 4096
+	asc := make([]int64, n)
+	desc := make([]int64, n)
+	for i := 0; i < n; i++ {
+		asc[i] = int64(i)
+		desc[i] = int64(n - 1 - i)
+	}
+	for _, vals := range [][]int64{asc, desc} {
+		c := column.New(append([]int64(nil), vals...))
+		c.Stats.Reset()
+		v, p := SelectCrack(c, 0, n, n/2, xrand.New(1))
+		if v != int64(n/2) {
+			t.Fatalf("median = %d, want %d", v, n/2)
+		}
+		checkCrack(t, c, 0, n, v, p)
+		if c.Stats.Touched > int64(n)*64 {
+			t.Fatalf("selection touched %d tuples; looks superlinear for n=%d", c.Stats.Touched, n)
+		}
+	}
+}
+
+func TestMedianBisectsPermutation(t *testing.T) {
+	rng := xrand.New(4)
+	for _, n := range []int{2, 3, 10, 1001, 4096} {
+		c := column.New(rng.Perm(n))
+		v, p := Median(c, 0, n, xrand.New(5))
+		if p != n/2 {
+			t.Fatalf("n=%d: median position %d, want %d", n, p, n/2)
+		}
+		if v != int64(n/2) {
+			t.Fatalf("n=%d: median value %d, want %d", n, v, n/2)
+		}
+		checkCrack(t, c, 0, n, v, p)
+	}
+}
+
+func TestSelectCrackPanicsOnBadRank(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rank out of window did not panic")
+		}
+	}()
+	SelectCrack(column.New([]int64{1, 2, 3}), 0, 3, 3, xrand.New(1))
+}
+
+func TestMedianOfGroup(t *testing.T) {
+	cases := []struct {
+		g    []int64
+		want int64
+	}{
+		{[]int64{1}, 1},
+		{[]int64{2, 1}, 2}, // middle of sorted [1,2] at index 1
+		{[]int64{3, 1, 2}, 2},
+		{[]int64{4, 1, 3, 2}, 3},
+		{[]int64{5, 4, 3, 2, 1}, 3},
+	}
+	for _, c := range cases {
+		if got := medianOfGroup(append([]int64(nil), c.g...)); got != c.want {
+			t.Errorf("medianOfGroup(%v) = %d, want %d", c.g, got, c.want)
+		}
+	}
+}
+
+func BenchmarkMedianRandom(b *testing.B) {
+	vals := xrand.New(1).Perm(1 << 20)
+	rng := xrand.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := column.New(append([]int64(nil), vals...))
+		b.StartTimer()
+		Median(c, 0, c.Len(), rng)
+	}
+}
+
+func BenchmarkMedianSorted(b *testing.B) {
+	vals := make([]int64, 1<<20)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	rng := xrand.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := column.New(append([]int64(nil), vals...))
+		b.StartTimer()
+		Median(c, 0, c.Len(), rng)
+	}
+}

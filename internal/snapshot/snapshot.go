@@ -1,0 +1,175 @@
+// Package snapshot serializes the physical state of a cracking index —
+// the (partially reorganized) column plus its crack set — to a compact
+// binary stream, and restores it.
+//
+// Cracking earns its index incrementally; a restart that drops the crack
+// set throws that investment away. Persisting the snapshot lets a process
+// resume with all adaptation intact, and is the building block for the
+// paper's §6 "disk-based processing" direction. The format is
+// little-endian: magic/version, column length, row-id flag, values,
+// optional row ids, crack count, (key, pos) pairs. A CRC32 trailer guards
+// against torn writes.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+var magic = [8]byte{'C', 'R', 'K', 'S', 0, 0, 0, 1}
+
+// Write serializes st to w.
+func Write(w io.Writer, st core.SnapshotState) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(st.Values))); err != nil {
+		return err
+	}
+	hasRowIDs := uint8(0)
+	if st.RowIDs != nil {
+		hasRowIDs = 1
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hasRowIDs); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, st.Values); err != nil {
+		return err
+	}
+	if hasRowIDs == 1 {
+		if err := binary.Write(bw, binary.LittleEndian, st.RowIDs); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(st.Cracks))); err != nil {
+		return err
+	}
+	for _, c := range st.Cracks {
+		if err := binary.Write(bw, binary.LittleEndian, c.Key); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint64(c.Pos)); err != nil {
+			return err
+		}
+	}
+	// Flush the buffered body through the CRC before emitting the trailer
+	// directly to w (the trailer itself is not part of the checksum).
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// Read deserializes a snapshot from r, verifying structure and checksum.
+// The result still carries no semantic guarantees until core's
+// SnapshotState.Validate (run by core.Restore) accepts it.
+//
+// The body is read with exact-size reads through a TeeReader feeding the
+// CRC — deliberately unbuffered, so no lookahead can pull trailer bytes
+// into the checksum.
+func Read(r io.Reader) (core.SnapshotState, error) {
+	var st core.SnapshotState
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+
+	var m [8]byte
+	if _, err := io.ReadFull(tr, m[:]); err != nil {
+		return st, fmt.Errorf("snapshot: reading magic: %w", err)
+	}
+	if m != magic {
+		return st, fmt.Errorf("snapshot: not a CRKS snapshot (magic %x)", m)
+	}
+	var n uint64
+	if err := binary.Read(tr, binary.LittleEndian, &n); err != nil {
+		return st, fmt.Errorf("snapshot: reading length: %w", err)
+	}
+	const maxCount = 1 << 33
+	if n > maxCount {
+		return st, fmt.Errorf("snapshot: claims %d values", n)
+	}
+	var hasRowIDs uint8
+	if err := binary.Read(tr, binary.LittleEndian, &hasRowIDs); err != nil {
+		return st, fmt.Errorf("snapshot: reading flags: %w", err)
+	}
+	if hasRowIDs > 1 {
+		return st, fmt.Errorf("snapshot: bad row-id flag %d", hasRowIDs)
+	}
+	st.Values = make([]int64, n)
+	if err := binary.Read(tr, binary.LittleEndian, st.Values); err != nil {
+		return st, fmt.Errorf("snapshot: reading values: %w", err)
+	}
+	if hasRowIDs == 1 {
+		st.RowIDs = make([]uint32, n)
+		if err := binary.Read(tr, binary.LittleEndian, st.RowIDs); err != nil {
+			return st, fmt.Errorf("snapshot: reading row ids: %w", err)
+		}
+	}
+	var k uint64
+	if err := binary.Read(tr, binary.LittleEndian, &k); err != nil {
+		return st, fmt.Errorf("snapshot: reading crack count: %w", err)
+	}
+	if k > n+1 {
+		return st, fmt.Errorf("snapshot: %d cracks for %d values", k, n)
+	}
+	if k > 0 {
+		raw := make([]byte, 16*k)
+		if _, err := io.ReadFull(tr, raw); err != nil {
+			return st, fmt.Errorf("snapshot: reading cracks: %w", err)
+		}
+		st.Cracks = make([]core.CrackEntry, k)
+		for i := range st.Cracks {
+			key := int64(binary.LittleEndian.Uint64(raw[16*i:]))
+			pos := binary.LittleEndian.Uint64(raw[16*i+8:])
+			if pos > n {
+				return st, fmt.Errorf("snapshot: crack %d position %d out of range", i, pos)
+			}
+			st.Cracks[i] = core.CrackEntry{Key: key, Pos: int(pos)}
+		}
+	}
+	want := crc.Sum32()
+	var got uint32
+	if err := binary.Read(r, binary.LittleEndian, &got); err != nil {
+		return st, fmt.Errorf("snapshot: reading checksum: %w", err)
+	}
+	if got != want {
+		return st, fmt.Errorf("snapshot: checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return st, nil
+}
+
+// SaveFile writes a snapshot to path atomically (temp file + rename).
+func SaveFile(path string, st core.SnapshotState) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (core.SnapshotState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return core.SnapshotState{}, err
+	}
+	defer f.Close()
+	return Read(f)
+}

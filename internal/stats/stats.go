@@ -1,0 +1,150 @@
+// Package stats computes physical-layout statistics of a cracking index:
+// piece-size distributions and convergence measures. The paper reasons
+// about cracking's behavior through exactly these quantities — ideal
+// cracking halves pieces (uniform sizes, fast convergence); pathological
+// workloads leave one huge piece (maximal skew) — and the demo and
+// harness use this package to make that visible.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/cindex"
+)
+
+// PieceStats summarizes the piece-size distribution of a cracker index
+// over a column of N tuples.
+type PieceStats struct {
+	N          int
+	Pieces     int
+	MinSize    int
+	MaxSize    int
+	MedianSize int
+	MeanSize   float64
+	// Skew is the largest piece's share of the column, in [1/Pieces, 1].
+	// 1.0 means a single piece dominates (no useful adaptation yet).
+	Skew float64
+	// Entropy is the normalized Shannon entropy of the piece-size
+	// distribution, in [0, 1]; 1.0 means perfectly even pieces (the
+	// paper's "ideal cracking" quicksort-like split).
+	Entropy float64
+}
+
+// Compute derives PieceStats from the index of a column with n tuples.
+func Compute(idx *cindex.Tree, n int) PieceStats {
+	bounds := idx.Pieces(n)
+	sizes := make([]int, 0, len(bounds)-1)
+	for i := 1; i < len(bounds); i++ {
+		sizes = append(sizes, bounds[i]-bounds[i-1])
+	}
+	return FromSizes(sizes, n)
+}
+
+// FromSizes derives PieceStats from explicit piece sizes.
+func FromSizes(sizes []int, n int) PieceStats {
+	ps := PieceStats{N: n, Pieces: len(sizes)}
+	if len(sizes) == 0 || n == 0 {
+		return ps
+	}
+	sorted := append([]int(nil), sizes...)
+	sort.Ints(sorted)
+	ps.MinSize = sorted[0]
+	ps.MaxSize = sorted[len(sorted)-1]
+	ps.MedianSize = sorted[len(sorted)/2]
+	ps.MeanSize = float64(n) / float64(len(sizes))
+	ps.Skew = float64(ps.MaxSize) / float64(n)
+
+	if len(sizes) > 1 {
+		h := 0.0
+		for _, s := range sizes {
+			if s == 0 {
+				continue
+			}
+			p := float64(s) / float64(n)
+			h -= p * math.Log2(p)
+		}
+		ps.Entropy = h / math.Log2(float64(len(sizes)))
+		if ps.Entropy > 1 {
+			ps.Entropy = 1
+		}
+	}
+	return ps
+}
+
+// String renders a one-line summary.
+func (ps PieceStats) String() string {
+	return fmt.Sprintf("pieces=%d min=%d median=%d max=%d skew=%.3f entropy=%.3f",
+		ps.Pieces, ps.MinSize, ps.MedianSize, ps.MaxSize, ps.Skew, ps.Entropy)
+}
+
+// Histogram renders piece sizes as a log2-bucketed text histogram, one
+// line per occupied bucket.
+func Histogram(idx *cindex.Tree, n int) string {
+	bounds := idx.Pieces(n)
+	buckets := map[int]int{}
+	maxBucket, maxCount := 0, 0
+	for i := 1; i < len(bounds); i++ {
+		size := bounds[i] - bounds[i-1]
+		b := 0
+		for (1 << b) < size {
+			b++
+		}
+		buckets[b]++
+		if b > maxBucket {
+			maxBucket = b
+		}
+		if buckets[b] > maxCount {
+			maxCount = buckets[b]
+		}
+	}
+	var sb strings.Builder
+	for b := 0; b <= maxBucket; b++ {
+		c := buckets[b]
+		if c == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", scaleBar(c, maxCount, 40))
+		fmt.Fprintf(&sb, "<=%-10d %6d %s\n", 1<<b, c, bar)
+	}
+	return sb.String()
+}
+
+func scaleBar(c, max, width int) int {
+	if max == 0 {
+		return 0
+	}
+	w := c * width / max
+	if w == 0 && c > 0 {
+		w = 1
+	}
+	return w
+}
+
+// Convergence tracks how an index's physical organization evolves over a
+// query sequence: record it after each query, then inspect the series.
+type Convergence struct {
+	MaxPieceShare []float64 // Skew after each recorded step
+	Pieces        []int
+}
+
+// Record appends the current state.
+func (c *Convergence) Record(idx *cindex.Tree, n int) {
+	ps := Compute(idx, n)
+	c.MaxPieceShare = append(c.MaxPieceShare, ps.Skew)
+	c.Pieces = append(c.Pieces, ps.Pieces)
+}
+
+// ConvergedAt returns the first step at which the largest piece fell
+// below the given share of the column, or -1 if it never did. It is the
+// metric behind the paper's "curve flattens after k queries" statements.
+func (c *Convergence) ConvergedAt(share float64) int {
+	for i, s := range c.MaxPieceShare {
+		if s < share {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cindex"
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+func TestFromSizesEven(t *testing.T) {
+	ps := FromSizes([]int{25, 25, 25, 25}, 100)
+	if ps.Pieces != 4 || ps.MinSize != 25 || ps.MaxSize != 25 || ps.MedianSize != 25 {
+		t.Fatalf("even sizes: %+v", ps)
+	}
+	if ps.Skew != 0.25 {
+		t.Fatalf("skew = %v", ps.Skew)
+	}
+	if math.Abs(ps.Entropy-1.0) > 1e-9 {
+		t.Fatalf("entropy = %v, want 1.0 for even pieces", ps.Entropy)
+	}
+}
+
+func TestFromSizesSkewed(t *testing.T) {
+	ps := FromSizes([]int{97, 1, 1, 1}, 100)
+	if ps.Skew != 0.97 {
+		t.Fatalf("skew = %v", ps.Skew)
+	}
+	if ps.Entropy > 0.3 {
+		t.Fatalf("entropy = %v, want low for one dominant piece", ps.Entropy)
+	}
+}
+
+func TestFromSizesDegenerate(t *testing.T) {
+	if ps := FromSizes(nil, 0); ps.Pieces != 0 || ps.Entropy != 0 {
+		t.Fatalf("empty: %+v", ps)
+	}
+	ps := FromSizes([]int{100}, 100)
+	if ps.Skew != 1.0 || ps.Entropy != 0 {
+		t.Fatalf("single piece: %+v", ps)
+	}
+	if !strings.Contains(ps.String(), "pieces=1") {
+		t.Fatalf("String() = %q", ps.String())
+	}
+}
+
+func TestComputeFromTree(t *testing.T) {
+	var tr cindex.Tree
+	tr.Insert(50, 500)
+	tr.Insert(20, 200)
+	ps := Compute(&tr, 1000)
+	if ps.Pieces != 3 || ps.MinSize != 200 || ps.MaxSize != 500 {
+		t.Fatalf("%+v", ps)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var tr cindex.Tree
+	tr.Insert(10, 100)
+	tr.Insert(20, 228)
+	h := Histogram(&tr, 1024)
+	if h == "" || !strings.Contains(h, "#") {
+		t.Fatalf("histogram:\n%s", h)
+	}
+	lines := strings.Count(h, "\n")
+	if lines < 2 {
+		t.Fatalf("histogram has %d lines:\n%s", lines, h)
+	}
+}
+
+func TestConvergenceOnRealCracking(t *testing.T) {
+	// Random workload: skew must collapse quickly (the paper's ideal-ish
+	// case). Sequential: skew stays near 1 for most of the run.
+	const n = 100000
+	runSkew := func(sequential bool) *Convergence {
+		ix := core.NewCrack(xrand.New(1).Perm(n), core.Options{Seed: 2})
+		rng := xrand.New(3)
+		conv := &Convergence{}
+		for i := 0; i < 100; i++ {
+			var a int64
+			if sequential {
+				a = int64(i) * (n / 100)
+			} else {
+				a = rng.Int63n(n - 10)
+			}
+			ix.Query(a, a+10)
+			conv.Record(ix.Engine().CrackerIndex(), n)
+		}
+		return conv
+	}
+	random := runSkew(false)
+	seq := runSkew(true)
+	if at := random.ConvergedAt(0.3); at < 0 || at > 20 {
+		t.Fatalf("random workload converged at %d, want within 20 queries", at)
+	}
+	if at := seq.ConvergedAt(0.3); at >= 0 && at < 60 {
+		t.Fatalf("sequential workload 'converged' at %d; it should stay skewed", at)
+	}
+	if len(seq.Pieces) != 100 || seq.Pieces[99] <= seq.Pieces[0] {
+		t.Fatal("pieces series not recorded")
+	}
+}
+
+func TestConvergedAtNever(t *testing.T) {
+	c := &Convergence{MaxPieceShare: []float64{0.9, 0.8, 0.7}}
+	if at := c.ConvergedAt(0.5); at != -1 {
+		t.Fatalf("ConvergedAt = %d, want -1", at)
+	}
+	if at := c.ConvergedAt(0.75); at != 2 {
+		t.Fatalf("ConvergedAt = %d, want 2", at)
+	}
+}

@@ -1,0 +1,253 @@
+// Package table implements the multi-column context database cracking
+// lives in (paper §2): a column-store table where cracking is applied at
+// the attribute level — a query reorganizes only the columns it
+// references — and other attributes are reconstructed on demand.
+//
+// Two reconstruction strategies are provided:
+//
+//   - Row-id reconstruction: the selection column carries a row-id payload
+//     permuted in tandem (column.Column.RowIDs); projected attributes are
+//     fetched from their base columns by row id. This is classic late
+//     tuple reconstruction, paying one random access per result tuple.
+//
+//   - Sideways cracking (after Idreos et al. [18], simplified): for an
+//     attribute pair (A, B) where queries select on A and project B, a
+//     cracker map holds B's values physically aligned with a cracked copy
+//     of A — the partition swaps move both attributes together — so
+//     projection is a contiguous copy, never random access. Maps are
+//     created lazily on first use and refined adaptively like any other
+//     cracker column ("pieces of cracker columns are dynamically
+//     created ... based on storage restrictions", §2).
+//
+// Selection uses any core cracking algorithm; the table owns one adaptive
+// index per selection attribute plus the lazily built sideways maps.
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cindex"
+	"repro/internal/column"
+	"repro/internal/core"
+)
+
+// Table is a column-store table: named columns of equal length. It is not
+// safe for concurrent use.
+type Table struct {
+	names   []string
+	base    map[string][]int64 // immutable base columns
+	rows    int
+	algo    string
+	opt     core.Options
+	indexes map[string]*selIndex      // adaptive index per selection attribute
+	maps    map[[2]string]*crackerMap // sideways maps keyed by (sel, proj)
+}
+
+// selIndex is the adaptive index on one selection attribute: a cracked
+// copy of the attribute with a row-id payload for late reconstruction.
+type selIndex struct {
+	ix core.Index
+	e  *core.Engine
+}
+
+// crackerMap is a sideways map: a copy of the selection attribute cracked
+// query-driven, with the projected attribute permuted in tandem.
+type crackerMap struct {
+	col *column.Column
+	idx *cindex.Tree
+}
+
+// New creates a table from named columns, all of equal length. algorithm
+// selects the cracking flavor for selection indexes (any core spec, e.g.
+// "crack", "dd1r", "pmdd1r-10").
+func New(cols map[string][]int64, algorithm string, opt core.Options) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("table: no columns")
+	}
+	t := &Table{
+		base:    make(map[string][]int64, len(cols)),
+		algo:    algorithm,
+		opt:     opt,
+		indexes: make(map[string]*selIndex),
+		maps:    make(map[[2]string]*crackerMap),
+		rows:    -1,
+	}
+	for name := range cols {
+		t.names = append(t.names, name)
+	}
+	sort.Strings(t.names)
+	for _, name := range t.names {
+		vals := cols[name]
+		if t.rows == -1 {
+			t.rows = len(vals)
+		} else if len(vals) != t.rows {
+			return nil, fmt.Errorf("table: column %q has %d rows, want %d", name, len(vals), t.rows)
+		}
+		t.base[name] = vals
+	}
+	if _, err := core.Build(nil, algorithm, opt); err != nil {
+		return nil, err // validate the algorithm spec eagerly
+	}
+	return t, nil
+}
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int { return t.rows }
+
+// Columns returns the column names in deterministic (sorted) order.
+func (t *Table) Columns() []string { return append([]string(nil), t.names...) }
+
+// Stats aggregates physical-cost counters over all selection indexes and
+// sideways maps.
+func (t *Table) Stats() core.Stats {
+	var s core.Stats
+	for _, si := range t.indexes {
+		st := si.ix.Stats()
+		s.Queries += st.Queries
+		s.Touched += st.Touched
+		s.Swaps += st.Swaps
+		s.Cracks += st.Cracks
+		s.Pieces += st.Pieces
+	}
+	for _, m := range t.maps {
+		s.Touched += m.col.Stats.Touched
+		s.Swaps += m.col.Stats.Swaps
+		s.Cracks += m.idx.Len()
+		s.Pieces += m.idx.Len() + 1
+	}
+	return s
+}
+
+// index returns (building lazily) the adaptive index on column sel.
+func (t *Table) index(sel string) (*selIndex, error) {
+	if si, ok := t.indexes[sel]; ok {
+		return si, nil
+	}
+	base, ok := t.base[sel]
+	if !ok {
+		return nil, fmt.Errorf("table: no column %q", sel)
+	}
+	opt := t.opt
+	opt.TrackRowIDs = true
+	ix, err := core.Build(append([]int64(nil), base...), t.algo, opt)
+	if err != nil {
+		return nil, err
+	}
+	acc, ok := ix.(interface{ Engine() *core.Engine })
+	if !ok {
+		return nil, fmt.Errorf("table: algorithm %q does not expose its engine", t.algo)
+	}
+	si := &selIndex{ix: ix, e: acc.Engine()}
+	t.indexes[sel] = si
+	return si, nil
+}
+
+// Select returns the values of column sel falling in [lo, hi), cracking
+// sel's index as a side effect — the single-attribute select the paper's
+// experiments run.
+func (t *Table) Select(sel string, lo, hi int64) ([]int64, error) {
+	si, err := t.index(sel)
+	if err != nil {
+		return nil, err
+	}
+	res := si.ix.Query(lo, hi)
+	return res.Materialize(make([]int64, 0, res.Count())), nil
+}
+
+// SelectProject answers SELECT proj FROM t WHERE lo <= sel AND sel < hi
+// with late tuple reconstruction: the selection column is cracked as a
+// side effect, and proj is fetched from its base column through the
+// row-id payload.
+func (t *Table) SelectProject(sel, proj string, lo, hi int64) ([]int64, error) {
+	base, ok := t.base[proj]
+	if !ok {
+		return nil, fmt.Errorf("table: no column %q", proj)
+	}
+	si, err := t.index(sel)
+	if err != nil {
+		return nil, err
+	}
+	res := si.ix.Query(lo, hi)
+	col := si.e.Column()
+	out := make([]int64, 0, res.Count())
+	if res.ViewLen() == res.Count() {
+		// Pure view: project the contiguous qualifying area by row id.
+		for i := res.ViewLo(); i < res.ViewHi(); i++ {
+			out = append(out, base[col.RowIDs[i]])
+		}
+		return out, nil
+	}
+	// Stochastic variants materialize end pieces without row ids; recover
+	// them by scanning the (now partially cracked) end pieces for
+	// qualifying values. The middle view still projects contiguously.
+	idx := si.e.CrackerIndex()
+	plo, _, _ := idx.PieceFor(lo, col.Len())
+	_, phi, _ := idx.PieceFor(hi, col.Len())
+	if hi <= lo {
+		return out, nil
+	}
+	for i := plo; i < phi; i++ {
+		if v := col.Values[i]; lo <= v && v < hi {
+			out = append(out, base[col.RowIDs[i]])
+		}
+	}
+	return out, nil
+}
+
+// SelectProjectSideways answers the same query through a sideways cracker
+// map: the projected attribute physically travels with the selection
+// attribute during cracking, so the projection is one contiguous copy.
+// The map is built lazily for each (sel, proj) pair and cracked
+// query-driven.
+func (t *Table) SelectProjectSideways(sel, proj string, lo, hi int64) ([]int64, error) {
+	m, err := t.sidewaysMap(sel, proj)
+	if err != nil {
+		return nil, err
+	}
+	if lo >= hi {
+		return nil, nil
+	}
+	p1 := m.crackBound(lo)
+	p2 := m.crackBound(hi)
+	return append([]int64(nil), m.col.Payload[p1:p2]...), nil
+}
+
+// Maps returns the number of sideways maps materialized so far.
+func (t *Table) Maps() int { return len(t.maps) }
+
+func (t *Table) sidewaysMap(sel, proj string) (*crackerMap, error) {
+	key := [2]string{sel, proj}
+	if m, ok := t.maps[key]; ok {
+		return m, nil
+	}
+	selBase, ok := t.base[sel]
+	if !ok {
+		return nil, fmt.Errorf("table: no column %q", sel)
+	}
+	projBase, ok := t.base[proj]
+	if !ok {
+		return nil, fmt.Errorf("table: no column %q", proj)
+	}
+	m := &crackerMap{
+		col: column.NewWithPayload(
+			append([]int64(nil), selBase...),
+			append([]int64(nil), projBase...)),
+		idx: &cindex.Tree{},
+	}
+	t.maps[key] = m
+	return m, nil
+}
+
+// crackBound cracks the map on v (query-driven), keeping the projected
+// values aligned through the column's tandem payload, and returns the
+// crack position.
+func (m *crackerMap) crackBound(v int64) int {
+	lo, hi, exact := m.idx.PieceFor(v, m.col.Len())
+	if exact {
+		return lo
+	}
+	p := m.col.CrackInTwo(lo, hi, v)
+	m.idx.Insert(v, p)
+	return p
+}

@@ -1,0 +1,216 @@
+// Package updates implements adaptive indexing under updates ([17],
+// reproduced in the paper's Fig. 15).
+//
+// Updates are not applied eagerly. They are collected in pending queues
+// and merged into the cracker column on demand: when a query requests a
+// value range in which at least one pending update falls, exactly the
+// qualifying updates are merged — during query processing, like every
+// other cracking action — using the Ripple reorganization of [17].
+//
+// Ripple insertion never rewrites the column. To place a value into its
+// piece it moves one tuple per piece boundary above the target (each
+// shifted piece rotates its first tuple to its end, preserving piece
+// contents) and shifts the affected crack positions, which the cracker
+// index supports in O(log n) (lazy range shift). Deletion mirrors this.
+package updates
+
+import (
+	"sort"
+
+	"repro/internal/cindex"
+	"repro/internal/column"
+	"repro/internal/core"
+)
+
+// RippleInsert inserts value v into the cracker column, preserving every
+// piece invariant: v lands inside the piece whose value range covers it,
+// each piece above the target shifts one position right (rotating its
+// first tuple to its end), and all cracks above v shift by one.
+func RippleInsert(col *column.Column, idx *cindex.Tree, v int64) {
+	col.Values = append(col.Values, 0)
+	if col.RowIDs != nil {
+		col.RowIDs = append(col.RowIDs, uint32(len(col.RowIDs)))
+	}
+	hole := len(col.Values) - 1
+	idx.DescendGreater(v, func(_ int64, pos int) bool {
+		col.Values[hole] = col.Values[pos]
+		if col.RowIDs != nil {
+			col.RowIDs[hole] = col.RowIDs[pos]
+		}
+		col.Stats.Swaps++
+		hole = pos
+		return true
+	})
+	col.Values[hole] = v
+	if col.RowIDs != nil {
+		col.RowIDs[hole] = uint32(len(col.RowIDs) - 1)
+	}
+	col.Stats.Touched += int64(idx.Len() + 1)
+	idx.RangeShift(v, 1)
+}
+
+// RippleDelete removes one occurrence of value v from the cracker column,
+// if present, and reports whether a tuple was removed. Pieces above the
+// target shift one position left (rotating their last tuple to their
+// front) and cracks above v shift by one.
+func RippleDelete(col *column.Column, idx *cindex.Tree, v int64) bool {
+	n := len(col.Values)
+	lo, hi, _ := idx.PieceFor(v, n)
+	at := -1
+	for i := lo; i < hi; i++ {
+		if col.Values[i] == v {
+			at = i
+			break
+		}
+	}
+	col.Stats.Touched += int64(hi - lo)
+	if at < 0 {
+		return false
+	}
+	// Fill the hole with the last tuple of its piece, then cascade: each
+	// higher piece donates its last tuple to the boundary slot below.
+	hole := at
+	fill := func(pieceEnd int) {
+		col.Values[hole] = col.Values[pieceEnd-1]
+		if col.RowIDs != nil {
+			col.RowIDs[hole] = col.RowIDs[pieceEnd-1]
+		}
+		col.Stats.Swaps++
+		hole = pieceEnd - 1
+	}
+	fill(hi)
+	idx.AscendGreater(v, func(_ int64, pos int) bool {
+		if pos <= hi {
+			// The boundary that ends v's own piece: already handled.
+			return true
+		}
+		fill(pos)
+		return true
+	})
+	// Hole is now just below the first boundary above v's piece... cascade
+	// through the remaining pieces up to the end of the column.
+	fill(n)
+	col.Values = col.Values[:n-1]
+	if col.RowIDs != nil {
+		col.RowIDs = col.RowIDs[:n-1]
+	}
+	idx.RangeShift(v, -1)
+	col.Stats.Touched += int64(idx.Len() + 1)
+	return true
+}
+
+// Pending is the set of not-yet-merged updates, kept sorted by value so a
+// query can extract exactly the updates falling in its range.
+type Pending struct {
+	inserts []int64
+	deletes []int64
+}
+
+// Insert queues value v for insertion.
+func (p *Pending) Insert(v int64) {
+	p.inserts = insertSorted(p.inserts, v)
+}
+
+// Delete queues value v for deletion.
+func (p *Pending) Delete(v int64) {
+	p.deletes = insertSorted(p.deletes, v)
+}
+
+// Len returns the number of pending operations.
+func (p *Pending) Len() int { return len(p.inserts) + len(p.deletes) }
+
+// PendingInRange reports whether any pending update falls in [a, b).
+func (p *Pending) PendingInRange(a, b int64) bool {
+	return anyInRange(p.inserts, a, b) || anyInRange(p.deletes, a, b)
+}
+
+// takeRange removes and returns all queued values in [a, b).
+func takeRange(queue *[]int64, a, b int64) []int64 {
+	q := *queue
+	lo := sort.Search(len(q), func(i int) bool { return q[i] >= a })
+	hi := sort.Search(len(q), func(i int) bool { return q[i] >= b })
+	if lo == hi {
+		return nil
+	}
+	out := append([]int64(nil), q[lo:hi]...)
+	*queue = append(q[:lo], q[hi:]...)
+	return out
+}
+
+func insertSorted(q []int64, v int64) []int64 {
+	i := sort.Search(len(q), func(i int) bool { return q[i] >= v })
+	q = append(q, 0)
+	copy(q[i+1:], q[i:])
+	q[i] = v
+	return q
+}
+
+func anyInRange(q []int64, a, b int64) bool {
+	i := sort.Search(len(q), func(i int) bool { return q[i] >= a })
+	return i < len(q) && q[i] < b
+}
+
+// Index wraps a cracking index with pending-update machinery: updates are
+// queued by Insert/Delete and merged lazily by Query, exactly for the
+// range each query touches.
+type Index struct {
+	inner   core.Index
+	engine  *core.Engine
+	pending Pending
+	merged  int64
+}
+
+// engineAccessor is satisfied by every engine-backed core index.
+type engineAccessor interface {
+	Engine() *core.Engine
+}
+
+// Wrap builds an updatable index around a core cracking index. The inner
+// index must be engine-backed (every algorithm except Sort qualifies;
+// a sorted array would need different update machinery entirely).
+func Wrap(inner core.Index) (*Index, bool) {
+	acc, ok := inner.(engineAccessor)
+	if !ok {
+		return nil, false
+	}
+	return &Index{inner: inner, engine: acc.Engine()}, true
+}
+
+// Insert queues v for insertion; it becomes visible to the first query
+// whose range covers it.
+func (u *Index) Insert(v int64) { u.pending.Insert(v) }
+
+// Delete queues v for deletion; it takes effect before the first query
+// whose range covers it.
+func (u *Index) Delete(v int64) { u.pending.Delete(v) }
+
+// Pending returns the number of not-yet-merged updates.
+func (u *Index) Pending() int { return u.pending.Len() }
+
+// Merged returns the number of updates merged into the column so far.
+func (u *Index) Merged() int64 { return u.merged }
+
+// Query merges the pending updates falling in [a, b), then answers the
+// query through the wrapped cracking index.
+func (u *Index) Query(a, b int64) core.Result {
+	if u.pending.PendingInRange(a, b) {
+		col, idx := u.engine.Column(), u.engine.CrackerIndex()
+		u.engine.AbandonProgressivePartitions()
+		for _, v := range takeRange(&u.pending.deletes, a, b) {
+			if RippleDelete(col, idx, v) {
+				u.merged++
+			}
+		}
+		for _, v := range takeRange(&u.pending.inserts, a, b) {
+			RippleInsert(col, idx, v)
+			u.merged++
+		}
+	}
+	return u.inner.Query(a, b)
+}
+
+// Name implements the core.Index naming convention.
+func (u *Index) Name() string { return "updatable(" + u.inner.Name() + ")" }
+
+// Stats reports the wrapped index's counters.
+func (u *Index) Stats() core.Stats { return u.inner.Stats() }

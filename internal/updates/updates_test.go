@@ -1,0 +1,379 @@
+package updates
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cindex"
+	"repro/internal/column"
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// checkPieces verifies that every piece of the column respects the crack
+// invariants implied by the index.
+func checkPieces(t *testing.T, col *column.Column, idx *cindex.Tree) {
+	t.Helper()
+	type crack struct {
+		key int64
+		pos int
+	}
+	var cracks []crack
+	idx.Ascend(func(key int64, pos int) bool {
+		cracks = append(cracks, crack{key, pos})
+		return true
+	})
+	prev := 0
+	for i, c := range cracks {
+		if c.pos < prev || c.pos > col.Len() {
+			t.Fatalf("crack %d at invalid position %d (prev %d, n %d)", i, c.pos, prev, col.Len())
+		}
+		for j := 0; j < c.pos; j++ {
+			if col.Values[j] >= c.key {
+				t.Fatalf("value %d at %d violates crack (%d,%d)", col.Values[j], j, c.key, c.pos)
+			}
+		}
+		for j := c.pos; j < col.Len(); j++ {
+			if col.Values[j] < c.key {
+				t.Fatalf("value %d at %d violates crack (%d,%d)", col.Values[j], j, c.key, c.pos)
+			}
+		}
+		prev = c.pos
+	}
+}
+
+func multiset(vals []int64) map[int64]int {
+	m := make(map[int64]int)
+	for _, v := range vals {
+		m[v]++
+	}
+	return m
+}
+
+func buildCracked(t *testing.T, n int, seed uint64, queries int) (*column.Column, *cindex.Tree) {
+	t.Helper()
+	ix := core.NewCrack(xrand.New(seed).Perm(n), core.Options{Seed: seed})
+	rng := xrand.New(seed + 1)
+	for i := 0; i < queries; i++ {
+		a := rng.Int63n(int64(n) - 10)
+		ix.Query(a, a+10)
+	}
+	return ix.Engine().Column(), ix.Engine().CrackerIndex()
+}
+
+func TestRippleInsertMaintainsInvariants(t *testing.T) {
+	col, idx := buildCracked(t, 2000, 1, 40)
+	before := multiset(col.Values)
+	rng := xrand.New(2)
+	inserted := make([]int64, 0, 50)
+	for i := 0; i < 50; i++ {
+		v := rng.Int63n(4000) - 1000 // also outside the original domain
+		RippleInsert(col, idx, v)
+		inserted = append(inserted, v)
+	}
+	if col.Len() != 2050 {
+		t.Fatalf("column length = %d, want 2050", col.Len())
+	}
+	for _, v := range inserted {
+		before[v]++
+	}
+	after := multiset(col.Values)
+	if len(after) != len(before) {
+		t.Fatal("insert lost or duplicated values")
+	}
+	for k, c := range before {
+		if after[k] != c {
+			t.Fatalf("value %d count %d, want %d", k, after[k], c)
+		}
+	}
+	checkPieces(t, col, idx)
+}
+
+func TestRippleInsertIntoEveryPieceOfSmallColumn(t *testing.T) {
+	// Hand-checkable case: pieces [0,3)=values<10, [3,6)=10..19, [6,9)=>=20.
+	col := column.New([]int64{1, 5, 2, 14, 10, 17, 25, 22, 29})
+	idx := &cindex.Tree{}
+	idx.Insert(10, 3)
+	idx.Insert(20, 6)
+	RippleInsert(col, idx, 7)  // into first piece
+	RippleInsert(col, idx, 11) // into middle piece
+	RippleInsert(col, idx, 99) // into last piece
+	RippleInsert(col, idx, 10) // exactly on a crack key: belongs to middle
+	if col.Len() != 13 {
+		t.Fatalf("len = %d", col.Len())
+	}
+	checkPieces(t, col, idx)
+	lo, hi, _ := idx.PieceFor(15, col.Len())
+	if hi-lo != 5 { // 14,10,17 + 11 + 10
+		t.Fatalf("middle piece size = %d, want 5", hi-lo)
+	}
+}
+
+func TestRippleDeleteMaintainsInvariants(t *testing.T) {
+	col, idx := buildCracked(t, 2000, 3, 40)
+	rng := xrand.New(4)
+	removed := 0
+	attempts := 0
+	present := multiset(col.Values)
+	for i := 0; i < 100; i++ {
+		v := rng.Int63n(2000)
+		attempts++
+		ok := RippleDelete(col, idx, v)
+		if ok {
+			removed++
+			present[v]--
+			if present[v] == 0 {
+				delete(present, v)
+			}
+		} else if present[v] > 0 {
+			t.Fatalf("delete(%d) failed but value present", v)
+		}
+	}
+	if removed == 0 {
+		t.Fatal("no deletes succeeded on a permutation column")
+	}
+	if col.Len() != 2000-removed {
+		t.Fatalf("length %d after %d deletes", col.Len(), removed)
+	}
+	if got := multiset(col.Values); len(got) != len(present) {
+		t.Fatal("delete corrupted the multiset")
+	}
+	checkPieces(t, col, idx)
+}
+
+func TestRippleDeleteMissingValue(t *testing.T) {
+	col, idx := buildCracked(t, 500, 5, 10)
+	if RippleDelete(col, idx, 10_000) {
+		t.Fatal("deleted a value outside the domain")
+	}
+	if col.Len() != 500 {
+		t.Fatal("failed delete changed the column")
+	}
+}
+
+func TestRippleInsertDeleteRoundTrip(t *testing.T) {
+	f := func(seed uint64, ops []int16) bool {
+		const n = 300
+		col, idx := func() (*column.Column, *cindex.Tree) {
+			ix := core.NewCrack(xrand.New(seed).Perm(n), core.Options{Seed: seed})
+			rng := xrand.New(seed + 9)
+			for i := 0; i < 10; i++ {
+				a := rng.Int63n(n - 5)
+				ix.Query(a, a+5)
+			}
+			return ix.Engine().Column(), ix.Engine().CrackerIndex()
+		}()
+		want := multiset(col.Values)
+		for _, op := range ops {
+			v := int64(op)
+			if op%2 == 0 {
+				RippleInsert(col, idx, v)
+				want[v]++
+			} else {
+				if RippleDelete(col, idx, v) {
+					want[v]--
+					if want[v] == 0 {
+						delete(want, v)
+					}
+				}
+			}
+		}
+		got := multiset(col.Values)
+		if len(got) != len(want) {
+			return false
+		}
+		for k, c := range want {
+			if got[k] != c {
+				return false
+			}
+		}
+		// And the piece invariants must hold.
+		ok := true
+		prev := 0
+		idx.Ascend(func(key int64, pos int) bool {
+			if pos < prev || pos > col.Len() {
+				ok = false
+				return false
+			}
+			prev = pos
+			for j := 0; j < pos && ok; j++ {
+				if col.Values[j] >= key {
+					ok = false
+				}
+			}
+			for j := pos; j < col.Len() && ok; j++ {
+				if col.Values[j] < key {
+					ok = false
+				}
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRippleCostIsPerPieceNotPerTuple(t *testing.T) {
+	// The point of Ripple: inserting into a cracked column of n tuples with
+	// k pieces moves O(k) tuples, not O(n).
+	col, idx := buildCracked(t, 100000, 6, 50)
+	pieces := idx.Len() + 1
+	col.Stats.Reset()
+	RippleInsert(col, idx, 5)
+	if col.Stats.Swaps > int64(pieces) {
+		t.Fatalf("insert moved %d tuples for %d pieces", col.Stats.Swaps, pieces)
+	}
+}
+
+func TestUpdatableIndexMergesOnDemand(t *testing.T) {
+	const n = 10000
+	inner := core.NewCrack(xrand.New(7).Perm(n), core.Options{Seed: 7})
+	u, ok := Wrap(inner)
+	if !ok {
+		t.Fatal("Wrap rejected a crack index")
+	}
+	// Warm up some cracks.
+	u.Query(2000, 3000)
+	u.Query(7000, 8000)
+
+	u.Insert(2500)
+	u.Insert(2501)
+	u.Insert(9999999) // far outside any query range: stays pending
+	u.Delete(2502)
+	if u.Pending() != 4 {
+		t.Fatalf("pending = %d, want 4", u.Pending())
+	}
+
+	// A query not touching the pending values must not merge them.
+	u.Query(5000, 5100)
+	if u.Pending() != 4 || u.Merged() != 0 {
+		t.Fatalf("unrelated query merged updates: pending=%d merged=%d", u.Pending(), u.Merged())
+	}
+
+	// A query covering them must see them.
+	res := u.Query(2490, 2510)
+	if u.Merged() != 3 {
+		t.Fatalf("merged = %d, want 3", u.Merged())
+	}
+	if u.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (the far-away insert)", u.Pending())
+	}
+	// Expected content: original 2490..2509 (20 values) + 2500 + 2501 - 2502.
+	if got, want := res.Count(), 20+2-1; got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	var sum int64
+	for v := int64(2490); v < 2510; v++ {
+		sum += v
+	}
+	sum += 2500 + 2501 - 2502
+	if res.Sum() != sum {
+		t.Fatalf("sum = %d, want %d", res.Sum(), sum)
+	}
+	checkPieces(t, inner.Engine().Column(), inner.Engine().CrackerIndex())
+}
+
+func TestUpdatableWorksWithStochasticIndexes(t *testing.T) {
+	const n = 20000
+	for _, spec := range []string{"crack", "dd1r", "mdd1r", "pmdd1r-10", "scrackmon-5"} {
+		inner, err := core.Build(xrand.New(8).Perm(n), spec, core.Options{Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, ok := Wrap(inner)
+		if !ok {
+			t.Fatalf("Wrap rejected %s", spec)
+		}
+		rng := xrand.New(9)
+		extra := make(map[int64]int)
+		for i := 0; i < 200; i++ {
+			if i%10 == 0 {
+				v := rng.Int63n(n)
+				u.Insert(v)
+				extra[v]++
+			}
+			a := rng.Int63n(n - 100)
+			res := u.Query(a, a+100)
+			want := 100 // permutation data: one tuple per value
+			for v, c := range extra {
+				if a <= v && v < a+100 {
+					want += c
+					delete(extra, v) // merged now
+				}
+			}
+			// Account for previously merged extras still in range.
+			_ = want
+			// Validate via direct recount instead (extras may have been
+			// merged by earlier overlapping queries).
+			wantCount, wantSum := recount(u, a, a+100)
+			if res.Count() != wantCount || res.Sum() != wantSum {
+				t.Fatalf("%s query %d: got (%d,%d) want (%d,%d)",
+					spec, i, res.Count(), res.Sum(), wantCount, wantSum)
+			}
+		}
+	}
+}
+
+// recount computes the expected result by scanning the raw column plus the
+// still-pending inserts that fall in range.
+func recount(u *Index, a, b int64) (int, int64) {
+	col := u.engine.Column()
+	count := 0
+	var sum int64
+	for _, v := range col.Values {
+		if a <= v && v < b {
+			count++
+			sum += v
+		}
+	}
+	// Any pending insert within [a,b) would have been merged by Query
+	// before answering, so the raw column is authoritative here — but only
+	// after Query ran. recount is called right after Query returns.
+	return count, sum
+}
+
+func TestWrapRejectsSort(t *testing.T) {
+	if _, ok := Wrap(core.NewSort([]int64{3, 1, 2}, core.Options{})); ok {
+		t.Fatal("Wrap must reject the sorted-array baseline")
+	}
+}
+
+func TestPendingOrderIndependence(t *testing.T) {
+	var p Pending
+	vals := []int64{5, 1, 9, 3, 7}
+	for _, v := range vals {
+		p.Insert(v)
+	}
+	got := takeRange(&p.inserts, 0, 10)
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("takeRange not sorted: %v", got)
+	}
+	if len(got) != 5 || p.Len() != 0 {
+		t.Fatalf("takeRange extracted %d, pending %d", len(got), p.Len())
+	}
+}
+
+func TestPendingInRange(t *testing.T) {
+	var p Pending
+	p.Insert(100)
+	p.Delete(200)
+	cases := []struct {
+		a, b int64
+		want bool
+	}{
+		{0, 50, false},
+		{0, 101, true},
+		{100, 101, true},
+		{101, 200, false},
+		{150, 250, true},
+		{201, 300, false},
+	}
+	for _, c := range cases {
+		if got := p.PendingInRange(c.a, c.b); got != c.want {
+			t.Errorf("PendingInRange(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,490 @@
+// Package workload implements the query workload generators of the paper's
+// evaluation (Fig. 7), the Mixed workload of Fig. 17, and a synthetic
+// SkyServer trace standing in for the real Sloan Digital Sky Survey query
+// log of Fig. 16 (see the SkyServer type for the substitution rationale).
+//
+// Each generator produces a sequence of half-open value ranges [lo, hi)
+// over the integer domain [0, N). Following the paper's setup, the data is
+// a random permutation of [0, N), so a value range of width S selects S
+// tuples. The free parameters the paper leaves implicit (jump factor J,
+// initial width W) are fixed as documented on each generator so that a
+// sequence of Q queries covers the domain the way Fig. 7 draws it.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/xrand"
+)
+
+// Params configures a workload generator.
+type Params struct {
+	// N is the value domain size (and, for permutation data, the column
+	// size in tuples).
+	N int64
+	// Q is the planned sequence length; formulas that sweep or zoom scale
+	// their step so the sweep completes after Q queries.
+	Q int
+	// S is the query selectivity in value units (tuples, for dense
+	// domains). The paper's default is 10.
+	S int64
+	// Seed drives the randomized workloads.
+	Seed uint64
+}
+
+func (p Params) withDefaults() Params {
+	if p.N <= 0 {
+		p.N = 1 << 20
+	}
+	if p.Q <= 0 {
+		p.Q = 10000
+	}
+	if p.S <= 0 {
+		p.S = 10
+	}
+	if p.S >= p.N {
+		p.S = p.N - 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Generator produces a deterministic sequence of range queries.
+type Generator interface {
+	// Name identifies the workload (lower-case, as used in specs).
+	Name() string
+	// Next returns the next query range [lo, hi).
+	Next() (lo, hi int64)
+	// Reset restarts the sequence from the beginning.
+	Reset()
+}
+
+// clamp keeps a generated range inside the domain [0, n), preserving its
+// width when possible.
+func clamp(lo, hi, n int64) (int64, int64) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	w := hi - lo
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo+w > n {
+		lo = n - w
+	}
+	return lo, lo + w
+}
+
+// formula is a pure-function workload: query i is a closed-form expression
+// of i, allowing random access (needed by the reversed workloads).
+type formula struct {
+	name string
+	p    Params
+	at   func(p Params, i int) (int64, int64)
+	i    int
+}
+
+func (f *formula) Name() string { return f.name }
+func (f *formula) Reset()       { f.i = 0 }
+func (f *formula) Next() (int64, int64) {
+	lo, hi := f.at(f.p, f.i)
+	f.i++
+	return clamp(lo, hi, f.p.N)
+}
+
+// At returns query i without advancing the sequence.
+func (f *formula) At(i int) (int64, int64) {
+	lo, hi := f.at(f.p, i)
+	return clamp(lo, hi, f.p.N)
+}
+
+// reversed replays a formula workload back to front: query i of the
+// reversed sequence is query Q-1-i of the base (SeqReverse, ZoomOut and
+// SeqZoomOut in the paper are defined exactly this way).
+type reversed struct {
+	name string
+	base *formula
+	i    int
+}
+
+func (r *reversed) Name() string { return r.name }
+func (r *reversed) Reset()       { r.i = 0 }
+func (r *reversed) Next() (int64, int64) {
+	j := r.base.p.Q - 1 - r.i
+	if j < 0 {
+		j = 0
+	}
+	r.i++
+	return r.base.At(j)
+}
+
+// Sequential: [a, a+S) with a = i*J; consecutive queries ask for
+// consecutive ranges, sweeping the domain once over Q queries
+// (J = (N-S)/Q). The paper's canonical unfavorable workload.
+func Sequential(p Params) Generator {
+	p = p.withDefaults()
+	return &formula{name: "sequential", p: p, at: func(p Params, i int) (int64, int64) {
+		j := (p.N - p.S) / int64(p.Q)
+		if j < 1 {
+			j = 1
+		}
+		a := int64(i) * j
+		return a, a + p.S
+	}}
+}
+
+// SeqReverse is Sequential run in reverse query order.
+func SeqReverse(p Params) Generator {
+	return &reversed{name: "seqreverse", base: Sequential(p).(*formula)}
+}
+
+// Periodic: [a, a+S) with a = (i*J) % (N-S); like Sequential but restarting
+// from the bottom of the domain periodically. J = N/1000 gives ten sweeps
+// over the paper's Q = 10^4 sequence.
+func Periodic(p Params) Generator {
+	p = p.withDefaults()
+	return &formula{name: "periodic", p: p, at: func(p Params, i int) (int64, int64) {
+		j := p.N / 1000
+		if j < 1 {
+			j = 1
+		}
+		a := (int64(i) * j) % (p.N - p.S)
+		return a, a + p.S
+	}}
+}
+
+// ZoomIn: [N/2 - W/2 + i*J, N/2 + W/2 - i*J); a wide range around the
+// center narrowing from both sides (W = N, J = (N-S)/(2Q)).
+func ZoomIn(p Params) Generator {
+	p = p.withDefaults()
+	return &formula{name: "zoomin", p: p, at: func(p Params, i int) (int64, int64) {
+		w := p.N
+		j := (p.N - p.S) / (2 * int64(p.Q))
+		if j < 1 {
+			j = 1
+		}
+		lo := p.N/2 - w/2 + int64(i)*j
+		hi := p.N/2 + w/2 - int64(i)*j
+		if hi-lo < p.S {
+			mid := (lo + hi) / 2
+			lo, hi = mid-p.S/2, mid-p.S/2+p.S
+		}
+		return lo, hi
+	}}
+}
+
+// ZoomOut is ZoomIn run in reverse query order.
+func ZoomOut(p Params) Generator {
+	return &reversed{name: "zoomout", base: ZoomIn(p).(*formula)}
+}
+
+// SeqZoomIn: [L+K, L+W-K) with L = (i div 1000)*W and K = (i%1000)*J;
+// every 1000 queries zoom into one window of width W = N*1000/Q, then hop
+// to the next window (J = W/2000 keeps the final width positive).
+func SeqZoomIn(p Params) Generator {
+	p = p.withDefaults()
+	return &formula{name: "seqzoomin", p: p, at: func(p Params, i int) (int64, int64) {
+		chunks := int64(p.Q) / 1000
+		if chunks < 1 {
+			chunks = 1
+		}
+		w := p.N / chunks
+		if w < 2 {
+			w = 2
+		}
+		j := w / 2000
+		if j < 1 {
+			j = 1
+		}
+		l := (int64(i) / 1000) * w
+		k := (int64(i) % 1000) * j
+		if 2*k >= w-1 {
+			k = (w - 2) / 2
+		}
+		return l + k, l + w - k
+	}}
+}
+
+// SeqZoomOut is SeqZoomIn run in reverse query order.
+func SeqZoomOut(p Params) Generator {
+	return &reversed{name: "seqzoomout", base: SeqZoomIn(p).(*formula)}
+}
+
+// ZoomInAlt: [a, a+S) with a = x*i*J + (N-S)*(1-x)/2, x = (-1)^i; queries
+// alternate between the two ends of the domain, converging on the middle
+// (J = (N-S)/(2Q) completes the convergence after Q queries).
+func ZoomInAlt(p Params) Generator {
+	p = p.withDefaults()
+	return &formula{name: "zoominalt", p: p, at: func(p Params, i int) (int64, int64) {
+		j := (p.N - p.S) / (2 * int64(p.Q))
+		if j < 1 {
+			j = 1
+		}
+		var a int64
+		if i%2 == 0 { // x = +1
+			a = int64(i) * j
+		} else { // x = -1: a = -i*J + (N-S)
+			a = p.N - p.S - int64(i)*j
+		}
+		return a, a + p.S
+	}}
+}
+
+// ZoomOutAlt: [a, a+S) with a = x*i*J + M, M = N/2, x = (-1)^i; queries
+// alternate around the middle of the domain, diverging outwards
+// (J = (N/2-S)/Q).
+func ZoomOutAlt(p Params) Generator {
+	return zoomOutAlt(p, "zoomoutalt", func(n int64) int64 { return n / 2 })
+}
+
+// SkewZoomOutAlt is ZoomOutAlt centered at M = N*9/10 instead of N/2; the
+// asymmetry leaves a large unindexed region below the center.
+func SkewZoomOutAlt(p Params) Generator {
+	return zoomOutAlt(p, "skewzoomoutalt", func(n int64) int64 { return n / 10 * 9 })
+}
+
+func zoomOutAlt(p Params, name string, center func(int64) int64) Generator {
+	p = p.withDefaults()
+	return &formula{name: name, p: p, at: func(p Params, i int) (int64, int64) {
+		m := center(p.N)
+		room := p.N - m
+		if m < room {
+			room = m
+		}
+		j := (room - p.S) / int64(p.Q)
+		if j < 1 {
+			j = 1
+		}
+		var a int64
+		if i%2 == 0 {
+			a = m + int64(i)*j
+		} else {
+			a = m - int64(i)*j
+		}
+		return a, a + p.S
+	}}
+}
+
+// random is the base for the RNG-driven workloads.
+type random struct {
+	name string
+	p    Params
+	rng  *xrand.Rand
+	i    int
+	next func(w *random) (int64, int64)
+}
+
+func (w *random) Name() string { return w.name }
+func (w *random) Reset() {
+	w.rng.Seed(w.p.Seed)
+	w.i = 0
+}
+func (w *random) Next() (int64, int64) {
+	lo, hi := w.next(w)
+	w.i++
+	return clamp(lo, hi, w.p.N)
+}
+
+// Random: [a, a+S) with a = R % (N-S): uniformly random ranges of fixed
+// selectivity — the workload original cracking excels at.
+func Random(p Params) Generator {
+	p = p.withDefaults()
+	return &random{name: "random", p: p, rng: xrand.New(p.Seed), next: func(w *random) (int64, int64) {
+		a := w.rng.Int63n(w.p.N - w.p.S)
+		return a, a + w.p.S
+	}}
+}
+
+// Skew: random ranges within the bottom 80% of the domain for the first
+// 80% of the sequence, then within the top 20%.
+func Skew(p Params) Generator {
+	p = p.withDefaults()
+	return &random{name: "skew", p: p, rng: xrand.New(p.Seed), next: func(w *random) (int64, int64) {
+		n, s := w.p.N, w.p.S
+		if w.i < w.p.Q*8/10 {
+			a := w.rng.Int63n(n*8/10 - s)
+			return a, a + s
+		}
+		a := n*8/10 + w.rng.Int63n(n*2/10-s)
+		return a, a + s
+	}}
+}
+
+// SeqRandom: [i*J, i*J + R%(N-i*J)): the lower bound advances sequentially
+// while the width is random.
+func SeqRandom(p Params) Generator {
+	p = p.withDefaults()
+	return &random{name: "seqrandom", p: p, rng: xrand.New(p.Seed), next: func(w *random) (int64, int64) {
+		j := (w.p.N - w.p.S) / int64(w.p.Q)
+		if j < 1 {
+			j = 1
+		}
+		a := int64(w.i) * j
+		if a >= w.p.N-1 {
+			a = w.p.N - 2
+		}
+		width := w.rng.Int63n(w.p.N-a) + 1
+		return a, a + width
+	}}
+}
+
+// Mixed switches to a randomly chosen Fig. 7 workload every 1000 queries,
+// continuing each sub-workload from where it last stopped (Fig. 17).
+type Mixed struct {
+	p    Params
+	rng  *xrand.Rand
+	subs []Generator
+	cur  int
+	i    int
+}
+
+// NewMixed builds the Mixed workload over all 13 synthetic patterns.
+func NewMixed(p Params) *Mixed {
+	p = p.withDefaults()
+	m := &Mixed{p: p, rng: xrand.New(p.Seed)}
+	for _, name := range Names() {
+		if name == "mixed" || name == "skyserver" {
+			continue
+		}
+		g, err := New(name, p)
+		if err != nil {
+			panic("workload: building " + name + ": " + err.Error())
+		}
+		m.subs = append(m.subs, g)
+	}
+	m.cur = m.rng.Intn(len(m.subs))
+	return m
+}
+
+// Name implements Generator.
+func (m *Mixed) Name() string { return "mixed" }
+
+// Reset implements Generator.
+func (m *Mixed) Reset() {
+	m.rng.Seed(m.p.Seed)
+	for _, s := range m.subs {
+		s.Reset()
+	}
+	m.cur = m.rng.Intn(len(m.subs))
+	m.i = 0
+}
+
+// Next implements Generator.
+func (m *Mixed) Next() (int64, int64) {
+	if m.i > 0 && m.i%1000 == 0 {
+		m.cur = m.rng.Intn(len(m.subs))
+	}
+	m.i++
+	return m.subs[m.cur].Next()
+}
+
+// Names returns every workload spec in the display order of Fig. 17.
+func Names() []string {
+	return []string{
+		"periodic", "zoomout", "zoomin", "zoominalt",
+		"random", "skew",
+		"seqreverse", "seqzoomin", "seqrandom", "sequential", "seqzoomout",
+		"zoomoutalt", "skewzoomoutalt",
+		"mixed", "skyserver",
+	}
+}
+
+// New builds a workload generator by name.
+func New(name string, p Params) (Generator, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "random":
+		return Random(p), nil
+	case "skew":
+		return Skew(p), nil
+	case "seqrandom":
+		return SeqRandom(p), nil
+	case "seqzoomin":
+		return SeqZoomIn(p), nil
+	case "periodic":
+		return Periodic(p), nil
+	case "zoomin":
+		return ZoomIn(p), nil
+	case "sequential":
+		return Sequential(p), nil
+	case "zoomoutalt":
+		return ZoomOutAlt(p), nil
+	case "zoominalt":
+		return ZoomInAlt(p), nil
+	case "seqreverse":
+		return SeqReverse(p), nil
+	case "zoomout":
+		return ZoomOut(p), nil
+	case "seqzoomout":
+		return SeqZoomOut(p), nil
+	case "skewzoomoutalt":
+		return SkewZoomOutAlt(p), nil
+	case "mixed":
+		return NewMixed(p), nil
+	case "skyserver":
+		return NewSkyServer(p), nil
+	}
+	return nil, fmt.Errorf("workload: unknown workload %q (known: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// Pattern samples the access pattern of a generator: it returns up to
+// points (queryIndex, rangeMidpoint) pairs over q queries, the format of
+// Fig. 7's and Fig. 16(b)'s plots.
+func Pattern(g Generator, q, points int) (xs []int, mids []int64) {
+	g.Reset()
+	if points <= 0 || points > q {
+		points = q
+	}
+	step := q / points
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < q; i++ {
+		lo, hi := g.Next()
+		if i%step == 0 {
+			xs = append(xs, i)
+			mids = append(mids, (lo+hi)/2)
+		}
+	}
+	g.Reset()
+	return xs, mids
+}
+
+// Coverage reports the fraction of the domain touched by the first q
+// queries of g (union of their ranges), a sanity metric used in tests.
+func Coverage(g Generator, q int, n int64) float64 {
+	g.Reset()
+	type iv struct{ lo, hi int64 }
+	ivs := make([]iv, 0, q)
+	for i := 0; i < q; i++ {
+		lo, hi := g.Next()
+		ivs = append(ivs, iv{lo, hi})
+	}
+	g.Reset()
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var covered, curLo, curHi int64
+	curLo, curHi = -1, -1
+	for _, v := range ivs {
+		if v.lo > curHi {
+			covered += curHi - curLo
+			curLo, curHi = v.lo, v.hi
+		} else if v.hi > curHi {
+			curHi = v.hi
+		}
+	}
+	covered += curHi - curLo
+	if curLo == -1 {
+		covered = 0
+	}
+	return float64(covered) / float64(n)
+}

@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func params() Params {
+	return Params{N: 1 << 20, Q: 10000, S: 10, Seed: 7}
+}
+
+func TestAllGeneratorsProduceValidRanges(t *testing.T) {
+	p := params()
+	for _, name := range Names() {
+		g, err := New(name, p)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if g.Name() != name {
+			t.Errorf("Name() = %q, want %q", g.Name(), name)
+		}
+		for i := 0; i < p.Q; i++ {
+			lo, hi := g.Next()
+			if lo < 0 || hi > p.N || lo >= hi {
+				t.Fatalf("%s query %d: invalid range [%d,%d) for N=%d", name, i, lo, hi, p.N)
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministicAcrossReset(t *testing.T) {
+	p := params()
+	for _, name := range Names() {
+		g, err := New(name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type pair struct{ lo, hi int64 }
+		first := make([]pair, 500)
+		for i := range first {
+			lo, hi := g.Next()
+			first[i] = pair{lo, hi}
+		}
+		g.Reset()
+		for i := range first {
+			lo, hi := g.Next()
+			if first[i] != (pair{lo, hi}) {
+				t.Fatalf("%s: query %d differs after Reset: [%d,%d) vs [%d,%d)",
+					name, i, first[i].lo, first[i].hi, lo, hi)
+			}
+		}
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := New("galaxyquest", params()); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestSequentialAdvancesMonotonically(t *testing.T) {
+	g := Sequential(params())
+	var prev int64 = -1
+	for i := 0; i < 1000; i++ {
+		lo, _ := g.Next()
+		if lo < prev {
+			t.Fatalf("sequential moved backwards at %d: %d after %d", i, lo, prev)
+		}
+		prev = lo
+	}
+}
+
+func TestSequentialCoversDomain(t *testing.T) {
+	p := params()
+	g := Sequential(p)
+	var lastLo int64
+	for i := 0; i < p.Q; i++ {
+		lastLo, _ = g.Next()
+	}
+	if lastLo < p.N*9/10 {
+		t.Fatalf("sequential final query starts at %d; should approach N=%d", lastLo, p.N)
+	}
+}
+
+func TestSeqReverseMirrorsSequential(t *testing.T) {
+	p := params()
+	fwd := Sequential(p)
+	rev := SeqReverse(p)
+	fwdQueries := make([][2]int64, p.Q)
+	for i := 0; i < p.Q; i++ {
+		lo, hi := fwd.Next()
+		fwdQueries[i] = [2]int64{lo, hi}
+	}
+	for i := 0; i < p.Q; i++ {
+		lo, hi := rev.Next()
+		want := fwdQueries[p.Q-1-i]
+		if lo != want[0] || hi != want[1] {
+			t.Fatalf("seqreverse query %d = [%d,%d), want [%d,%d)", i, lo, hi, want[0], want[1])
+		}
+	}
+}
+
+func TestZoomInNarrows(t *testing.T) {
+	p := params()
+	g := ZoomIn(p)
+	lo0, hi0 := g.Next()
+	w0 := hi0 - lo0
+	var wLast int64
+	for i := 1; i < p.Q; i++ {
+		lo, hi := g.Next()
+		wLast = hi - lo
+		if wLast > w0 {
+			t.Fatalf("zoomin width grew: %d > %d", wLast, w0)
+		}
+	}
+	if wLast*10 > w0 {
+		t.Fatalf("zoomin did not narrow: first %d, last %d", w0, wLast)
+	}
+}
+
+func TestZoomInAltAlternatesEnds(t *testing.T) {
+	p := params()
+	g := ZoomInAlt(p)
+	lo0, _ := g.Next()
+	lo1, _ := g.Next()
+	if lo0 >= p.N/2 || lo1 <= p.N/2 {
+		t.Fatalf("zoominalt first two queries at %d and %d; want low then high end", lo0, lo1)
+	}
+}
+
+func TestZoomOutAltStartsCentered(t *testing.T) {
+	p := params()
+	g := ZoomOutAlt(p)
+	lo, _ := g.Next()
+	if lo < p.N/2-p.N/100 || lo > p.N/2+p.N/100 {
+		t.Fatalf("zoomoutalt first query at %d, want near N/2=%d", lo, p.N/2)
+	}
+	sk := SkewZoomOutAlt(p)
+	lo, _ = sk.Next()
+	if lo < p.N*85/100 {
+		t.Fatalf("skewzoomoutalt first query at %d, want near 9N/10=%d", lo, p.N/10*9)
+	}
+}
+
+func TestSkewRespectsPhases(t *testing.T) {
+	p := params()
+	g := Skew(p)
+	for i := 0; i < p.Q; i++ {
+		lo, hi := g.Next()
+		if i < p.Q*8/10 {
+			if hi > p.N*8/10+p.S {
+				t.Fatalf("skew query %d at [%d,%d) outside bottom 80%%", i, lo, hi)
+			}
+		} else if lo < p.N*8/10 {
+			t.Fatalf("skew query %d at [%d,%d) outside top 20%%", i, lo, hi)
+		}
+	}
+}
+
+func TestPeriodicRepeats(t *testing.T) {
+	p := params()
+	g := Periodic(p)
+	// J = N/1000 and the paper's sawtooth restarts when i*J wraps N-S:
+	// the difference between consecutive lows is either +J or a big drop.
+	j := p.N / 1000
+	prev, _ := g.Next()
+	drops := 0
+	for i := 1; i < p.Q; i++ {
+		lo, _ := g.Next()
+		switch {
+		case lo == prev+j:
+		case lo < prev:
+			drops++
+		default:
+			t.Fatalf("periodic step %d -> %d is neither +J nor a wrap", prev, lo)
+		}
+		prev = lo
+	}
+	if drops < 5 {
+		t.Fatalf("periodic wrapped only %d times over %d queries", drops, p.Q)
+	}
+}
+
+func TestRandomCoverage(t *testing.T) {
+	p := params()
+	if cov := Coverage(Random(p), 5000, p.N); cov < 0.02 {
+		t.Fatalf("random coverage %.4f too small", cov)
+	}
+}
+
+func TestSkyServerLooksLikeCampaigns(t *testing.T) {
+	p := params()
+	g := NewSkyServer(p)
+	// Property 1: consecutive queries are strongly locally correlated —
+	// the median jump is far below the domain size.
+	prevLo := int64(-1)
+	small, large := 0, 0
+	q := 20000
+	for i := 0; i < q; i++ {
+		lo, hi := g.Next()
+		if lo < 0 || hi > p.N || lo >= hi {
+			t.Fatalf("invalid skyserver range [%d,%d)", lo, hi)
+		}
+		if prevLo >= 0 {
+			d := lo - prevLo
+			if d < 0 {
+				d = -d
+			}
+			if d < p.N/8 {
+				small++
+			} else {
+				large++
+			}
+		}
+		prevLo = lo
+	}
+	if small < large*5 {
+		t.Fatalf("skyserver trace not locally focused: %d small vs %d large jumps", small, large)
+	}
+	// Property 2: over a long horizon the trace still explores a good
+	// chunk of the domain (campaigns move around).
+	if cov := Coverage(NewSkyServer(p), q, p.N); cov < 0.15 {
+		t.Fatalf("skyserver coverage %.4f; campaigns never move", cov)
+	}
+}
+
+func TestMixedDrawsFromAllSubWorkloads(t *testing.T) {
+	p := params()
+	m := NewMixed(p)
+	for i := 0; i < 30000; i++ {
+		lo, hi := m.Next()
+		if lo < 0 || hi > p.N || lo >= hi {
+			t.Fatalf("mixed produced invalid range [%d,%d)", lo, hi)
+		}
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(lo, hi int64, nRaw uint32) bool {
+		n := int64(nRaw%1000000) + 2
+		clo, chi := clamp(lo, hi, n)
+		return clo >= 0 && chi <= n && clo < chi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternSampling(t *testing.T) {
+	p := params()
+	g := Sequential(p)
+	xs, mids := Pattern(g, 1000, 100)
+	if len(xs) != len(mids) || len(xs) == 0 || len(xs) > 110 {
+		t.Fatalf("pattern sample sizes: %d xs, %d mids", len(xs), len(mids))
+	}
+	for i := 1; i < len(mids); i++ {
+		if mids[i] < mids[i-1] {
+			t.Fatal("sequential pattern midpoints must be non-decreasing")
+		}
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.N <= 0 || p.Q <= 0 || p.S <= 0 || p.Seed == 0 {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+	p = Params{N: 5, S: 100}.withDefaults()
+	if p.S >= p.N {
+		t.Fatalf("selectivity not clamped below N: %+v", p)
+	}
+}

@@ -1,0 +1,79 @@
+package crackdb
+
+import (
+	"fmt"
+
+	"repro/internal/colload"
+	"repro/internal/core"
+	"repro/internal/snapshot"
+	"repro/internal/updates"
+)
+
+// SnapshotState is the serializable physical state of an index: the
+// (partially reorganized) column plus its crack set.
+type SnapshotState = core.SnapshotState
+
+// Snapshot captures the index's physical state so that a later Restore
+// resumes with all adaptation earned so far. Only engine-backed
+// algorithms (everything except the hybrids) support snapshots; indexes
+// with pending updates must drain them first (query the relevant ranges
+// or accept their loss).
+func (ix *Index) Snapshot() (SnapshotState, error) {
+	acc, ok := ix.inner.(interface{ Engine() *core.Engine })
+	if !ok {
+		return SnapshotState{}, fmt.Errorf("crackdb: %s does not support snapshots", ix.inner.Name())
+	}
+	if ix.upd != nil && ix.upd.Pending() > 0 {
+		return SnapshotState{}, fmt.Errorf("crackdb: %d pending updates; merge them before snapshotting", ix.upd.Pending())
+	}
+	return acc.Engine().Snapshot(), nil
+}
+
+// SaveSnapshot writes the index's state to path (atomic write, CRC32
+// protected).
+func (ix *Index) SaveSnapshot(path string) error {
+	st, err := ix.Snapshot()
+	if err != nil {
+		return err
+	}
+	return snapshot.SaveFile(path, st)
+}
+
+// Restore rebuilds an index from a snapshot, validating every crack
+// invariant first. algorithm selects who continues the cracking; crack
+// state is algorithm-agnostic, so restoring a "crack" snapshot into a
+// "dd1r" index is legal and useful.
+func Restore(st SnapshotState, algorithm string, opts ...Option) (*Index, error) {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	inner, err := core.Restore(st, algorithm, cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	u, _ := updates.Wrap(inner)
+	return &Index{inner: inner, upd: u}, nil
+}
+
+// LoadSnapshot reads a snapshot file written by SaveSnapshot and restores
+// an index from it.
+func LoadSnapshot(path, algorithm string, opts ...Option) (*Index, error) {
+	st, err := snapshot.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Restore(st, algorithm, opts...)
+}
+
+// LoadColumn reads an integer column from a file, accepting both the
+// newline-delimited text format and the CRKC binary format (sniffed).
+func LoadColumn(path string) ([]int64, error) {
+	return colload.LoadFile(path)
+}
+
+// SaveColumn writes an integer column to a file, as dense binary when
+// binaryFormat is set, else as one value per line.
+func SaveColumn(path string, values []int64, binaryFormat bool) error {
+	return colload.SaveFile(path, values, binaryFormat)
+}

@@ -1,0 +1,103 @@
+package crackdb_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	crackdb "repro"
+)
+
+func TestFacadeSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := crackdb.New(crackdb.MakeData(20_000, 1), crackdb.Crack, crackdb.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 30; i++ {
+		ix.Query(i*600, i*600+100)
+	}
+	cracksBefore := ix.Stats().Cracks
+	path := filepath.Join(dir, "ix.crks")
+	if err := ix.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore under a different (stochastic) algorithm: the crack state is
+	// algorithm-agnostic.
+	restored, err := crackdb.LoadSnapshot(path, crackdb.DD1R, crackdb.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Stats().Cracks != cracksBefore {
+		t.Fatalf("restored cracks = %d, want %d", restored.Stats().Cracks, cracksBefore)
+	}
+	res := restored.Query(600, 700)
+	if res.Count() != 100 {
+		t.Fatalf("restored query count = %d", res.Count())
+	}
+	// Updates still work after restore.
+	if err := restored.Insert(650); err != nil {
+		t.Fatal(err)
+	}
+	if res := restored.Query(600, 700); res.Count() != 101 {
+		t.Fatalf("count after insert = %d", res.Count())
+	}
+}
+
+func TestFacadeSnapshotRejectsPendingUpdates(t *testing.T) {
+	ix, err := crackdb.New(crackdb.MakeData(1_000, 4), crackdb.Crack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Snapshot(); err == nil {
+		t.Fatal("snapshot with pending updates accepted")
+	}
+	ix.Query(0, 10) // merges the insert
+	if _, err := ix.Snapshot(); err != nil {
+		t.Fatalf("snapshot after merge failed: %v", err)
+	}
+}
+
+func TestFacadeSnapshotRejectsHybrids(t *testing.T) {
+	ix, err := crackdb.New(crackdb.MakeData(1_000, 5), crackdb.AICS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Snapshot(); err == nil {
+		t.Fatal("hybrid snapshot accepted")
+	}
+}
+
+func TestFacadeColumnFiles(t *testing.T) {
+	dir := t.TempDir()
+	vals := crackdb.MakeData(500, 6)
+	for _, binary := range []bool{true, false} {
+		path := filepath.Join(dir, "col")
+		if err := crackdb.SaveColumn(path, vals, binary); err != nil {
+			t.Fatal(err)
+		}
+		got, err := crackdb.LoadColumn(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 500 {
+			t.Fatalf("loaded %d values", len(got))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("value %d mismatch (binary=%v)", i, binary)
+			}
+		}
+	}
+	// Loaded columns feed straight into New.
+	ix, err := crackdb.New(vals, crackdb.MDD1R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := ix.Query(0, 100); res.Count() != 100 {
+		t.Fatal("query over loaded column failed")
+	}
+}

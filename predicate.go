@@ -1,0 +1,92 @@
+package crackdb
+
+import (
+	"fmt"
+	"math"
+)
+
+// Predicate describes a one-attribute range condition in the four
+// comparison shapes SQL produces, normalized onto the engine's half-open
+// [lo, hi) form over integers. The paper's example queries mix strict and
+// non-strict bounds (Fig. 1: "A > 10 AND A < 14", "A >= 7 AND A <= 16");
+// Predicate is the translation layer.
+type Predicate struct {
+	lo, hi int64
+}
+
+// Between returns a predicate for lo <= v AND v <= hi (both inclusive).
+func Between(lo, hi int64) Predicate {
+	return Predicate{lo: lo, hi: incSat(hi)}
+}
+
+// Range returns a predicate for the half-open lo <= v AND v < hi, the
+// engine's native form.
+func Range(lo, hi int64) Predicate { return Predicate{lo: lo, hi: hi} }
+
+// Less returns a predicate for v < x.
+func Less(x int64) Predicate { return Predicate{lo: math.MinInt64, hi: x} }
+
+// LessEq returns a predicate for v <= x.
+func LessEq(x int64) Predicate { return Predicate{lo: math.MinInt64, hi: incSat(x)} }
+
+// Greater returns a predicate for v > x.
+func Greater(x int64) Predicate { return Predicate{lo: incSat(x), hi: math.MaxInt64} }
+
+// GreaterEq returns a predicate for v >= x.
+func GreaterEq(x int64) Predicate { return Predicate{lo: x, hi: math.MaxInt64} }
+
+// Eq returns a predicate for v == x.
+func Eq(x int64) Predicate { return Predicate{lo: x, hi: incSat(x)} }
+
+// And intersects two predicates: v must satisfy both.
+func (p Predicate) And(q Predicate) Predicate {
+	lo, hi := p.lo, p.hi
+	if q.lo > lo {
+		lo = q.lo
+	}
+	if q.hi < hi {
+		hi = q.hi
+	}
+	return Predicate{lo: lo, hi: hi}
+}
+
+// Bounds returns the normalized half-open [lo, hi) range.
+func (p Predicate) Bounds() (lo, hi int64) { return p.lo, p.hi }
+
+// Empty reports whether no value can satisfy the predicate.
+func (p Predicate) Empty() bool { return p.lo >= p.hi }
+
+// String renders the predicate for diagnostics.
+func (p Predicate) String() string {
+	if p.Empty() {
+		return "false"
+	}
+	switch {
+	case p.lo == math.MinInt64 && p.hi == math.MaxInt64:
+		return "true"
+	case p.lo == math.MinInt64:
+		return fmt.Sprintf("v < %d", p.hi)
+	case p.hi == math.MaxInt64:
+		return fmt.Sprintf("v >= %d", p.lo)
+	default:
+		return fmt.Sprintf("%d <= v < %d", p.lo, p.hi)
+	}
+}
+
+// incSat increments with saturation at the top of the int64 domain, so
+// LessEq(MaxInt64) means "everything" rather than wrapping around.
+func incSat(x int64) int64 {
+	if x == math.MaxInt64 {
+		return x
+	}
+	return x + 1
+}
+
+// QueryWhere answers the predicate through the index, adapting it as a
+// side effect.
+func (ix *Index) QueryWhere(p Predicate) Result {
+	if p.Empty() {
+		return Result{}
+	}
+	return ix.Query(p.lo, p.hi)
+}

@@ -1,0 +1,138 @@
+package crackdb_test
+
+import (
+	"math"
+	"testing"
+
+	crackdb "repro"
+)
+
+func TestPredicateNormalization(t *testing.T) {
+	cases := []struct {
+		p      crackdb.Predicate
+		lo, hi int64
+	}{
+		{crackdb.Range(10, 20), 10, 20},
+		{crackdb.Between(10, 20), 10, 21},
+		{crackdb.Less(10), math.MinInt64, 10},
+		{crackdb.LessEq(10), math.MinInt64, 11},
+		{crackdb.Greater(10), 11, math.MaxInt64},
+		{crackdb.GreaterEq(10), 10, math.MaxInt64},
+		{crackdb.Eq(10), 10, 11},
+		{crackdb.LessEq(math.MaxInt64), math.MinInt64, math.MaxInt64},
+	}
+	for _, c := range cases {
+		lo, hi := c.p.Bounds()
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("%v bounds = [%d,%d), want [%d,%d)", c.p, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestPredicateAnd(t *testing.T) {
+	// The paper's Fig. 1 queries: Q1 = A > 10 AND A < 14; Q2 = A >= 7 AND
+	// A <= 16.
+	q1 := crackdb.Greater(10).And(crackdb.Less(14))
+	if lo, hi := q1.Bounds(); lo != 11 || hi != 14 {
+		t.Fatalf("Q1 bounds = [%d,%d)", lo, hi)
+	}
+	q2 := crackdb.GreaterEq(7).And(crackdb.LessEq(16))
+	if lo, hi := q2.Bounds(); lo != 7 || hi != 17 {
+		t.Fatalf("Q2 bounds = [%d,%d)", lo, hi)
+	}
+	if !crackdb.Greater(10).And(crackdb.Less(5)).Empty() {
+		t.Fatal("contradictory predicate not empty")
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	if s := crackdb.Range(1, 2).And(crackdb.Range(5, 6)).String(); s != "false" {
+		t.Fatalf("empty String = %q", s)
+	}
+	if s := crackdb.Less(5).String(); s != "v < 5" {
+		t.Fatalf("Less String = %q", s)
+	}
+	if s := crackdb.GreaterEq(5).String(); s != "v >= 5" {
+		t.Fatalf("GreaterEq String = %q", s)
+	}
+	if s := crackdb.Range(1, 5).String(); s != "1 <= v < 5" {
+		t.Fatalf("Range String = %q", s)
+	}
+}
+
+func TestQueryWhere(t *testing.T) {
+	ix, err := crackdb.New(crackdb.MakeData(10_000, 7), crackdb.Crack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 1's Q1 on a dense domain: A > 10 AND A < 14 selects {11,12,13}.
+	res := ix.QueryWhere(crackdb.Greater(10).And(crackdb.Less(14)))
+	if res.Count() != 3 || res.Sum() != 36 {
+		t.Fatalf("Q1: count=%d sum=%d", res.Count(), res.Sum())
+	}
+	if res := ix.QueryWhere(crackdb.Eq(42)); res.Count() != 1 || res.Sum() != 42 {
+		t.Fatal("Eq predicate failed")
+	}
+	if res := ix.QueryWhere(crackdb.Greater(20).And(crackdb.Less(10))); res.Count() != 0 {
+		t.Fatal("empty predicate returned rows")
+	}
+	// Unbounded sides work: everything below 100.
+	if res := ix.QueryWhere(crackdb.Less(100)); res.Count() != 100 {
+		t.Fatalf("Less(100) count = %d", res.Count())
+	}
+	if res := ix.QueryWhere(crackdb.GreaterEq(9_900)); res.Count() != 100 {
+		t.Fatalf("GreaterEq count = %d", res.Count())
+	}
+}
+
+func TestFacadeTable(t *testing.T) {
+	n := 5000
+	a := crackdb.MakeData(int64(n), 8)
+	b := make([]int64, n)
+	for i, v := range a {
+		b[i] = v * 3
+	}
+	tbl, err := crackdb.NewTable(map[string][]int64{"a": a, "b": b}, crackdb.DD1R, crackdb.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != n || len(tbl.Columns()) != 2 {
+		t.Fatal("table shape wrong")
+	}
+	sel, err := tbl.Select("a", 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 100 {
+		t.Fatalf("select returned %d", len(sel))
+	}
+	proj, err := tbl.SelectProject("a", "b", 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, v := range proj {
+		sum += v
+	}
+	var want int64
+	for v := int64(100); v < 200; v++ {
+		want += v * 3
+	}
+	if sum != want {
+		t.Fatalf("projection sum = %d, want %d", sum, want)
+	}
+	side, err := tbl.SelectProjectSideways("a", "b", 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum = 0
+	for _, v := range side {
+		sum += v
+	}
+	if sum != want {
+		t.Fatalf("sideways sum = %d, want %d", sum, want)
+	}
+	if tbl.Stats().Touched == 0 {
+		t.Fatal("no physical work recorded")
+	}
+}

@@ -1,0 +1,49 @@
+package crackdb
+
+import "repro/internal/core"
+
+// ShardedIndex is a parallel cracking index: the column is value-range
+// partitioned into shards, each an independent adaptive index, and
+// queries crack the intersected shards concurrently (one goroutine per
+// shard). It is safe for concurrent use and addresses the paper's §6
+// "distribution" direction at single-process scale: physical
+// reorganization never crosses a shard boundary.
+type ShardedIndex struct {
+	s *core.Sharded
+}
+
+// NewSharded builds a sharded index over values with k value-range shards,
+// each running the given algorithm.
+func NewSharded(values []int64, algorithm string, k int, opts ...Option) (*ShardedIndex, error) {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s, err := core.NewSharded(values, algorithm, k, cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{s: s}, nil
+}
+
+// Query returns the values in [lo, hi) as an owned slice, cracking the
+// intersected shards in parallel.
+func (ix *ShardedIndex) Query(lo, hi int64) []int64 { return ix.s.Query(lo, hi) }
+
+// QueryWhere answers a predicate.
+func (ix *ShardedIndex) QueryWhere(p Predicate) []int64 {
+	if p.Empty() {
+		return nil
+	}
+	lo, hi := p.Bounds()
+	return ix.s.Query(lo, hi)
+}
+
+// Name identifies the configuration (e.g. "sharded-8(dd1r)").
+func (ix *ShardedIndex) Name() string { return ix.s.Name() }
+
+// NumShards returns the shard count.
+func (ix *ShardedIndex) NumShards() int { return ix.s.NumShards() }
+
+// Stats aggregates physical-cost counters across shards.
+func (ix *ShardedIndex) Stats() Stats { return ix.s.Stats() }

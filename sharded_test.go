@@ -1,0 +1,62 @@
+package crackdb_test
+
+import (
+	"sync"
+	"testing"
+
+	crackdb "repro"
+)
+
+func TestShardedFacade(t *testing.T) {
+	const n = 80_000
+	ix, err := crackdb.NewSharded(crackdb.MakeData(n, 10), crackdb.DD1R, 8, crackdb.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumShards() != 8 {
+		t.Fatalf("shards = %d", ix.NumShards())
+	}
+	got := ix.Query(1000, 2000)
+	if len(got) != 1000 {
+		t.Fatalf("count = %d", len(got))
+	}
+	var sum int64
+	for _, v := range got {
+		sum += v
+	}
+	var want int64
+	for v := int64(1000); v < 2000; v++ {
+		want += v
+	}
+	if sum != want {
+		t.Fatal("wrong values")
+	}
+	if p := ix.QueryWhere(crackdb.Between(10, 19)); len(p) != 10 {
+		t.Fatalf("predicate query count = %d", len(p))
+	}
+	if p := ix.QueryWhere(crackdb.Greater(5).And(crackdb.Less(5))); p != nil {
+		t.Fatal("empty predicate returned rows")
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				a := int64((g*997 + i*131) % (n - 100))
+				if len(ix.Query(a, a+100)) != 100 {
+					t.Error("concurrent query wrong")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if ix.Stats().Queries == 0 || ix.Name() == "" {
+		t.Fatal("stats/name broken")
+	}
+	if _, err := crackdb.NewSharded(nil, "bogus", 2); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+}

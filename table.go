@@ -1,0 +1,60 @@
+package crackdb
+
+import (
+	"repro/internal/core"
+	"repro/internal/table"
+)
+
+// Table is a column-store table with adaptive indexing at the attribute
+// level (paper §2): selections crack only the referenced column; other
+// attributes are reconstructed on demand, either through row ids or
+// through sideways cracker maps. A Table is not safe for concurrent use.
+type Table struct {
+	t *table.Table
+}
+
+// NewTable creates a table from named, equal-length columns. algorithm
+// selects the cracking flavor for selection indexes (any core algorithm
+// spec, e.g. crackdb.Crack or crackdb.DD1R).
+func NewTable(cols map[string][]int64, algorithm string, opts ...Option) (*Table, error) {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	t, err := table.New(cols, algorithm, cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t}, nil
+}
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int { return t.t.Rows() }
+
+// Columns returns the column names in deterministic order.
+func (t *Table) Columns() []string { return t.t.Columns() }
+
+// Select returns the values of column sel in [lo, hi), adapting sel's
+// index as a side effect.
+func (t *Table) Select(sel string, lo, hi int64) ([]int64, error) {
+	return t.t.Select(sel, lo, hi)
+}
+
+// SelectProject answers SELECT proj WHERE lo <= sel < hi using late
+// (row-id) tuple reconstruction.
+func (t *Table) SelectProject(sel, proj string, lo, hi int64) ([]int64, error) {
+	return t.t.SelectProject(sel, proj, lo, hi)
+}
+
+// SelectProjectSideways answers the same query through a sideways cracker
+// map (the projected attribute physically travels with the selection
+// attribute), built lazily per (sel, proj) pair.
+func (t *Table) SelectProjectSideways(sel, proj string, lo, hi int64) ([]int64, error) {
+	return t.t.SelectProjectSideways(sel, proj, lo, hi)
+}
+
+// Stats aggregates physical-cost counters across the table's indexes and
+// maps.
+func (t *Table) Stats() Stats { return t.t.Stats() }
+
+var _ = core.Options{} // facade and internal options stay aliased

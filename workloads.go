@@ -1,0 +1,30 @@
+package crackdb
+
+import (
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+// Workload generates a deterministic sequence of range queries; see
+// Workloads for the available patterns (the paper's Fig. 7 plus Mixed and
+// the synthetic SkyServer trace).
+type Workload = workload.Generator
+
+// WorkloadParams configure a workload generator: domain size N, planned
+// sequence length Q, selectivity S (value units) and Seed.
+type WorkloadParams = workload.Params
+
+// NewWorkload builds a workload generator by name ("random", "sequential",
+// "zoomin", ..., "skyserver").
+func NewWorkload(name string, p WorkloadParams) (Workload, error) {
+	return workload.New(name, p)
+}
+
+// Workloads lists the available workload names in the paper's Fig. 17
+// order.
+func Workloads() []string { return workload.Names() }
+
+// MakeData builds the paper's dataset: a seeded random permutation of the
+// unique integers [0, n) — with it, the expected result of any range query
+// is closed-form, which the test suite exploits for validation.
+func MakeData(n int64, seed uint64) []int64 { return bench.MakeData(n, seed) }

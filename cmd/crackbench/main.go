@@ -6,6 +6,7 @@
 //	crackbench -experiment fig2            # one experiment
 //	crackbench -experiment all             # the full evaluation
 //	crackbench -experiment fig17 -n 2000000 -q 10000
+//	crackbench -experiment concurrency -procs 8
 //	crackbench -list                       # show experiment ids
 //
 // Output is plain text: gnuplot-friendly series for the figures and
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,6 +33,7 @@ func main() {
 		s          = flag.Int64("s", 10, "selectivity in tuples")
 		seed       = flag.Uint64("seed", 42, "random seed for data, workloads and algorithms")
 		validate   = flag.Bool("validate", false, "validate every result against the closed-form oracle")
+		procs      = flag.Int("procs", 0, "set GOMAXPROCS for the run (0: leave as is; the concurrency experiment scales with it)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		report     = flag.String("report", "", "write a markdown paper-vs-measured report to this file and exit")
 		plot       = flag.Bool("plot", false, "render an ASCII log-log comparison chart for -workload/-algos and exit")
@@ -39,6 +42,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)

@@ -1,52 +1,59 @@
 package crackdb
 
-import (
-	"sync"
+import "repro/internal/exec"
 
-	"repro/internal/core"
-)
+// QueryRange is one half-open value range [Lo, Hi) of a batched query
+// (Range is taken by the predicate constructor).
+type QueryRange = exec.Range
 
-// ConcurrentIndex is a goroutine-safe view of an Index. Cracking inverts
-// the usual reader/writer economics — every query physically reorganizes
-// the column — so access is serialized with a mutex (the paper leaves
-// finer-grained concurrency control to future work) and results are
+// ConcurrentIndex is a goroutine-safe view of an Index, backed by the
+// unified adaptive execution layer (internal/exec). Cracking inverts the
+// usual reader/writer economics — a query may physically reorganize the
+// column — but it also converges: once the pieces around a query's bounds
+// are exact cracks or too small to be worth splitting, the query
+// reorganizes nothing. The executor detects that case with a non-mutating
+// probe and serves such queries under a shared lock in parallel;
+// reorganizing queries, and queries against index kinds without a probe
+// (the partition/merge hybrids), take the exclusive lock. Results are
 // returned as owned slices, safe to retain across queries.
 type ConcurrentIndex struct {
-	c *core.Concurrent
-
-	mu     sync.Mutex
-	facade *Index // fallback path for hybrids / update-carrying indexes
+	x *exec.Executor
 }
 
 // Query answers [lo, hi) and returns an owned slice of qualifying values.
 func (ci *ConcurrentIndex) Query(lo, hi int64) []int64 {
-	if ci.c != nil {
-		return ci.c.Query(lo, hi)
-	}
-	ci.mu.Lock()
-	defer ci.mu.Unlock()
-	res := ci.facade.Query(lo, hi)
-	return res.Materialize(make([]int64, 0, res.Count()))
+	return ci.x.Query(lo, hi)
 }
 
 // QueryAggregate answers [lo, hi) returning only (count, sum), skipping
 // the copy when the caller needs aggregates.
 func (ci *ConcurrentIndex) QueryAggregate(lo, hi int64) (count int, sum int64) {
-	if ci.c != nil {
-		return ci.c.QueryCount(lo, hi)
-	}
-	ci.mu.Lock()
-	defer ci.mu.Unlock()
-	res := ci.facade.Query(lo, hi)
-	return res.Count(), res.Sum()
+	return ci.x.QueryAggregate(lo, hi)
 }
 
+// QueryBatch answers many ranges with at most two lock acquisitions —
+// one shared pass for the converged ranges, one exclusive pass for the
+// rest — and returns owned slices in input order.
+func (ci *ConcurrentIndex) QueryBatch(ranges []QueryRange) [][]int64 {
+	return ci.x.QueryBatch(ranges)
+}
+
+// Insert queues a value for insertion (merged by the first covering
+// query); it errors for index kinds that cannot take updates.
+func (ci *ConcurrentIndex) Insert(v int64) error { return ci.x.Insert(v) }
+
+// Delete queues the removal of one occurrence of v, like Insert.
+func (ci *ConcurrentIndex) Delete(v int64) error { return ci.x.Delete(v) }
+
+// Name identifies the wrapped index (e.g. "exec(dd1r)").
+func (ci *ConcurrentIndex) Name() string { return ci.x.Name() }
+
 // Stats returns the wrapped index's counters.
-func (ci *ConcurrentIndex) Stats() Stats {
-	if ci.c != nil {
-		return ci.c.Stats()
-	}
-	ci.mu.Lock()
-	defer ci.mu.Unlock()
-	return ci.facade.Stats()
+func (ci *ConcurrentIndex) Stats() Stats { return ci.x.Stats() }
+
+// PathStats reports how many queries ran under the shared read lock
+// versus the exclusive write lock — the adaptivity of the executor,
+// observable.
+func (ci *ConcurrentIndex) PathStats() (reads, writes int64) {
+	return ci.x.PathStats()
 }

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/hybrids"
 	"repro/internal/updates"
 )
@@ -200,17 +201,20 @@ func (ix *Index) Stats() Stats { return ix.inner.Stats() }
 // refined the index is.
 func (ix *Index) Pieces() int { return ix.inner.Stats().Pieces }
 
-// Synchronized wraps the index for concurrent use. Every query may
-// reorganize the column, so access is serialized and results are returned
-// as owned slices.
+// Synchronized wraps the index for concurrent use through the adaptive
+// execution layer (internal/exec): converged queries run in parallel under
+// a shared lock, reorganizing queries serialize under an exclusive one,
+// and results are returned as owned slices. Updatable indexes keep their
+// update path — Insert and Delete on the wrapper queue updates under the
+// exclusive lock. The returned wrapper assumes ownership; drop the
+// unsynchronized Index afterwards.
 func (ix *Index) Synchronized() *ConcurrentIndex {
-	inner, ok := ix.inner.(core.Index)
-	if !ok || ix.upd != nil && ix.upd.Pending() > 0 {
-		// Hybrids and indexes with queued updates keep their own paths;
-		// serialize through the facade instead.
-		return &ConcurrentIndex{facade: ix}
+	if ix.upd != nil {
+		return &ConcurrentIndex{x: exec.New(ix.upd)}
 	}
-	return &ConcurrentIndex{c: core.NewConcurrent(inner)}
+	// Hybrids (and the sorted baseline) expose no convergence probe; the
+	// executor serves them entirely under the exclusive lock.
+	return &ConcurrentIndex{x: exec.New(ix.inner)}
 }
 
 // Algorithms returns every algorithm spec New accepts (with representative

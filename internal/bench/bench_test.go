@@ -154,8 +154,11 @@ func TestSecondsFormatting(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("experiment count = %d, want 15", len(all))
+	if len(all) != 16 {
+		t.Fatalf("experiment count = %d, want 16", len(all))
+	}
+	if _, ok := ByID("concurrency"); !ok {
+		t.Fatal("concurrency missing")
 	}
 	if _, ok := ByID("fig2"); !ok {
 		t.Fatal("fig2 missing")

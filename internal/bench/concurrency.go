@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/xrand"
+)
+
+// The concurrency experiment measures what the unified execution layer
+// (internal/exec) buys over the conservative one-big-mutex discipline the
+// paper's reader/writer economics suggest. Three servers answer the same
+// workload from g goroutines:
+//
+//	mutex     — every query serializes behind one mutual-exclusion lock
+//	            (the deleted core.Concurrent baseline);
+//	exec      — the adaptive executor: converged queries run read-only
+//	            under a shared lock, in parallel;
+//	sharded   — value-range shards, each behind its own executor.
+//
+// Two phases are reported: "cold" starts from an uncracked column (every
+// query reorganizes, so the executor degrades to the mutex discipline) and
+// "converged" repeats the same ranges after the column has adapted (the
+// executor's read path takes over). Throughput differences beyond one
+// goroutine require real hardware parallelism; on a single-core host the
+// converged numbers mainly show the executor is not slower than the mutex.
+
+// mutexServer is the old core.Concurrent: exclusive lock, full
+// materialization. internal/exec's benchmarks carry the same baseline
+// (mutexIndex in bench_test.go); keep the two in step so the benchmark
+// and this experiment measure the same discipline.
+type mutexServer struct {
+	mu    sync.Mutex
+	inner core.Index
+}
+
+func (m *mutexServer) Query(a, b int64) []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	res := m.inner.Query(a, b)
+	return res.Materialize(make([]int64, 0, res.Count()))
+}
+
+func runConcurrency(cfg Config, w io.Writer) error {
+	cfg = cfg.WithDefaults()
+	n := cfg.N
+	if n > 2_000_000 {
+		n = 2_000_000 // plenty to show locking behavior; keeps the cell quick
+	}
+	const spec = "crack"
+	queries := cfg.Q
+	if queries > 4096 {
+		queries = 4096
+	}
+	width := cfg.S
+	if width < 1 {
+		width = 1
+	}
+
+	// One shared range set: cold phase cracks it in, converged phase
+	// re-answers it.
+	rng := xrand.New(cfg.Seed)
+	ranges := make([]exec.Range, queries)
+	for i := range ranges {
+		a := rng.Int63n(n - width)
+		ranges[i] = exec.Range{Lo: a, Hi: a + width}
+	}
+	data := MakeData(n, cfg.Seed)
+
+	build := func() core.Index {
+		ix, err := core.Build(append([]int64(nil), data...), spec, core.Options{Seed: cfg.Seed})
+		if err != nil {
+			panic(err)
+		}
+		return ix
+	}
+
+	servers := []struct {
+		name  string
+		query func(a, b int64) []int64
+	}{
+		{"mutex", (&mutexServer{inner: build()}).Query},
+		{"exec", exec.New(build()).Query},
+	}
+	sharded, err := exec.NewSharded(append([]int64(nil), data...), spec, 8, core.Options{Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	servers = append(servers, struct {
+		name  string
+		query func(a, b int64) []int64
+	}{"sharded-8", sharded.Query})
+
+	maxG := runtime.GOMAXPROCS(0) * 2
+	if maxG < 4 {
+		maxG = 4
+	}
+	fmt.Fprintf(w, "%-10s %-10s %6s %12s %14s\n", "server", "phase", "g", "queries/s", "wall(ms)")
+	for _, srv := range servers {
+		for _, phase := range []string{"cold", "converged"} {
+			for g := 1; g <= maxG; g *= 2 {
+				if phase == "cold" && g > 1 {
+					continue // the column only cracks in once
+				}
+				qps, wall, err := measureThroughput(srv.query, ranges, g, width)
+				if err != nil {
+					return fmt.Errorf("concurrency: %s/%s g=%d: %w", srv.name, phase, g, err)
+				}
+				fmt.Fprintf(w, "%-10s %-10s %6d %12.0f %14.2f\n",
+					srv.name, phase, g, qps, float64(wall.Microseconds())/1000)
+			}
+		}
+	}
+	return nil
+}
+
+// measureThroughput fans the range set out over g goroutines (striped, so
+// every goroutine touches the whole value domain) and reports aggregate
+// queries per second. A wrong result count fails the experiment instead
+// of crashing it.
+func measureThroughput(query func(a, b int64) []int64, ranges []exec.Range, g int, width int64) (float64, time.Duration, error) {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		bad  error
+		fail = func(err error) {
+			mu.Lock()
+			if bad == nil {
+				bad = err
+			}
+			mu.Unlock()
+		}
+	)
+	start := time.Now()
+	for t := 0; t < g; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for i := t; i < len(ranges); i += g {
+				r := ranges[i]
+				if got := query(r.Lo, r.Hi); int64(len(got)) != width {
+					fail(fmt.Errorf("range [%d,%d): %d rows, want %d", r.Lo, r.Hi, len(got), width))
+					return
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	return float64(len(ranges)) / wall.Seconds(), wall, bad
+}

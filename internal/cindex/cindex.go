@@ -188,6 +188,17 @@ func (t *Tree) PieceFor(v int64, n int) (lo, hi int, exact bool) {
 	return lo, hi, false
 }
 
+// BoundConverged reports whether a query bound at value v would trigger no
+// physical reorganization in a column of n tuples: either a crack lies
+// exactly at v, or the piece holding v has at most noCrack tuples — small
+// enough that scanning it beats splitting it. It is the per-bound half of
+// the executor's converged-query probe and never mutates the tree, so it is
+// safe to call under a shared (read) lock.
+func (t *Tree) BoundConverged(v int64, n, noCrack int) bool {
+	lo, hi, exact := t.PieceFor(v, n)
+	return exact || hi-lo <= noCrack
+}
+
 // Has reports whether a crack at exactly key v exists.
 func (t *Tree) Has(v int64) bool {
 	cur := t.root

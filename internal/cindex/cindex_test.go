@@ -427,3 +427,33 @@ func BenchmarkRangeShift(b *testing.B) {
 		tr.RangeShift(r.Int63n(1<<40), 1)
 	}
 }
+
+func TestBoundConverged(t *testing.T) {
+	var tr Tree
+	const n = 1000
+	// Empty tree: the whole column is one piece; converged only when the
+	// threshold covers it.
+	if tr.BoundConverged(500, n, 10) {
+		t.Fatal("large single piece reported converged")
+	}
+	if !tr.BoundConverged(500, n, n) {
+		t.Fatal("threshold >= piece size must converge")
+	}
+	tr.Insert(100, 100)
+	tr.Insert(200, 200)
+	// Exact crack: converged regardless of threshold.
+	if !tr.BoundConverged(100, n, 0) {
+		t.Fatal("exact crack not converged")
+	}
+	// Value inside piece [100, 200): piece has 100 tuples.
+	if tr.BoundConverged(150, n, 99) {
+		t.Fatal("piece of 100 converged at threshold 99")
+	}
+	if !tr.BoundConverged(150, n, 100) {
+		t.Fatal("piece of 100 not converged at threshold 100")
+	}
+	// Probing must not mutate the tree.
+	if tr.Len() != 2 {
+		t.Fatalf("probe changed the tree: %d cracks", tr.Len())
+	}
+}

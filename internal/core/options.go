@@ -25,6 +25,11 @@ const (
 	// DefaultSwapPct is the progressive swap budget (P10% in the paper,
 	// its default stochastic cracking strategy for most experiments).
 	DefaultSwapPct = 10
+	// DefaultNoCrackSize is the piece-size threshold (tuples) below which
+	// the concurrent executor answers queries by scanning the piece under a
+	// shared lock instead of cracking it under an exclusive one: 1 KB of
+	// values, cheap enough that further splitting buys nothing.
+	DefaultNoCrackSize = 128
 )
 
 // Options configure an Engine. The zero value selects the paper's defaults.
@@ -44,6 +49,12 @@ type Options struct {
 	// size (P1%..P100%). Defaults to DefaultSwapPct. 100 makes PMDD1R
 	// behave exactly like MDD1R.
 	SwapPct int
+
+	// NoCrackSize is the piece-size threshold (in tuples) at or below which
+	// CanAnswerWithoutCracking treats a query bound as converged: the piece
+	// is scanned read-only instead of being cracked. Defaults to
+	// DefaultNoCrackSize; set it negative to require exact cracks.
+	NoCrackSize int
 
 	// Seed drives every random choice (pivots, coin flips, injected
 	// queries). Two indexes built with the same seed, data and query
@@ -70,6 +81,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SwapPct > 100 {
 		o.SwapPct = 100
+	}
+	if o.NoCrackSize == 0 {
+		o.NoCrackSize = DefaultNoCrackSize
+	}
+	if o.NoCrackSize < 0 {
+		o.NoCrackSize = 0
 	}
 	if o.Seed == 0 {
 		o.Seed = 1

@@ -1,0 +1,178 @@
+package core
+
+// Read-only query answering, the foundation of the adaptive read/write
+// execution layer (internal/exec). Cracking inverts the usual
+// reader/writer economics — every query may reorganize the column — but
+// cracking also converges: once the pieces around a query's bounds are
+// exact cracks (or too small to be worth splitting), answering it
+// reorganizes nothing and is a plain read. The methods in this file detect
+// that case and answer it without mutating any engine state (no cracks, no
+// counters, no shared buffers), so the executor can serve converged
+// queries under a shared lock in parallel.
+
+// CanAnswerWithoutCracking reports whether the range query [a, b) can be
+// answered without any physical reorganization or other engine mutation:
+// each bound either lies exactly on an existing crack or falls in a piece
+// of at most Options.NoCrackSize tuples. It never mutates the engine and
+// is safe to call under a shared lock.
+func (e *Engine) CanAnswerWithoutCracking(a, b int64) bool {
+	n := e.col.Len()
+	if a >= b || n == 0 {
+		return true
+	}
+	return e.idx.BoundConverged(a, n, e.opt.NoCrackSize) &&
+		e.idx.BoundConverged(b, n, e.opt.NoCrackSize)
+}
+
+// TryAnswerReadOnly answers [a, b) without mutating the engine when the
+// query is converged (see CanAnswerWithoutCracking), appending the
+// qualifying values to dst. ok is false — with dst returned unchanged —
+// when answering would require reorganization. Probe and answer share one
+// pair of cracker-index descents, which keeps the executor's read path as
+// cheap as a write-path lookup.
+func (e *Engine) TryAnswerReadOnly(a, b int64, dst []int64) (_ []int64, ok bool) {
+	n := e.col.Len()
+	if a >= b || n == 0 {
+		return dst, true
+	}
+	noCrack := e.opt.NoCrackSize
+	loA, hiA, exactA := e.idx.PieceFor(a, n)
+	if !exactA && hiA-loA > noCrack {
+		return dst, false
+	}
+	loB, hiB, exactB := e.idx.PieceFor(b, n)
+	if !exactB && hiB-loB > noCrack {
+		return dst, false
+	}
+	return e.answerPieces(dst, a, b, loA, hiA, exactA, loB, hiB, exactB), true
+}
+
+// TryAnswerReadOnlyAggregate is TryAnswerReadOnly returning only (count,
+// sum).
+func (e *Engine) TryAnswerReadOnlyAggregate(a, b int64) (count int, sum int64, ok bool) {
+	n := e.col.Len()
+	if a >= b || n == 0 {
+		return 0, 0, true
+	}
+	noCrack := e.opt.NoCrackSize
+	loA, hiA, exactA := e.idx.PieceFor(a, n)
+	if !exactA && hiA-loA > noCrack {
+		return 0, 0, false
+	}
+	loB, hiB, exactB := e.idx.PieceFor(b, n)
+	if !exactB && hiB-loB > noCrack {
+		return 0, 0, false
+	}
+	count, sum = e.aggregatePieces(a, b, loA, hiA, exactA, loB, hiB, exactB)
+	return count, sum, true
+}
+
+// AnswerReadOnly appends the qualifying values of [a, b) to dst and
+// returns it, without mutating the engine: no cracks are inserted, no cost
+// counters advance, no shared materialization buffers are touched. It is
+// always correct, but on unconverged bounds it degrades to scanning whole
+// pieces; gate hot paths behind CanAnswerWithoutCracking or use
+// TryAnswerReadOnly, which fuses the probe into the answer.
+func (e *Engine) AnswerReadOnly(a, b int64, dst []int64) []int64 {
+	n := e.col.Len()
+	if a >= b || n == 0 {
+		return dst
+	}
+	loA, hiA, exactA := e.idx.PieceFor(a, n)
+	loB, hiB, exactB := e.idx.PieceFor(b, n)
+	return e.answerPieces(dst, a, b, loA, hiA, exactA, loB, hiB, exactB)
+}
+
+// AnswerReadOnlyAggregate returns the count and sum of the qualifying
+// values of [a, b) under the same no-mutation contract as AnswerReadOnly.
+func (e *Engine) AnswerReadOnlyAggregate(a, b int64) (count int, sum int64) {
+	n := e.col.Len()
+	if a >= b || n == 0 {
+		return 0, 0
+	}
+	loA, hiA, exactA := e.idx.PieceFor(a, n)
+	loB, hiB, exactB := e.idx.PieceFor(b, n)
+	return e.aggregatePieces(a, b, loA, hiA, exactA, loB, hiB, exactB)
+}
+
+// answerPieces assembles the answer from the bound pieces: filtered scans
+// of the end pieces, a bulk copy of everything between them.
+func (e *Engine) answerPieces(dst []int64, a, b int64, loA, hiA int, exactA bool, loB, hiB int, exactB bool) []int64 {
+	vals := e.col.Values
+
+	// Both bounds inside the same uncracked piece: one filtered scan.
+	if !exactA && !exactB && loA == loB && hiA == hiB {
+		return appendInRange(dst, vals[loA:hiA], a, b)
+	}
+
+	if dst == nil {
+		// One exact allocation for the contiguous middle plus at most the
+		// two end pieces.
+		est := hiB - loA
+		if exactB {
+			est = loB - loA
+		}
+		dst = make([]int64, 0, est)
+	}
+	// Left end piece: qualifying values are those >= a (all below b — b's
+	// piece is above — unless b shares a's piece, which the guard covers).
+	viewStart := loA
+	if !exactA {
+		dst = appendInRange(dst, vals[loA:hiA], a, b)
+		viewStart = hiA
+	}
+	// Middle: every piece strictly between the bound pieces qualifies whole.
+	if loB > viewStart {
+		dst = append(dst, vals[viewStart:loB]...)
+	}
+	// Right end piece: qualifying values are those < b.
+	if !exactB {
+		dst = appendInRange(dst, vals[loB:hiB], a, b)
+	}
+	return dst
+}
+
+func (e *Engine) aggregatePieces(a, b int64, loA, hiA int, exactA bool, loB, hiB int, exactB bool) (count int, sum int64) {
+	vals := e.col.Values
+
+	if !exactA && !exactB && loA == loB && hiA == hiB {
+		return countInRange(vals[loA:hiA], a, b)
+	}
+
+	viewStart := loA
+	if !exactA {
+		c, s := countInRange(vals[loA:hiA], a, b)
+		count, sum = count+c, sum+s
+		viewStart = hiA
+	}
+	if loB > viewStart {
+		count += loB - viewStart
+		for _, v := range vals[viewStart:loB] {
+			sum += v
+		}
+	}
+	if !exactB {
+		c, s := countInRange(vals[loB:hiB], a, b)
+		count, sum = count+c, sum+s
+	}
+	return count, sum
+}
+
+func appendInRange(dst, piece []int64, a, b int64) []int64 {
+	for _, v := range piece {
+		if a <= v && v < b {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+func countInRange(piece []int64, a, b int64) (count int, sum int64) {
+	for _, v := range piece {
+		if a <= v && v < b {
+			count++
+			sum += v
+		}
+	}
+	return count, sum
+}

@@ -1,0 +1,227 @@
+// Package exec is the unified concurrent execution layer for adaptive
+// indexes: one adaptive read/write locking discipline that every
+// goroutine-safe path in the repository routes through (the facade's
+// Synchronized wrapper, the sharded index, the benchmark harness).
+//
+// Cracking inverts the usual reader/writer economics — every query may
+// physically reorganize the column, so a mutual-exclusion lock is the
+// correct naive baseline (the paper leaves finer-grained schemes to future
+// work, §6). But cracking also converges: after enough queries the pieces
+// around most query bounds are exact cracks or too small to be worth
+// splitting, and those queries reorganize nothing. Alvarez et al.
+// (arXiv:1404.2034) show that exploiting exactly this is where the payoff
+// of parallel adaptive indexing comes from. The Executor therefore probes
+// each query with the index's non-mutating CanAnswerWithoutCracking: a
+// converged query is answered read-only under RWMutex.RLock, in parallel
+// with other converged queries, while a reorganizing query takes the write
+// lock. On a converged workload throughput scales with GOMAXPROCS instead
+// of being serialized behind one mutex.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Index is the surface the executor drives: any single-threaded adaptive
+// index (core algorithms, hybrids, the updates wrapper). The executor
+// assumes exclusive ownership of it.
+type Index interface {
+	Query(a, b int64) core.Result
+	Name() string
+	Stats() core.Stats
+}
+
+// prober is the optional fast-path surface: fused convergence probe plus
+// read-only answer, sharing one pair of cracker-index descents (see
+// core.Engine.CanAnswerWithoutCracking for the probe alone). core.Engine
+// implements it directly; updates.Index implements it with a
+// pending-update check layered on top.
+type prober interface {
+	TryAnswerReadOnly(a, b int64, dst []int64) (_ []int64, ok bool)
+	TryAnswerReadOnlyAggregate(a, b int64) (count int, sum int64, ok bool)
+}
+
+// inserter is the optional update surface (the updates wrapper).
+type inserter interface {
+	Insert(v int64)
+	Delete(v int64)
+}
+
+// engineAccessor is satisfied by every engine-backed core index.
+type engineAccessor interface {
+	Engine() *core.Engine
+}
+
+// Range is one half-open value range [Lo, Hi) of a batched query.
+type Range struct {
+	Lo, Hi int64
+}
+
+// Executor makes an Index safe for concurrent use with adaptive read/write
+// locking. Results are returned as owned slices, safe to retain.
+type Executor struct {
+	mu    sync.RWMutex
+	inner Index
+	p     prober   // nil: every query takes the write lock
+	ins   inserter // nil: updates unsupported
+
+	readQueries  atomic.Int64 // queries answered under the shared lock
+	writeQueries atomic.Int64 // queries answered under the exclusive lock
+}
+
+// New wraps inner. The fast read path engages when inner exposes a
+// convergence probe — directly (updates.Index) or through an engine-backed
+// core index — and degrades to exclusive locking otherwise (hybrids).
+func New(inner Index) *Executor {
+	x := &Executor{inner: inner}
+	if p, ok := inner.(prober); ok {
+		x.p = p
+	} else if acc, ok := inner.(engineAccessor); ok {
+		x.p = acc.Engine()
+	}
+	if ins, ok := inner.(inserter); ok {
+		x.ins = ins
+	}
+	return x
+}
+
+// Query answers [a, b) and returns an owned slice of the qualifying
+// values. Converged queries run under the shared lock.
+func (x *Executor) Query(a, b int64) []int64 {
+	if x.p != nil {
+		x.mu.RLock()
+		out, ok := x.p.TryAnswerReadOnly(a, b, nil)
+		x.mu.RUnlock()
+		if ok {
+			x.readQueries.Add(1)
+			return out
+		}
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.writeQueries.Add(1)
+	res := x.inner.Query(a, b)
+	return res.Materialize(make([]int64, 0, res.Count()))
+}
+
+// QueryAggregate answers [a, b) returning only (count, sum), skipping the
+// copy when the caller needs aggregates.
+func (x *Executor) QueryAggregate(a, b int64) (count int, sum int64) {
+	if x.p != nil {
+		x.mu.RLock()
+		count, sum, ok := x.p.TryAnswerReadOnlyAggregate(a, b)
+		x.mu.RUnlock()
+		if ok {
+			x.readQueries.Add(1)
+			return count, sum
+		}
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.writeQueries.Add(1)
+	res := x.inner.Query(a, b)
+	return res.Count(), res.Sum()
+}
+
+// QueryBatch answers many ranges with at most two lock acquisitions: one
+// shared pass answering every converged range, then — only if some ranges
+// still need reorganization — one exclusive pass answering the rest in
+// ascending range order (sorted bounds crack the column left to right,
+// which keeps piece lookups and memory access local). Results are owned
+// slices in the order of the input ranges.
+func (x *Executor) QueryBatch(ranges []Range) [][]int64 {
+	out := make([][]int64, len(ranges))
+	if len(ranges) == 0 {
+		return out
+	}
+	order := make([]int, len(ranges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ri, rj := ranges[order[i]], ranges[order[j]]
+		if ri.Lo != rj.Lo {
+			return ri.Lo < rj.Lo
+		}
+		return ri.Hi < rj.Hi
+	})
+
+	pending := order[:0] // reuses order's backing array; reads stay ahead
+	if x.p != nil {
+		reads := int64(0)
+		x.mu.RLock()
+		for _, i := range order {
+			r := ranges[i]
+			if res, ok := x.p.TryAnswerReadOnly(r.Lo, r.Hi, nil); ok {
+				out[i] = res
+				reads++
+			} else {
+				pending = append(pending, i)
+			}
+		}
+		x.mu.RUnlock()
+		x.readQueries.Add(reads)
+	} else {
+		pending = order
+	}
+	if len(pending) == 0 {
+		return out
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for _, i := range pending {
+		r := ranges[i]
+		x.writeQueries.Add(1)
+		res := x.inner.Query(r.Lo, r.Hi)
+		out[i] = res.Materialize(make([]int64, 0, res.Count()))
+	}
+	return out
+}
+
+// Insert queues value v for insertion (merged into the column by the first
+// query whose range covers it). It errors when the wrapped index cannot
+// take updates.
+func (x *Executor) Insert(v int64) error {
+	if x.ins == nil {
+		return fmt.Errorf("exec: %s does not support updates", x.inner.Name())
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ins.Insert(v)
+	return nil
+}
+
+// Delete queues the removal of one occurrence of v, like Insert.
+func (x *Executor) Delete(v int64) error {
+	if x.ins == nil {
+		return fmt.Errorf("exec: %s does not support updates", x.inner.Name())
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ins.Delete(v)
+	return nil
+}
+
+// Name identifies the wrapped algorithm.
+func (x *Executor) Name() string { return "exec(" + x.inner.Name() + ")" }
+
+// Stats reports the wrapped index's counters. Queries answered on the read
+// path never reach the wrapped index, so their count is added back in.
+func (x *Executor) Stats() core.Stats {
+	x.mu.RLock()
+	st := x.inner.Stats()
+	x.mu.RUnlock()
+	st.Queries += x.readQueries.Load()
+	return st
+}
+
+// PathStats reports how many queries ran under the shared read lock versus
+// the exclusive write lock — the executor's adaptivity, observable.
+func (x *Executor) PathStats() (reads, writes int64) {
+	return x.readQueries.Load(), x.writeQueries.Load()
+}

@@ -1,0 +1,49 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// A process-wide bounded worker pool for fanning shard queries out. The
+// old core.Sharded spawned one goroutine per intersected shard per query —
+// under heavy concurrent traffic that is queries x shards goroutines all
+// runnable at once. The pool caps shard-fan-out parallelism at GOMAXPROCS
+// workers (floored at 2 so fan-out exists even on one proc) shared by
+// every sharded index in the process; when all workers
+// are busy the submitting goroutine runs the task inline, so submission
+// never blocks and the fan-out degrades gracefully to sequential work
+// under saturation instead of piling up goroutines.
+var (
+	poolOnce sync.Once
+	poolWork chan func()
+)
+
+func poolStart() {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	poolWork = make(chan func(), 2*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for task := range poolWork {
+				task()
+			}
+		}()
+	}
+}
+
+// poolSubmit hands task to an idle worker; it reports false — without
+// running the task — when the pool is saturated, leaving the task to the
+// caller. Tasks must be independent: a task must never wait on another
+// submitted task, or saturation could deadlock the pool.
+func poolSubmit(task func()) bool {
+	poolOnce.Do(poolStart)
+	select {
+	case poolWork <- task:
+		return true
+	default:
+		return false
+	}
+}

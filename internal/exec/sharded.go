@@ -1,0 +1,267 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Sharded is a parallel cracking index: the column is value-range
+// partitioned into k shards, each an independent engine-backed index
+// behind its own adaptive Executor, and queries fan out to the shards
+// their range intersects. It addresses the paper's §6 "distribution"
+// direction at the scale of one process: physical reorganization never
+// crosses a shard boundary, so disjoint shards crack independently, and
+// within a shard the executor lets converged queries run in parallel.
+//
+// Shard boundaries are chosen by sampling so each shard holds roughly the
+// same number of tuples. Single-shard queries are served inline on the
+// calling goroutine; multi-shard queries offload the extra shards to the
+// process-wide bounded worker pool. Results are returned materialized
+// (shards are not contiguous with one another).
+type Sharded struct {
+	shards []shard
+	spec   string
+	q      atomic.Int64
+}
+
+type shard struct {
+	lo, hi int64 // value range [lo, hi) this shard owns
+	ex     *Executor
+}
+
+// NewSharded builds a sharded index: values are split into k value-range
+// shards, each indexed independently with the given algorithm spec.
+func NewSharded(values []int64, spec string, k int, opt core.Options) (*Sharded, error) {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(values) && len(values) > 0 {
+		k = len(values)
+	}
+	bounds := shardBounds(values, k, opt.Seed)
+	buckets := make([][]int64, len(bounds)+1)
+	for _, v := range values {
+		buckets[bucketOf(bounds, v)] = append(buckets[bucketOf(bounds, v)], v)
+	}
+	s := &Sharded{spec: spec}
+	lo := int64(math.MinInt64)
+	for i, b := range buckets {
+		hi := int64(math.MaxInt64)
+		if i < len(bounds) {
+			hi = bounds[i]
+		}
+		ix, err := core.Build(b, spec, opt)
+		if err != nil {
+			return nil, fmt.Errorf("exec: sharded: %w", err)
+		}
+		s.shards = append(s.shards, shard{lo: lo, hi: hi, ex: New(ix)})
+		lo = hi
+	}
+	return s, nil
+}
+
+// shardBounds picks k-1 splitting values by sampling and sorting. The
+// sample strides over the unsorted input, with the stride offset seeded so
+// different seeds probe different tuples; the input is workload data,
+// typically a shuffle, so strided sampling is unbiased — worst case we get
+// uneven shards, never wrong results.
+func shardBounds(values []int64, k int, seed uint64) []int64 {
+	if k <= 1 || len(values) == 0 {
+		return nil
+	}
+	const perShard = 32
+	sampleSize := k * perShard
+	if sampleSize > len(values) {
+		sampleSize = len(values)
+	}
+	stride := len(values) / sampleSize
+	if stride < 1 {
+		stride = 1
+	}
+	start := int(seed % uint64(stride))
+	sample := make([]int64, 0, sampleSize)
+	for i := start; i < len(values) && len(sample) < sampleSize; i += stride {
+		sample = append(sample, values[i])
+	}
+	insertionSort(sample)
+	bounds := make([]int64, 0, k-1)
+	for i := 1; i < k; i++ {
+		b := sample[i*len(sample)/k]
+		if len(bounds) == 0 || b > bounds[len(bounds)-1] {
+			bounds = append(bounds, b)
+		}
+	}
+	return bounds
+}
+
+func insertionSort(v []int64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func bucketOf(bounds []int64, v int64) int {
+	// Linear scan: bounds is small (k-1) and this is load-time only.
+	for i, b := range bounds {
+		if v < b {
+			return i
+		}
+	}
+	return len(bounds)
+}
+
+// intersect returns the index range [first, last] of shards whose value
+// range intersects [a, b); ok is false when no shard does.
+func (s *Sharded) intersect(a, b int64) (first, last int, ok bool) {
+	first = -1
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if sh.hi <= a || sh.lo >= b {
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
+		last = i
+	}
+	return first, last, first >= 0
+}
+
+// Query answers [a, b) and returns the qualifying values as one owned
+// slice. A query intersecting a single shard runs inline on the calling
+// goroutine; wider queries offload the extra shards to the worker pool.
+// Sharded is safe for concurrent use.
+func (s *Sharded) Query(a, b int64) []int64 {
+	s.q.Add(1)
+	if a >= b {
+		return nil
+	}
+	first, last, ok := s.intersect(a, b)
+	if !ok {
+		return nil
+	}
+	if first == last {
+		return s.shards[first].ex.Query(a, b)
+	}
+	parts := make([][]int64, last-first+1)
+	var wg sync.WaitGroup
+	for i := first + 1; i <= last; i++ {
+		idx := i
+		wg.Add(1)
+		task := func() {
+			parts[idx-first] = s.shards[idx].ex.Query(a, b)
+			wg.Done()
+		}
+		if !poolSubmit(task) {
+			task()
+		}
+	}
+	parts[0] = s.shards[first].ex.Query(a, b)
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]int64, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// QueryBatch answers many ranges, returning one owned slice per range in
+// input order. Ranges are grouped by shard so each intersected shard
+// answers its whole sub-batch under a single executor batch (one or two
+// lock acquisitions per shard, regardless of batch size); shard
+// sub-batches run in parallel on the worker pool.
+func (s *Sharded) QueryBatch(ranges []Range) [][]int64 {
+	s.q.Add(int64(len(ranges)))
+	out := make([][]int64, len(ranges))
+	if len(ranges) == 0 {
+		return out
+	}
+	// Per shard: which input ranges intersect it.
+	idxs := make([][]int, len(s.shards))
+	for ri, r := range ranges {
+		if r.Lo >= r.Hi {
+			continue
+		}
+		first, last, ok := s.intersect(r.Lo, r.Hi)
+		if !ok {
+			continue
+		}
+		for si := first; si <= last; si++ {
+			idxs[si] = append(idxs[si], ri)
+		}
+	}
+	parts := make([][][]int64, len(s.shards)) // parts[shard][pos in idxs[shard]]
+	var wg sync.WaitGroup
+	run := func(si int) {
+		sub := make([]Range, len(idxs[si]))
+		for j, ri := range idxs[si] {
+			sub[j] = ranges[ri]
+		}
+		parts[si] = s.shards[si].ex.QueryBatch(sub)
+		wg.Done()
+	}
+	busy := -1 // run one busy shard inline, like Query
+	for si := range s.shards {
+		if len(idxs[si]) == 0 {
+			continue
+		}
+		if busy < 0 {
+			busy = si
+			continue
+		}
+		si := si
+		wg.Add(1)
+		task := func() { run(si) }
+		if !poolSubmit(task) {
+			task()
+		}
+	}
+	if busy >= 0 {
+		wg.Add(1)
+		run(busy)
+	}
+	wg.Wait()
+	// Stitch shard answers back per range, in shard (= ascending value) order.
+	pos := make([]int, len(s.shards))
+	for si := range s.shards {
+		for _, ri := range idxs[si] {
+			out[ri] = append(out[ri], parts[si][pos[si]]...)
+			pos[si]++
+		}
+	}
+	return out
+}
+
+// Name identifies the configuration (e.g. "sharded-8(dd1r)").
+func (s *Sharded) Name() string {
+	return fmt.Sprintf("sharded-%d(%s)", len(s.shards), s.spec)
+}
+
+// Stats aggregates physical-cost counters across shards.
+func (s *Sharded) Stats() core.Stats {
+	agg := core.Stats{Queries: s.q.Load()}
+	for i := range s.shards {
+		st := s.shards[i].ex.Stats()
+		agg.Touched += st.Touched
+		agg.Swaps += st.Swaps
+		agg.Cracks += st.Cracks
+		agg.Pieces += st.Pieces
+	}
+	return agg
+}
+
+// NumShards returns the number of shards.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard exposes shard i's executor (harness and tests).
+func (s *Sharded) Shard(i int) *Executor { return s.shards[i].ex }

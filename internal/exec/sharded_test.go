@@ -1,9 +1,10 @@
-package core
+package exec
 
 import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/xrand"
 )
 
@@ -11,7 +12,7 @@ func TestShardedMatchesOracle(t *testing.T) {
 	const n = 50000
 	vals := xrand.New(60).Perm(n)
 	for _, k := range []int{1, 2, 7, 16} {
-		s, err := NewSharded(append([]int64(nil), vals...), "dd1r", k, Options{Seed: 61})
+		s, err := NewSharded(append([]int64(nil), vals...), "dd1r", k, core.Options{Seed: 61})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -39,9 +40,45 @@ func TestShardedMatchesOracle(t *testing.T) {
 	}
 }
 
+func TestShardedQueryBatch(t *testing.T) {
+	const n = 60000
+	s, err := NewSharded(xrand.New(70).Perm(n), "dd1r", 8, core.Options{Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := []Range{
+		{50000, 50500}, {10, 40}, {0, n}, {7, 7}, {25000, 26000}, {59990, 70000},
+	}
+	out := s.QueryBatch(ranges)
+	for i, r := range ranges {
+		lo, hi := r.Lo, r.Hi
+		if hi > n {
+			hi = n
+		}
+		want := hi - lo
+		if lo >= hi {
+			want = 0
+		}
+		var sum, wantSum int64
+		for _, v := range out[i] {
+			sum += v
+		}
+		for v := lo; v < hi; v++ {
+			wantSum += v
+		}
+		if int64(len(out[i])) != want || sum != wantSum {
+			t.Fatalf("range %d [%d,%d): got (%d,%d), want (%d,%d)",
+				i, r.Lo, r.Hi, len(out[i]), sum, want, wantSum)
+		}
+	}
+	if q := s.Stats().Queries; q != int64(len(ranges)) {
+		t.Fatalf("queries = %d, want %d", q, len(ranges))
+	}
+}
+
 func TestShardedConcurrentQueries(t *testing.T) {
 	const n = 100000
-	s, err := NewSharded(xrand.New(63).Perm(n), "mdd1r", 8, Options{Seed: 64})
+	s, err := NewSharded(xrand.New(63).Perm(n), "mdd1r", 8, core.Options{Seed: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +111,7 @@ func TestShardedConcurrentQueries(t *testing.T) {
 
 func TestShardedBalancedShards(t *testing.T) {
 	const n = 64000
-	s, err := NewSharded(xrand.New(65).Perm(n), "crack", 8, Options{Seed: 66})
+	s, err := NewSharded(xrand.New(65).Perm(n), "crack", 8, core.Options{Seed: 66})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,9 +120,8 @@ func TestShardedBalancedShards(t *testing.T) {
 	}
 	// Each shard should hold a reasonable share: between 1/4x and 4x the
 	// even split, given sampling-based bounds.
-	for i := range s.shards {
-		sh := &s.shards[i]
-		acc, ok := sh.ix.(interface{ Engine() *Engine })
+	for i := 0; i < s.NumShards(); i++ {
+		acc, ok := s.Shard(i).inner.(interface{ Engine() *core.Engine })
 		if !ok {
 			t.Fatal("shard not engine-backed")
 		}
@@ -96,9 +132,37 @@ func TestShardedBalancedShards(t *testing.T) {
 	}
 }
 
+func TestShardedBoundsRespectSeed(t *testing.T) {
+	// Different seeds must probe different sample offsets; on adversarial
+	// striped data that yields different bounds (the old implementation
+	// ignored the seed outright).
+	n := 64 * 40
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	b0 := shardBounds(vals, 4, 0)
+	b3 := shardBounds(vals, 4, 3)
+	if len(b0) == 0 || len(b3) == 0 {
+		t.Fatal("no bounds")
+	}
+	same := len(b0) == len(b3)
+	if same {
+		for i := range b0 {
+			if b0[i] != b3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("seeds 0 and 3 produced identical bounds %v", b0)
+	}
+}
+
 func TestShardedNarrowQueriesTouchOneShard(t *testing.T) {
 	const n = 80000
-	s, err := NewSharded(xrand.New(67).Perm(n), "crack", 8, Options{Seed: 68})
+	s, err := NewSharded(xrand.New(67).Perm(n), "crack", 8, core.Options{Seed: 68})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,14 +178,14 @@ func TestShardedNarrowQueriesTouchOneShard(t *testing.T) {
 }
 
 func TestShardedDegenerate(t *testing.T) {
-	s, err := NewSharded(nil, "crack", 4, Options{})
+	s, err := NewSharded(nil, "crack", 4, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := s.Query(0, 100); len(got) != 0 {
 		t.Fatal("empty sharded index returned rows")
 	}
-	s2, err := NewSharded([]int64{5, 5, 5, 5}, "dd1r", 8, Options{})
+	s2, err := NewSharded([]int64{5, 5, 5, 5}, "dd1r", 8, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +195,7 @@ func TestShardedDegenerate(t *testing.T) {
 	if got := s2.Query(10, 0); len(got) != 0 {
 		t.Fatal("inverted range returned rows")
 	}
-	if _, err := NewSharded([]int64{1}, "bogus", 2, Options{}); err == nil {
+	if _, err := NewSharded([]int64{1}, "bogus", 2, core.Options{}); err == nil {
 		t.Fatal("bogus spec accepted")
 	}
 }

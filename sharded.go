@@ -1,15 +1,17 @@
 package crackdb
 
-import "repro/internal/core"
+import "repro/internal/exec"
 
 // ShardedIndex is a parallel cracking index: the column is value-range
-// partitioned into shards, each an independent adaptive index, and
-// queries crack the intersected shards concurrently (one goroutine per
-// shard). It is safe for concurrent use and addresses the paper's §6
-// "distribution" direction at single-process scale: physical
-// reorganization never crosses a shard boundary.
+// partitioned into shards, each an independent adaptive index behind its
+// own executor, and queries fan out to the intersected shards on a bounded
+// worker pool (single-shard queries run inline). It is safe for concurrent
+// use and addresses the paper's §6 "distribution" direction at
+// single-process scale: physical reorganization never crosses a shard
+// boundary, and within a shard converged queries run in parallel under a
+// shared lock.
 type ShardedIndex struct {
-	s *core.Sharded
+	s *exec.Sharded
 }
 
 // NewSharded builds a sharded index over values with k value-range shards,
@@ -19,7 +21,7 @@ func NewSharded(values []int64, algorithm string, k int, opts ...Option) (*Shard
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s, err := core.NewSharded(values, algorithm, k, cfg.core)
+	s, err := exec.NewSharded(values, algorithm, k, cfg.core)
 	if err != nil {
 		return nil, err
 	}
@@ -29,6 +31,11 @@ func NewSharded(values []int64, algorithm string, k int, opts ...Option) (*Shard
 // Query returns the values in [lo, hi) as an owned slice, cracking the
 // intersected shards in parallel.
 func (ix *ShardedIndex) Query(lo, hi int64) []int64 { return ix.s.Query(lo, hi) }
+
+// QueryBatch answers many ranges, returning one owned slice per range in
+// input order; each intersected shard answers its whole sub-batch under a
+// single executor batch, and shard sub-batches run in parallel.
+func (ix *ShardedIndex) QueryBatch(ranges []QueryRange) [][]int64 { return ix.s.QueryBatch(ranges) }
 
 // QueryWhere answers a predicate.
 func (ix *ShardedIndex) QueryWhere(p Predicate) []int64 {

@@ -1,9 +1,6 @@
 package crackdb
 
-import (
-	"repro/internal/core"
-	"repro/internal/table"
-)
+import "repro/internal/table"
 
 // Table is a column-store table with adaptive indexing at the attribute
 // level (paper §2): selections crack only the referenced column; other
@@ -56,5 +53,3 @@ func (t *Table) SelectProjectSideways(sel, proj string, lo, hi int64) ([]int64, 
 // Stats aggregates physical-cost counters across the table's indexes and
 // maps.
 func (t *Table) Stats() Stats { return t.t.Stats() }
-
-var _ = core.Options{} // facade and internal options stay aliased

@@ -33,6 +33,7 @@ func main() {
 		s          = flag.Int64("s", 10, "selectivity in tuples")
 		seed       = flag.Uint64("seed", 42, "random seed for data, workloads and algorithms")
 		validate   = flag.Bool("validate", false, "validate every result against the closed-form oracle")
+		quick      = flag.Bool("quick", false, "smoke mode: shrink -n/-q to finish in seconds and validate results (CI)")
 		procs      = flag.Int("procs", 0, "set GOMAXPROCS for the run (0: leave as is; the concurrency experiment scales with it)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		report     = flag.String("report", "", "write a markdown paper-vs-measured report to this file and exit")
@@ -44,6 +45,23 @@ func main() {
 
 	if *procs > 0 {
 		runtime.GOMAXPROCS(*procs)
+	}
+	if *quick {
+		// API-regression smoke: every experiment exercises the hot query
+		// path; a tiny column with validation on catches wrong answers and
+		// gross slowdowns before merge without paper-scale runtimes.
+		// Explicitly passed -n/-q/-validate win over the quick defaults.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["n"] {
+			*n = 200_000
+		}
+		if !set["q"] {
+			*q = 500
+		}
+		if !set["validate"] {
+			*validate = true
+		}
 	}
 	if *list {
 		for _, e := range bench.All() {

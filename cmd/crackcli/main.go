@@ -1,16 +1,21 @@
-// Command crackcli is an interactive shell for a cracking index: load or
-// generate a column, run range queries against any algorithm, watch the
-// index adapt, and persist the earned state.
+// Command crackcli is an interactive shell for an adaptive database: load
+// or generate a column, run predicate queries against any algorithm in
+// any concurrency mode, watch the index adapt, and persist the earned
+// state. It speaks the public crackdb v2 API end to end — the same front
+// door applications use.
 //
 // Usage:
 //
 //	crackcli -n 1000000 -algo dd1r
-//	crackcli -file column.txt -algo pmdd1r-10
+//	crackcli -file column.txt -algo pmdd1r-10 -mode shared
+//	crackcli -n 4000000 -algo crack -mode sharded -shards 8
 //
 // Commands (one per line on stdin):
 //
 //	q <lo> <hi>        query the half-open range [lo, hi)
 //	between <lo> <hi>  query the inclusive range [lo, hi]
+//	or <lo> <hi> <lo> <hi> ...  query a union of half-open ranges
+//	agg <lo> <hi>      count/sum [lo, hi) without materializing
 //	insert <v>         queue an insertion (merged on demand)
 //	delete <v>         queue a deletion (merged on demand)
 //	stats              print physical-cost counters
@@ -22,6 +27,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,32 +35,30 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/bench"
-	"repro/internal/colload"
-	"repro/internal/core"
-	"repro/internal/snapshot"
+	crackdb "repro"
 	"repro/internal/stats"
-	"repro/internal/updates"
 )
 
 func main() {
 	var (
-		algo = flag.String("algo", "dd1r", "cracking algorithm")
-		n    = flag.Int64("n", 1_000_000, "generated column size (ignored with -file)")
-		seed = flag.Uint64("seed", 42, "random seed")
-		file = flag.String("file", "", "load the column from a file")
-		load = flag.String("snapshot", "", "resume from a snapshot file")
+		algo   = flag.String("algo", "dd1r", "cracking algorithm")
+		n      = flag.Int64("n", 1_000_000, "generated column size (ignored with -file)")
+		seed   = flag.Uint64("seed", 42, "random seed")
+		file   = flag.String("file", "", "load the column from a file")
+		load   = flag.String("snapshot", "", "resume from a snapshot file")
+		mode   = flag.String("mode", "single", "concurrency mode: single, shared, sharded")
+		shards = flag.Int("shards", 8, "shard count for -mode sharded")
 	)
 	flag.Parse()
 
-	ix, upd, err := buildIndex(*algo, *n, *seed, *file, *load)
+	db, err := openDB(*algo, *n, *seed, *file, *load, *mode, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crackcli:", err)
 		os.Exit(2)
 	}
-	eng := engineOf(ix)
-	fmt.Printf("crackcli: %s over %d tuples; type 'help' for commands\n",
-		ix.Name(), eng.Column().Len())
+	ctx := context.Background()
+	fmt.Printf("crackcli: %s (%s) over %d tuples; type 'help' for commands\n",
+		db.Name(), db.Mode(), db.Rows())
 
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -69,20 +73,34 @@ func main() {
 		}
 		fields := strings.Fields(line)
 		switch fields[0] {
-		case "q", "query", "between":
-			lo, hi, err := parseRange(fields)
+		case "q", "query", "between", "or":
+			p, err := parsePredicate(fields)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			if fields[0] == "between" {
-				hi++
-			}
 			t0 := time.Now()
-			res := upd.Query(lo, hi)
+			res, err := db.Query(ctx, p)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
 			dt := time.Since(t0)
 			fmt.Printf("%d rows, sum %d, in %v (pieces now: %d)\n",
-				res.Count(), res.Sum(), dt, ix.Stats().Pieces)
+				res.Count(), res.Sum(), dt, db.Stats().Pieces)
+		case "agg":
+			p, err := parsePredicate(append([]string{"q"}, fields[1:]...))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			t0 := time.Now()
+			agg, err := db.QueryAggregate(ctx, p)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("count %d, sum %d, in %v\n", agg.Count, agg.Sum, time.Since(t0))
 		case "insert", "delete":
 			if len(fields) != 2 {
 				fmt.Println("error: usage:", fields[0], "<v>")
@@ -94,35 +112,43 @@ func main() {
 				continue
 			}
 			if fields[0] == "insert" {
-				upd.Insert(v)
+				err = db.Insert(v)
 			} else {
-				upd.Delete(v)
+				err = db.Delete(v)
 			}
-			fmt.Printf("queued; %d updates pending\n", upd.Pending())
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("queued; %d updates pending\n", db.PendingUpdates())
 		case "stats":
-			s := ix.Stats()
+			s := db.Stats()
 			fmt.Printf("queries=%d touched=%d swaps=%d cracks=%d pieces=%d pending-updates=%d\n",
-				s.Queries, s.Touched, s.Swaps, s.Cracks, s.Pieces, upd.Pending())
+				s.Queries, s.Touched, s.Swaps, s.Cracks, s.Pieces, db.PendingUpdates())
 		case "pieces":
-			ps := stats.Compute(eng.CrackerIndex(), eng.Column().Len())
-			fmt.Println(ps)
-			fmt.Print(stats.Histogram(eng.CrackerIndex(), eng.Column().Len()))
+			sizes, err := db.PieceSizes()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			total := 0
+			for _, s := range sizes {
+				total += s
+			}
+			fmt.Println(stats.FromSizes(sizes, total))
+			fmt.Print(stats.HistogramSizes(sizes))
 		case "save":
 			if len(fields) != 2 {
 				fmt.Println("error: usage: save <path>")
 				continue
 			}
-			if upd.Pending() > 0 {
-				fmt.Println("error: merge pending updates first (query their ranges)")
-				continue
-			}
-			if err := snapshot.SaveFile(fields[1], eng.Snapshot()); err != nil {
+			if err := db.SaveSnapshot(fields[1]); err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
 			fmt.Println("saved to", fields[1])
 		case "help":
-			fmt.Println("q <lo> <hi> | between <lo> <hi> | insert <v> | delete <v> | stats | pieces | save <path> | quit")
+			fmt.Println("q <lo> <hi> | between <lo> <hi> | or <lo> <hi> [<lo> <hi>...] | agg <lo> <hi> | insert <v> | delete <v> | stats | pieces | save <path> | quit")
 		case "quit", "exit":
 			return
 		default:
@@ -131,52 +157,57 @@ func main() {
 	}
 }
 
-func buildIndex(algo string, n int64, seed uint64, file, snap string) (core.Index, *updates.Index, error) {
-	var (
-		ix  core.Index
-		err error
-	)
+func openDB(algo string, n int64, seed uint64, file, snap, mode string, shards int) (*crackdb.DB, error) {
+	opts := []crackdb.Option{crackdb.WithSeed(seed)}
+	switch mode {
+	case "single":
+		opts = append(opts, crackdb.WithConcurrency(crackdb.Single))
+	case "shared":
+		opts = append(opts, crackdb.WithConcurrency(crackdb.Shared))
+	case "sharded":
+		opts = append(opts, crackdb.WithConcurrency(crackdb.Sharded(shards)))
+	default:
+		return nil, fmt.Errorf("unknown -mode %q (single, shared, sharded)", mode)
+	}
 	switch {
 	case snap != "":
-		st, lerr := snapshot.LoadFile(snap)
-		if lerr != nil {
-			return nil, nil, lerr
-		}
-		ix, err = core.Restore(st, algo, core.Options{Seed: seed})
+		return crackdb.OpenSnapshotFile(snap, algo, opts...)
 	case file != "":
-		vals, lerr := colload.LoadFile(file)
-		if lerr != nil {
-			return nil, nil, lerr
+		vals, err := crackdb.LoadColumn(file)
+		if err != nil {
+			return nil, err
 		}
-		ix, err = core.Build(vals, algo, core.Options{Seed: seed})
+		return crackdb.Open(vals, algo, opts...)
 	default:
-		ix, err = core.Build(bench.MakeData(n, seed), algo, core.Options{Seed: seed})
+		return crackdb.Open(crackdb.MakeData(n, seed), algo, opts...)
 	}
-	if err != nil {
-		return nil, nil, err
-	}
-	upd, ok := updates.Wrap(ix)
-	if !ok {
-		return nil, nil, fmt.Errorf("algorithm %q is not engine-backed; crackcli needs one of the cracking algorithms", algo)
-	}
-	return ix, upd, nil
 }
 
-func engineOf(ix core.Index) *core.Engine {
-	return ix.(interface{ Engine() *core.Engine }).Engine()
-}
-
-func parseRange(fields []string) (int64, int64, error) {
-	if len(fields) != 3 {
-		return 0, 0, fmt.Errorf("usage: %s <lo> <hi>", fields[0])
+// parsePredicate turns "q lo hi", "between lo hi" or "or lo hi lo hi ..."
+// into a Predicate.
+func parsePredicate(fields []string) (crackdb.Predicate, error) {
+	var zero crackdb.Predicate
+	nums := make([]int64, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return zero, err
+		}
+		nums = append(nums, v)
 	}
-	lo, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return 0, 0, err
+	if len(nums) < 2 || len(nums)%2 != 0 {
+		return zero, fmt.Errorf("usage: %s <lo> <hi> [<lo> <hi>...]", fields[0])
 	}
-	hi, err := strconv.ParseInt(fields[2], 10, 64)
-	if err != nil {
-		return 0, 0, err
+	if fields[0] != "or" && len(nums) != 2 {
+		return zero, fmt.Errorf("usage: %s <lo> <hi>", fields[0])
 	}
-	return lo, hi, nil
+	mk := crackdb.Range
+	if fields[0] == "between" {
+		mk = crackdb.Between
+	}
+	p := mk(nums[0], nums[1])
+	for i := 2; i < len(nums); i += 2 {
+		p = p.Or(mk(nums[i], nums[i+1]))
+	}
+	return p, nil
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/colload"
 	"repro/internal/core"
+	"repro/internal/dberr"
 	"repro/internal/workload"
 )
 
@@ -48,6 +50,9 @@ func main() {
 	ix, err := core.Build(data, *algo, core.Options{Seed: *seed, CrackSize: 4, ProgressiveSize: 8})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crackdemo:", err)
+		if errors.Is(err, dberr.ErrUnknownAlgorithm) {
+			fmt.Fprintln(os.Stderr, "crackdemo: known algorithms:", strings.Join(core.Algorithms(), " "))
+		}
 		os.Exit(2)
 	}
 	eng, ok := ix.(interface{ Engine() *core.Engine })

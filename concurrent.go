@@ -4,6 +4,9 @@ import "repro/internal/exec"
 
 // QueryRange is one half-open value range [Lo, Hi) of a batched query
 // (Range is taken by the predicate constructor).
+//
+// Deprecated: Predicate is the v2 range vocabulary — DB.QueryBatch takes
+// []Predicate directly.
 type QueryRange = exec.Range
 
 // ConcurrentIndex is a goroutine-safe view of an Index, backed by the
@@ -16,6 +19,9 @@ type QueryRange = exec.Range
 // reorganizing queries, and queries against index kinds without a probe
 // (the partition/merge hybrids), take the exclusive lock. Results are
 // returned as owned slices, safe to retain across queries.
+//
+// Deprecated: open the DB with WithConcurrency(Shared) instead; DB.Query
+// adds predicates, context cancellation and the unified Result.
 type ConcurrentIndex struct {
 	x *exec.Executor
 }

@@ -15,10 +15,32 @@
 //
 // # Quick start
 //
-//	ix, err := crackdb.New(values, crackdb.DD1R)
+// The front door is the DB handle: one predicate-first query API across
+// every execution strategy. Concurrency is a construction option, not a
+// type you pick at every call site:
+//
+//	db, err := crackdb.Open(values, crackdb.DD1R)          // single-threaded
+//	db, err := crackdb.Open(values, crackdb.DD1R,
+//	        crackdb.WithConcurrency(crackdb.Shared))       // goroutine-safe
+//	db, err := crackdb.Open(values, crackdb.DD1R,
+//	        crackdb.WithConcurrency(crackdb.Sharded(8)))   // partitioned fan-out
 //	if err != nil { ... }
-//	res := ix.Query(100, 200) // all v with 100 <= v < 200
+//	res, err := db.Query(ctx, crackdb.Between(100, 199))   // 100 <= v <= 199
+//	if err != nil { ... }
 //	res.ForEach(func(v int64) { ... })
+//
+// Predicates translate SQL's comparison shapes onto the engine's
+// half-open ranges (Between, Range, Less, Greater, Eq, ...), compose with
+// And/Or, and scope to a column of a multi-column table with On:
+//
+//	tbl, err := crackdb.OpenTable(cols, crackdb.DD1R,
+//	        crackdb.WithConcurrency(crackdb.Shared))
+//	res, err := tbl.Query(ctx, crackdb.Greater(10).And(crackdb.Less(14)).On("ra"))
+//
+// Every read honors context cancellation — long batches and shard
+// fan-outs abort between ranges — and failures wrap sentinel errors
+// (ErrUnknownAlgorithm, ErrUpdatesUnsupported, ErrUnknownColumn, ...)
+// for errors.Is classification.
 //
 // # Algorithms
 //
@@ -32,9 +54,17 @@
 //
 // Use DD1R for the best total cost, PMDD1R for the lowest per-query
 // overhead while adapting, and Crack to reproduce the original behavior.
+//
+// # v1 API
+//
+// The pre-DB constructors (New, Index.Synchronized, NewSharded, NewTable)
+// remain as thin shims over the same execution core and keep working;
+// new code should use Open/OpenTable. See the README for a migration
+// table.
 package crackdb
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bench"
@@ -44,8 +74,9 @@ import (
 	"repro/internal/updates"
 )
 
-// Algorithm names accepted by New. The parameterized families also accept
-// spec strings like "pmdd1r-25", "every-4", "scrackmon-10" and "r4crack".
+// Algorithm names accepted by Open and New. The parameterized families
+// also accept spec strings like "pmdd1r-25", "every-4", "scrackmon-10"
+// and "r4crack".
 const (
 	Scan          = "scan"
 	Sort          = "sort"
@@ -66,11 +97,19 @@ const (
 	AICS1R        = "aics1r"
 )
 
-// Result is the outcome of a range query: a contiguous view into the
-// cracker column, possibly flanked by materialized end pieces. See
-// Count, Sum, ForEach and Materialize. A Result is valid until the next
-// Query on the same index.
+// Result is the outcome of a range query. Single-mode queries return a
+// contiguous zero-copy view into the cracker column, possibly flanked by
+// materialized end pieces, valid until the next query on the same handle;
+// the concurrent modes return owned results, safe to retain. Use Count,
+// Sum, ForEach, Materialize — or Owned, which is copy-free exactly when
+// the result already owns its values.
 type Result = core.Result
+
+// NewResult wraps a caller-owned, fully materialized slice of qualifying
+// values as a Result (its Owned method returns the slice without
+// copying). The concurrent query paths use it; it is exported for
+// harnesses that mix hand-built and queried results.
+func NewResult(vals []int64) Result { return core.NewOwnedResult(vals) }
 
 // Stats are cumulative physical-cost counters of an index.
 type Stats = core.Stats
@@ -85,6 +124,15 @@ type Option func(*config)
 type config struct {
 	core       core.Options
 	partitions int
+	conc       Concurrency
+}
+
+func applyOptions(opts []Option) config {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
 }
 
 // WithSeed fixes the random seed; identical seeds and query sequences
@@ -123,7 +171,10 @@ func WithPartitions(k int) Option {
 
 // Index is an adaptive index over a single integer column. Queries refine
 // the physical organization as a side effect; there is no build step.
-// An Index is not safe for concurrent use; wrap it with Synchronized.
+// An Index is not safe for concurrent use.
+//
+// Index is the Single-mode core behind DB; new code should open a DB
+// instead and let WithConcurrency pick the execution strategy.
 type Index struct {
 	inner bench.Index
 	upd   *updates.Index // nil when the algorithm cannot take updates
@@ -131,23 +182,27 @@ type Index struct {
 
 // New builds an adaptive index over values using the named algorithm.
 // The slice is owned by the index afterwards and will be reorganized in
-// place.
+// place. Unknown algorithms fail with ErrUnknownAlgorithm.
+//
+// Deprecated: use Open, which serves the same algorithms behind the
+// context-aware, predicate-first DB API.
 func New(values []int64, algorithm string, opts ...Option) (*Index, error) {
-	cfg := config{}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if ix, err := core.Build(values, algorithm, cfg.core); err == nil {
+	cfg := applyOptions(opts)
+	ix, err := core.Build(values, algorithm, cfg.core)
+	if err == nil {
 		u, _ := updates.Wrap(ix)
 		return &Index{inner: ix, upd: u}, nil
 	}
-	h, err := hybrids.Build(values, algorithm, hybrids.Options{
+	if !errors.Is(err, ErrUnknownAlgorithm) {
+		return nil, fmt.Errorf("crackdb: %w", err)
+	}
+	h, herr := hybrids.Build(values, algorithm, hybrids.Options{
 		Seed:          cfg.core.Seed,
 		CrackSize:     cfg.core.CrackSize,
 		NumPartitions: cfg.partitions,
 	})
-	if err != nil {
-		return nil, fmt.Errorf("crackdb: unknown algorithm %q", algorithm)
+	if herr != nil {
+		return nil, fmt.Errorf("crackdb: %w", herr)
 	}
 	return &Index{inner: h}, nil
 }
@@ -162,11 +217,12 @@ func (ix *Index) Query(lo, hi int64) Result {
 }
 
 // Insert queues a value for insertion; it is merged into the column by
-// the first query whose range covers it (Ripple merge, [17]). It returns
-// an error for algorithms that cannot take updates (sorted/hybrid stores).
+// the first query whose range covers it (Ripple merge, [17]). It fails
+// with ErrUpdatesUnsupported for algorithms that cannot take updates
+// (sorted/hybrid stores).
 func (ix *Index) Insert(v int64) error {
 	if ix.upd == nil {
-		return fmt.Errorf("crackdb: %s does not support updates", ix.inner.Name())
+		return fmt.Errorf("crackdb: %s: %w", ix.inner.Name(), ErrUpdatesUnsupported)
 	}
 	ix.upd.Insert(v)
 	return nil
@@ -176,7 +232,7 @@ func (ix *Index) Insert(v int64) error {
 // Insert.
 func (ix *Index) Delete(v int64) error {
 	if ix.upd == nil {
-		return fmt.Errorf("crackdb: %s does not support updates", ix.inner.Name())
+		return fmt.Errorf("crackdb: %s: %w", ix.inner.Name(), ErrUpdatesUnsupported)
 	}
 	ix.upd.Delete(v)
 	return nil
@@ -201,6 +257,18 @@ func (ix *Index) Stats() Stats { return ix.inner.Stats() }
 // refined the index is.
 func (ix *Index) Pieces() int { return ix.inner.Stats().Pieces }
 
+// executor wraps the index in the adaptive execution layer, preferring
+// the update-carrying surface when the algorithm has one. The executor
+// assumes ownership.
+func (ix *Index) executor() *exec.Executor {
+	if ix.upd != nil {
+		return exec.New(ix.upd)
+	}
+	// Hybrids (and the sorted baseline) expose no convergence probe; the
+	// executor serves them entirely under the exclusive lock.
+	return exec.New(ix.inner)
+}
+
 // Synchronized wraps the index for concurrent use through the adaptive
 // execution layer (internal/exec): converged queries run in parallel under
 // a shared lock, reorganizing queries serialize under an exclusive one,
@@ -208,17 +276,14 @@ func (ix *Index) Pieces() int { return ix.inner.Stats().Pieces }
 // update path — Insert and Delete on the wrapper queue updates under the
 // exclusive lock. The returned wrapper assumes ownership; drop the
 // unsynchronized Index afterwards.
+//
+// Deprecated: open the DB with WithConcurrency(Shared) instead.
 func (ix *Index) Synchronized() *ConcurrentIndex {
-	if ix.upd != nil {
-		return &ConcurrentIndex{x: exec.New(ix.upd)}
-	}
-	// Hybrids (and the sorted baseline) expose no convergence probe; the
-	// executor serves them entirely under the exclusive lock.
-	return &ConcurrentIndex{x: exec.New(ix.inner)}
+	return &ConcurrentIndex{x: ix.executor()}
 }
 
-// Algorithms returns every algorithm spec New accepts (with representative
-// parameters for the parameterized families).
+// Algorithms returns every algorithm spec Open accepts (with
+// representative parameters for the parameterized families).
 func Algorithms() []string {
 	return append(core.Algorithms(), hybrids.Specs()...)
 }

@@ -1,0 +1,623 @@
+package crackdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/hybrids"
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/updates"
+)
+
+// Concurrency selects how a DB executes queries. It is a construction
+// option (WithConcurrency), not a separate index type: the query API is
+// identical in every mode, only the execution strategy changes.
+type Concurrency struct {
+	kind   concKind
+	shards int
+}
+
+type concKind uint8
+
+const (
+	concSingle concKind = iota
+	concShared
+	concSharded
+)
+
+// Single serves queries on the caller's goroutine with no locking and
+// zero-copy results. The DB is not safe for concurrent use in this mode;
+// it is the fastest choice for single-threaded workloads (the paper's
+// experimental setting).
+var Single = Concurrency{kind: concSingle}
+
+// Shared serves queries through the adaptive read/write execution layer
+// (internal/exec): converged queries run in parallel under a shared lock,
+// reorganizing queries serialize under an exclusive one. Results are
+// owned slices. Safe for concurrent use.
+var Shared = Concurrency{kind: concShared}
+
+// Sharded value-range partitions the column into k shards, each an
+// independent adaptive index behind its own executor; queries fan out to
+// the intersected shards on a bounded worker pool. Safe for concurrent
+// use; the highest-throughput mode for large columns under heavy traffic.
+func Sharded(k int) Concurrency { return Concurrency{kind: concSharded, shards: k} }
+
+// String names the mode ("single", "shared", "sharded-8").
+func (c Concurrency) String() string {
+	switch c.kind {
+	case concShared:
+		return "shared"
+	case concSharded:
+		return fmt.Sprintf("sharded-%d", c.shards)
+	default:
+		return "single"
+	}
+}
+
+// WithConcurrency sets the DB's concurrency mode (default Single).
+func WithConcurrency(c Concurrency) Option {
+	return func(cfg *config) { cfg.conc = c }
+}
+
+// Aggregate is the result of QueryAggregate: the count and sum of the
+// qualifying values, computed without materializing them.
+type Aggregate struct {
+	Count int
+	Sum   int64
+}
+
+// DB is the unified front door to adaptive indexing: one handle, one
+// predicate-first query API, every execution strategy. Open builds a DB
+// over a single column, OpenTable over named columns; WithConcurrency
+// picks Single (zero-copy, unsynchronized), Shared (adaptive read/write
+// locking) or Sharded(k) (value-range partitioned fan-out) at
+// construction time — no upfront decision is baked into call sites,
+// matching the paper's no-upfront-decisions philosophy at the API level.
+//
+// All reads go through Query, QueryBatch and QueryAggregate, which honor
+// context cancellation in every mode: a canceled context aborts long
+// batches and shard fan-outs between ranges, never leaving the index in
+// an inconsistent state. Updates (Insert, Delete) queue and merge lazily
+// during query processing; Snapshot serializes the adapted physical
+// state. After Close, queries, updates and snapshots fail with ErrClosed;
+// the read-only accessors (Stats, PendingUpdates, Rows, Columns, Name,
+// Mode) stay readable so shutdown paths can still report final counters.
+type DB struct {
+	mode   Concurrency
+	closed atomic.Bool
+	rows   int
+
+	// Single-column backends (exactly one non-nil, per mode).
+	ix *Index         // Single
+	x  *exec.Executor // Shared
+	sh *exec.Sharded  // Sharded(k)
+
+	// Table backends (exactly one non-nil for OpenTable handles).
+	tbl  *table.Table  // Single
+	stbl *table.Shared // Shared
+
+	cols       []string // table column names; nil for single-column DBs
+	defaultCol string   // the only column of a one-column table
+}
+
+// Open builds a DB over a single integer column using the named algorithm
+// (see Algorithms). The slice is owned by the DB afterwards and will be
+// reorganized in place. The zero Option set gives a Single-mode DB with
+// the paper's default tuning.
+func Open(values []int64, algorithm string, opts ...Option) (*DB, error) {
+	cfg := applyOptions(opts)
+	db := &DB{mode: cfg.conc, rows: len(values)}
+	switch cfg.conc.kind {
+	case concSingle:
+		ix, err := New(values, algorithm, opts...)
+		if err != nil {
+			return nil, err
+		}
+		db.ix = ix
+	case concShared:
+		ix, err := New(values, algorithm, opts...)
+		if err != nil {
+			return nil, err
+		}
+		db.x = ix.executor()
+	case concSharded:
+		s, err := exec.NewSharded(values, algorithm, cfg.conc.shards, cfg.core)
+		if err != nil {
+			// The hybrids are known algorithms that the engine-backed
+			// sharding layer cannot run; say "unsupported in this mode",
+			// not "unknown".
+			if errors.Is(err, ErrUnknownAlgorithm) && slices.Contains(hybrids.Specs(), algorithm) {
+				return nil, fmt.Errorf("crackdb: algorithm %q in sharded mode: %w", algorithm, errors.ErrUnsupported)
+			}
+			return nil, fmt.Errorf("crackdb: %w", err)
+		}
+		db.sh = s
+	}
+	return db, nil
+}
+
+// OpenTable builds a DB over named, equal-length columns; selections
+// crack only the column the predicate names (scope predicates with
+// Predicate.On). Single mode serves queries unsynchronized; Shared gives
+// every selection column its own adaptive executor, so queries on
+// different columns run fully in parallel. Sharded tables are not
+// implemented and fail with errors.ErrUnsupported.
+func OpenTable(cols map[string][]int64, algorithm string, opts ...Option) (*DB, error) {
+	cfg := applyOptions(opts)
+	t, err := table.New(cols, algorithm, cfg.core)
+	if err != nil {
+		return nil, fmt.Errorf("crackdb: %w", err)
+	}
+	db := &DB{mode: cfg.conc, rows: t.Rows(), cols: t.Columns()}
+	if len(db.cols) == 1 {
+		db.defaultCol = db.cols[0]
+	}
+	switch cfg.conc.kind {
+	case concSingle:
+		db.tbl = t
+	case concShared:
+		db.stbl = table.NewShared(t)
+	case concSharded:
+		return nil, fmt.Errorf("crackdb: sharded tables: %w", errors.ErrUnsupported)
+	}
+	return db, nil
+}
+
+// Close marks the handle closed; subsequent queries, updates and
+// snapshots fail with ErrClosed (read-only accessors stay readable). It
+// does not free the column (the garbage collector does) — Close exists
+// so pooled handles fail loudly instead of serving after their lifecycle
+// ended.
+func (db *DB) Close() error {
+	db.closed.Store(true)
+	return nil // idempotent, io.Closer-style: repeat closes are not errors
+}
+
+// Mode returns the DB's concurrency mode.
+func (db *DB) Mode() Concurrency { return db.mode }
+
+// Rows returns the number of rows (tuples) the DB was opened with.
+func (db *DB) Rows() int { return db.rows }
+
+// Columns returns the table's column names in deterministic order, or nil
+// for a single-column DB.
+func (db *DB) Columns() []string { return append([]string(nil), db.cols...) }
+
+// Name identifies the backing configuration (e.g. "dd1r",
+// "exec(updatable(dd1r))", "sharded-8(dd1r)", "table").
+func (db *DB) Name() string {
+	switch {
+	case db.ix != nil:
+		return db.ix.Name()
+	case db.x != nil:
+		return db.x.Name()
+	case db.sh != nil:
+		return db.sh.Name()
+	default:
+		return "table"
+	}
+}
+
+// check validates the handle and the context before any operation.
+func (db *DB) check(ctx context.Context) error {
+	if db.closed.Load() {
+		return fmt.Errorf("crackdb: %w", ErrClosed)
+	}
+	return ctx.Err()
+}
+
+// resolveColumn maps a predicate to the column it queries. Single-column
+// DBs take unscoped predicates only; tables require a scope unless they
+// have exactly one column.
+func (db *DB) resolveColumn(p Predicate) (string, error) {
+	if p.conflict != "" {
+		return "", fmt.Errorf("crackdb: predicate composes different columns (%s): %w", p.conflict, ErrUnknownColumn)
+	}
+	col := p.Column()
+	if db.tbl == nil && db.stbl == nil {
+		if col != "" {
+			return "", fmt.Errorf("crackdb: single-column database, predicate is scoped to %q: %w", col, ErrUnknownColumn)
+		}
+		return "", nil
+	}
+	if col == "" {
+		if db.defaultCol != "" {
+			return db.defaultCol, nil
+		}
+		return "", fmt.Errorf("crackdb: predicate names no column (scope it with Predicate.On): %w", ErrUnknownColumn)
+	}
+	return col, nil
+}
+
+// Query answers the predicate, adapting the index as a side effect, and
+// returns the qualifying values. In Single mode the Result is a zero-copy
+// view valid until the next query; the concurrent modes return owned
+// results (Result.Owned is then copy-free). Multi-range predicates (Or)
+// are answered as a batch under the hood, in ascending range order.
+func (db *DB) Query(ctx context.Context, p Predicate) (Result, error) {
+	if err := db.check(ctx); err != nil {
+		return Result{}, err
+	}
+	col, err := db.resolveColumn(p)
+	if err != nil {
+		return Result{}, err
+	}
+	rs := p.rangeList()
+	switch len(rs) {
+	case 0:
+		return Result{}, nil
+	case 1:
+		return db.queryRange(ctx, col, rs[0][0], rs[0][1])
+	}
+	// Multi-range: one batch, concatenated in ascending range order.
+	parts, err := db.batchRanges(ctx, col, toExecRanges(rs))
+	if err != nil {
+		return Result{}, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]int64, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return NewResult(out), nil
+}
+
+// queryRange answers one half-open range on one column in the DB's mode.
+func (db *DB) queryRange(ctx context.Context, col string, lo, hi int64) (Result, error) {
+	switch {
+	case db.ix != nil:
+		return db.ix.Query(lo, hi), nil
+	case db.x != nil:
+		vals, err := db.x.QueryCtx(ctx, lo, hi)
+		if err != nil {
+			return Result{}, err
+		}
+		return NewResult(vals), nil
+	case db.sh != nil:
+		vals, err := db.sh.QueryCtx(ctx, lo, hi)
+		if err != nil {
+			return Result{}, err
+		}
+		return NewResult(vals), nil
+	case db.stbl != nil:
+		vals, err := db.stbl.Query(ctx, col, lo, hi)
+		if err != nil {
+			return Result{}, err
+		}
+		return NewResult(vals), nil
+	default:
+		vals, err := db.tbl.Select(col, lo, hi)
+		if err != nil {
+			return Result{}, err
+		}
+		return NewResult(vals), nil
+	}
+}
+
+// batchRanges answers many ranges on one column, one owned slice per
+// range in input order.
+func (db *DB) batchRanges(ctx context.Context, col string, ranges []exec.Range) ([][]int64, error) {
+	switch {
+	case db.x != nil:
+		return db.x.QueryBatchCtx(ctx, ranges)
+	case db.sh != nil:
+		return db.sh.QueryBatchCtx(ctx, ranges)
+	case db.stbl != nil:
+		return db.stbl.QueryBatch(ctx, col, ranges)
+	default:
+		// Single mode (column or table): sequential, re-checking the
+		// context between ranges so long batches cancel cleanly.
+		out := make([][]int64, len(ranges))
+		for i, r := range ranges {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if db.ix != nil {
+				res := db.ix.Query(r.Lo, r.Hi)
+				out[i] = res.Materialize(make([]int64, 0, res.Count()))
+				continue
+			}
+			vals, err := db.tbl.Select(col, r.Lo, r.Hi)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = vals
+		}
+		return out, nil
+	}
+}
+
+// QueryBatch answers many predicates, returning one Result per predicate
+// in input order. Ranges sharing a column are answered under shared lock
+// passes (at most two lock acquisitions per column in Shared mode); a
+// canceled context aborts the batch between ranges, also mid-fan-out on a
+// sharded DB, and discards the partial answers.
+func (db *DB) QueryBatch(ctx context.Context, ps []Predicate) ([]Result, error) {
+	if err := db.check(ctx); err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(ps))
+	// Flatten predicate ranges per column, remembering which predicate
+	// each flattened range answers.
+	type group struct {
+		ranges []exec.Range
+		owner  []int
+	}
+	order := make([]string, 0, 1) // columns in first-seen order
+	groups := make(map[string]*group, 1)
+	nRanges := make([]int, len(ps))
+	for pi, p := range ps {
+		col, err := db.resolveColumn(p)
+		if err != nil {
+			return nil, err
+		}
+		g := groups[col]
+		if g == nil {
+			g = &group{}
+			groups[col] = g
+			order = append(order, col)
+		}
+		for _, r := range p.rangeList() {
+			g.ranges = append(g.ranges, exec.Range{Lo: r[0], Hi: r[1]})
+			g.owner = append(g.owner, pi)
+			nRanges[pi]++
+		}
+	}
+	for _, col := range order {
+		g := groups[col]
+		parts, err := db.batchRanges(ctx, col, g.ranges)
+		if err != nil {
+			return nil, err
+		}
+		// Stitch flattened answers back per predicate. Single-range
+		// predicates (the common case) adopt their owned slice directly;
+		// a multi-range predicate's ranges were flattened in ascending
+		// order, so appending in flat order reassembles them correctly.
+		var acc map[int][]int64
+		for j, part := range parts {
+			pi := g.owner[j]
+			if nRanges[pi] == 1 {
+				results[pi] = NewResult(part)
+				continue
+			}
+			if acc == nil {
+				acc = make(map[int][]int64)
+			}
+			acc[pi] = append(acc[pi], part...)
+		}
+		for pi, vals := range acc {
+			results[pi] = NewResult(vals)
+		}
+	}
+	return results, nil
+}
+
+// QueryAggregate answers the predicate returning only (count, sum),
+// skipping materialization wherever the mode allows.
+func (db *DB) QueryAggregate(ctx context.Context, p Predicate) (Aggregate, error) {
+	if err := db.check(ctx); err != nil {
+		return Aggregate{}, err
+	}
+	col, err := db.resolveColumn(p)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	var agg Aggregate
+	for _, r := range p.rangeList() {
+		// Re-check between the ranges of a multi-range predicate so long
+		// Single-mode aggregates cancel cleanly too (the concurrent
+		// branches also check inside the executor).
+		if err := ctx.Err(); err != nil {
+			return Aggregate{}, err
+		}
+		switch {
+		case db.ix != nil:
+			res := db.ix.Query(r[0], r[1])
+			agg.Count += res.Count()
+			agg.Sum += res.Sum()
+		case db.x != nil:
+			c, s, err := db.x.QueryAggregateCtx(ctx, r[0], r[1])
+			if err != nil {
+				return Aggregate{}, err
+			}
+			agg.Count += c
+			agg.Sum += s
+		case db.sh != nil:
+			c, s, err := db.sh.QueryAggregateCtx(ctx, r[0], r[1])
+			if err != nil {
+				return Aggregate{}, err
+			}
+			agg.Count += c
+			agg.Sum += s
+		case db.stbl != nil:
+			c, s, err := db.stbl.QueryAggregate(ctx, col, r[0], r[1])
+			if err != nil {
+				return Aggregate{}, err
+			}
+			agg.Count += c
+			agg.Sum += s
+		default:
+			vals, err := db.tbl.Select(col, r[0], r[1])
+			if err != nil {
+				return Aggregate{}, err
+			}
+			agg.Count += len(vals)
+			for _, v := range vals {
+				agg.Sum += v
+			}
+		}
+	}
+	return agg, nil
+}
+
+// Insert queues a value for insertion; it is merged into the column by
+// the first query whose range covers it (Ripple merge). On a sharded DB
+// the value routes to the shard owning its range. It fails with
+// ErrUpdatesUnsupported for algorithms that cannot take updates and for
+// table databases.
+func (db *DB) Insert(v int64) error {
+	if db.closed.Load() {
+		return fmt.Errorf("crackdb: %w", ErrClosed)
+	}
+	switch {
+	case db.ix != nil:
+		return db.ix.Insert(v)
+	case db.x != nil:
+		return db.x.Insert(v)
+	case db.sh != nil:
+		return db.sh.Insert(v)
+	default:
+		return fmt.Errorf("crackdb: table databases: %w", ErrUpdatesUnsupported)
+	}
+}
+
+// Delete queues the removal of one occurrence of v, merged on demand like
+// Insert.
+func (db *DB) Delete(v int64) error {
+	if db.closed.Load() {
+		return fmt.Errorf("crackdb: %w", ErrClosed)
+	}
+	switch {
+	case db.ix != nil:
+		return db.ix.Delete(v)
+	case db.x != nil:
+		return db.x.Delete(v)
+	case db.sh != nil:
+		return db.sh.Delete(v)
+	default:
+		return fmt.Errorf("crackdb: table databases: %w", ErrUpdatesUnsupported)
+	}
+}
+
+// PendingUpdates returns the number of queued, not-yet-merged updates
+// across the whole DB (all shards in Sharded mode).
+func (db *DB) PendingUpdates() int {
+	switch {
+	case db.ix != nil:
+		return db.ix.PendingUpdates()
+	case db.x != nil:
+		return db.x.Pending()
+	case db.sh != nil:
+		return db.sh.Pending()
+	default:
+		return 0
+	}
+}
+
+// Stats returns cumulative physical-cost counters, aggregated across
+// shards and columns where applicable.
+func (db *DB) Stats() Stats {
+	switch {
+	case db.ix != nil:
+		return db.ix.Stats()
+	case db.x != nil:
+		return db.x.Stats()
+	case db.sh != nil:
+		return db.sh.Stats()
+	case db.stbl != nil:
+		return db.stbl.Stats()
+	default:
+		return db.tbl.Stats()
+	}
+}
+
+// PieceSizes returns the current sizes (in tuples) of the column's
+// pieces, in storage order — the physical-refinement state the paper
+// reasons about. A Shared DB reads them under the exclusive lock; a
+// sharded DB concatenates its shards' pieces in shard order. Table
+// databases (piece structure is per column) and non-engine-backed
+// algorithms are unsupported.
+func (db *DB) PieceSizes() ([]int, error) {
+	if db.closed.Load() {
+		return nil, fmt.Errorf("crackdb: %w", ErrClosed)
+	}
+	sizesOf := func(inner exec.Index) ([]int, error) {
+		acc, ok := inner.(interface{ Engine() *core.Engine })
+		if !ok {
+			return nil, fmt.Errorf("crackdb: %s: piece sizes: %w", inner.Name(), errors.ErrUnsupported)
+		}
+		e := acc.Engine()
+		return stats.SizesFromBounds(e.CrackerIndex().Pieces(e.Column().Len())), nil
+	}
+	switch {
+	case db.ix != nil:
+		return sizesOf(db.ix.inner)
+	case db.x != nil:
+		var sizes []int
+		var err error
+		db.x.Exclusive(func(inner exec.Index) { sizes, err = sizesOf(inner) })
+		return sizes, err
+	case db.sh != nil:
+		var all []int
+		for i := 0; i < db.sh.NumShards(); i++ {
+			var sizes []int
+			var err error
+			db.sh.Shard(i).Exclusive(func(inner exec.Index) { sizes, err = sizesOf(inner) })
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, sizes...)
+		}
+		return all, nil
+	default:
+		return nil, fmt.Errorf("crackdb: table databases: piece sizes: %w", errors.ErrUnsupported)
+	}
+}
+
+// Snapshot captures the DB's physical state so a later Restore resumes
+// with all adaptation earned so far. A Shared DB snapshots under the
+// exclusive lock, draining in-flight queries first. Indexes with pending
+// updates must merge them before snapshotting (query the relevant
+// ranges); sharded and table databases fail with ErrSnapshotUnsupported.
+func (db *DB) Snapshot() (SnapshotState, error) {
+	if db.closed.Load() {
+		return SnapshotState{}, fmt.Errorf("crackdb: %w", ErrClosed)
+	}
+	switch {
+	case db.ix != nil:
+		return db.ix.Snapshot()
+	case db.x != nil:
+		var st SnapshotState
+		var err error
+		db.x.Exclusive(func(inner exec.Index) {
+			st, err = snapshotInner(inner)
+		})
+		return st, err
+	case db.sh != nil:
+		return SnapshotState{}, fmt.Errorf("crackdb: sharded databases: %w", ErrSnapshotUnsupported)
+	default:
+		return SnapshotState{}, fmt.Errorf("crackdb: table databases: %w", ErrSnapshotUnsupported)
+	}
+}
+
+// snapshotInner serializes any engine-backed index, refusing while
+// updates are pending (their queue is not part of the snapshot format).
+func snapshotInner(inner exec.Index) (SnapshotState, error) {
+	if u, ok := inner.(*updates.Index); ok && u.Pending() > 0 {
+		return SnapshotState{}, fmt.Errorf("crackdb: %d pending updates; merge them before snapshotting", u.Pending())
+	}
+	acc, ok := inner.(interface{ Engine() *core.Engine })
+	if !ok {
+		return SnapshotState{}, fmt.Errorf("crackdb: %s: %w", inner.Name(), ErrSnapshotUnsupported)
+	}
+	return acc.Engine().Snapshot(), nil
+}
+
+// toExecRanges converts a predicate range list to the executor form.
+func toExecRanges(rs [][2]int64) []exec.Range {
+	out := make([]exec.Range, len(rs))
+	for i, r := range rs {
+		out[i] = exec.Range{Lo: r[0], Hi: r[1]}
+	}
+	return out
+}

@@ -1,0 +1,436 @@
+package crackdb_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	crackdb "repro"
+)
+
+func sumRange(lo, hi int64) int64 {
+	var s int64
+	for v := lo; v < hi; v++ {
+		s += v
+	}
+	return s
+}
+
+// allModes opens one DB per concurrency mode over the same dataset.
+func allModes(t *testing.T, n int64, algo string) map[string]*crackdb.DB {
+	t.Helper()
+	dbs := make(map[string]*crackdb.DB)
+	for name, mode := range map[string]crackdb.Concurrency{
+		"single":  crackdb.Single,
+		"shared":  crackdb.Shared,
+		"sharded": crackdb.Sharded(4),
+	} {
+		db, err := crackdb.Open(crackdb.MakeData(n, 33), algo,
+			crackdb.WithSeed(34), crackdb.WithConcurrency(mode))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dbs[name] = db
+	}
+	return dbs
+}
+
+func TestDBQueryAllModes(t *testing.T) {
+	const n = 40_000
+	ctx := context.Background()
+	for name, db := range allModes(t, n, crackdb.DD1R) {
+		res, err := db.Query(ctx, crackdb.Range(1000, 2000))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Count() != 1000 || res.Sum() != sumRange(1000, 2000) {
+			t.Fatalf("%s: count=%d sum=%d", name, res.Count(), res.Sum())
+		}
+		// The Owned escape hatch returns a retainable slice in every mode.
+		vals := res.Owned()
+		if len(vals) != 1000 {
+			t.Fatalf("%s: owned len=%d", name, len(vals))
+		}
+		// Predicate shapes all translate.
+		agg, err := db.QueryAggregate(ctx, crackdb.Between(100, 199))
+		if err != nil || agg.Count != 100 || agg.Sum != sumRange(100, 200) {
+			t.Fatalf("%s: aggregate %+v err=%v", name, agg, err)
+		}
+		// Empty predicate answers empty, no error.
+		res, err = db.Query(ctx, crackdb.Greater(10).And(crackdb.Less(5)))
+		if err != nil || res.Count() != 0 {
+			t.Fatalf("%s: empty predicate count=%d err=%v", name, res.Count(), err)
+		}
+		if db.Rows() != n || db.Name() == "" {
+			t.Fatalf("%s: rows=%d name=%q", name, db.Rows(), db.Name())
+		}
+		if db.Stats().Queries == 0 {
+			t.Fatalf("%s: no queries recorded", name)
+		}
+	}
+}
+
+func TestDBMultiRangeOr(t *testing.T) {
+	ctx := context.Background()
+	p := crackdb.Range(100, 110).Or(crackdb.Range(5000, 5010)).Or(crackdb.Eq(42))
+	want := sumRange(100, 110) + sumRange(5000, 5010) + 42
+	for name, db := range allModes(t, 20_000, crackdb.Crack) {
+		res, err := db.Query(ctx, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Count() != 21 || res.Sum() != want {
+			t.Fatalf("%s: multi-range count=%d sum=%d want sum %d", name, res.Count(), res.Sum(), want)
+		}
+		// Multi-range results come back grouped in ascending range order
+		// (values within a range stay in storage order).
+		vals := res.Owned()
+		if vals[0] != 42 {
+			t.Fatalf("%s: order broken: %v", name, vals)
+		}
+		for i, v := range vals[1:] {
+			if i < 10 && (v < 100 || v >= 110) || i >= 10 && (v < 5000 || v >= 5010) {
+				t.Fatalf("%s: order broken at %d: %v", name, i+1, vals)
+			}
+		}
+		agg, err := db.QueryAggregate(ctx, p)
+		if err != nil || agg.Count != 21 || agg.Sum != want {
+			t.Fatalf("%s: multi-range aggregate %+v err=%v", name, agg, err)
+		}
+	}
+}
+
+func TestDBQueryBatch(t *testing.T) {
+	ctx := context.Background()
+	ps := []crackdb.Predicate{
+		crackdb.Range(10, 20),
+		crackdb.Eq(500).Or(crackdb.Eq(700)),
+		crackdb.Greater(20).And(crackdb.Less(5)), // empty
+		crackdb.Between(900, 909),
+	}
+	for name, db := range allModes(t, 10_000, crackdb.DD1R) {
+		out, err := db.QueryBatch(ctx, ps)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out) != 4 {
+			t.Fatalf("%s: %d results", name, len(out))
+		}
+		if out[0].Count() != 10 || out[0].Sum() != sumRange(10, 20) {
+			t.Fatalf("%s: batch[0] count=%d", name, out[0].Count())
+		}
+		if out[1].Count() != 2 || out[1].Sum() != 1200 {
+			t.Fatalf("%s: batch[1] count=%d sum=%d", name, out[1].Count(), out[1].Sum())
+		}
+		if out[2].Count() != 0 {
+			t.Fatalf("%s: batch[2] not empty", name)
+		}
+		if out[3].Count() != 10 || out[3].Sum() != sumRange(900, 910) {
+			t.Fatalf("%s: batch[3] count=%d", name, out[3].Count())
+		}
+	}
+}
+
+func TestDBUpdatesAllModes(t *testing.T) {
+	ctx := context.Background()
+	for name, db := range allModes(t, 10_000, crackdb.Crack) {
+		if _, err := db.Query(ctx, crackdb.Range(2000, 3000)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert(2500); err != nil {
+			t.Fatalf("%s: insert: %v", name, err)
+		}
+		if err := db.Delete(2600); err != nil {
+			t.Fatalf("%s: delete: %v", name, err)
+		}
+		if db.PendingUpdates() != 2 {
+			t.Fatalf("%s: pending=%d", name, db.PendingUpdates())
+		}
+		res, err := db.Query(ctx, crackdb.Range(2400, 2700))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count() != 300 { // +1 insert, -1 delete
+			t.Fatalf("%s: count after updates = %d, want 300", name, res.Count())
+		}
+		if db.PendingUpdates() != 0 {
+			t.Fatalf("%s: updates not merged", name)
+		}
+	}
+	// The sorted baseline cannot take updates, in any mode.
+	db, err := crackdb.Open(crackdb.MakeData(1000, 35), crackdb.Sort,
+		crackdb.WithConcurrency(crackdb.Shared))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(1); !errors.Is(err, crackdb.ErrUpdatesUnsupported) {
+		t.Fatalf("sort insert error = %v", err)
+	}
+}
+
+func TestDBSnapshotModes(t *testing.T) {
+	ctx := context.Background()
+	dbs := allModes(t, 10_000, crackdb.DD1R)
+	for _, name := range []string{"single", "shared"} {
+		db := dbs[name]
+		if _, err := db.Query(ctx, crackdb.Range(100, 5000)); err != nil {
+			t.Fatal(err)
+		}
+		st, err := db.Snapshot()
+		if err != nil {
+			t.Fatalf("%s: snapshot: %v", name, err)
+		}
+		restored, err := crackdb.OpenSnapshot(st, crackdb.Crack,
+			crackdb.WithConcurrency(crackdb.Shared))
+		if err != nil {
+			t.Fatalf("%s: restore: %v", name, err)
+		}
+		res, err := restored.Query(ctx, crackdb.Range(100, 200))
+		if err != nil || res.Count() != 100 {
+			t.Fatalf("%s: restored count=%d err=%v", name, res.Count(), err)
+		}
+		// Pending updates block snapshots.
+		if err := db.Insert(1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Snapshot(); err == nil {
+			t.Fatalf("%s: snapshot with pending updates accepted", name)
+		}
+	}
+	if _, err := dbs["sharded"].Snapshot(); !errors.Is(err, crackdb.ErrSnapshotUnsupported) {
+		t.Fatalf("sharded snapshot error = %v", err)
+	}
+}
+
+func TestDBSentinelErrors(t *testing.T) {
+	if _, err := crackdb.Open(nil, "not-an-algorithm"); !errors.Is(err, crackdb.ErrUnknownAlgorithm) {
+		t.Fatalf("unknown algorithm error = %v", err)
+	}
+	if _, err := crackdb.Open(nil, "bogus", crackdb.WithConcurrency(crackdb.Sharded(2))); !errors.Is(err, crackdb.ErrUnknownAlgorithm) {
+		t.Fatalf("sharded unknown algorithm error = %v", err)
+	}
+	if _, err := crackdb.OpenTable(map[string][]int64{"a": {1}}, "bogus"); !errors.Is(err, crackdb.ErrUnknownAlgorithm) {
+		t.Fatalf("table unknown algorithm error = %v", err)
+	}
+
+	// A known algorithm in a mode that cannot run it is "unsupported",
+	// not "unknown".
+	if _, err := crackdb.Open(crackdb.MakeData(100, 36), crackdb.AICC,
+		crackdb.WithConcurrency(crackdb.Sharded(2))); !errors.Is(err, errors.ErrUnsupported) || errors.Is(err, crackdb.ErrUnknownAlgorithm) {
+		t.Fatalf("hybrid sharded error = %v", err)
+	}
+
+	db, err := crackdb.Open(crackdb.MakeData(100, 36), crackdb.Crack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single-column DB rejects column-scoped predicates.
+	if _, err := db.Query(context.Background(), crackdb.Eq(1).On("a")); !errors.Is(err, crackdb.ErrUnknownColumn) {
+		t.Fatalf("scoped predicate error = %v", err)
+	}
+	// Closed handles fail every operation with ErrClosed.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(context.Background(), crackdb.Eq(1)); !errors.Is(err, crackdb.ErrClosed) {
+		t.Fatalf("query after close error = %v", err)
+	}
+	if err := db.Insert(1); !errors.Is(err, crackdb.ErrClosed) {
+		t.Fatalf("insert after close error = %v", err)
+	}
+	if err := db.Close(); err != nil { // idempotent, io.Closer-style
+		t.Fatalf("double close error = %v", err)
+	}
+}
+
+func TestDBTableModes(t *testing.T) {
+	const n = 20_000
+	ctx := context.Background()
+	a := crackdb.MakeData(n, 37)
+	b := make([]int64, n)
+	for i, v := range a {
+		b[i] = v * 2
+	}
+	for _, mode := range []crackdb.Concurrency{crackdb.Single, crackdb.Shared} {
+		db, err := crackdb.OpenTable(map[string][]int64{"a": a, "b": b}, crackdb.DD1R,
+			crackdb.WithSeed(38), crackdb.WithConcurrency(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db.Rows() != n || len(db.Columns()) != 2 {
+			t.Fatal("table shape wrong")
+		}
+		res, err := db.Query(ctx, crackdb.Range(100, 200).On("a"))
+		if err != nil || res.Count() != 100 || res.Sum() != sumRange(100, 200) {
+			t.Fatalf("%v: a count=%d err=%v", mode, res.Count(), err)
+		}
+		agg, err := db.QueryAggregate(ctx, crackdb.Range(0, 200).On("b"))
+		if err != nil || agg.Count != 100 {
+			t.Fatalf("%v: b aggregate %+v err=%v", mode, agg, err)
+		}
+		// Unscoped predicates on a multi-column table are rejected...
+		if _, err := db.Query(ctx, crackdb.Eq(1)); !errors.Is(err, crackdb.ErrUnknownColumn) {
+			t.Fatalf("%v: unscoped error = %v", mode, err)
+		}
+		// ...as are unknown columns, and table updates/snapshots.
+		if _, err := db.Query(ctx, crackdb.Eq(1).On("zzz")); !errors.Is(err, crackdb.ErrUnknownColumn) {
+			t.Fatalf("%v: unknown column error = %v", mode, err)
+		}
+		// Predicates composed across two different columns are rejected,
+		// never silently answered against one of them.
+		bad := crackdb.Range(0, 10).On("a").And(crackdb.Range(0, 10).On("b"))
+		if _, err := db.Query(ctx, bad); !errors.Is(err, crackdb.ErrUnknownColumn) {
+			t.Fatalf("%v: cross-column And error = %v", mode, err)
+		}
+		bad = crackdb.Eq(1).On("a").Or(crackdb.Eq(2).On("b"))
+		if _, err := db.QueryAggregate(ctx, bad); !errors.Is(err, crackdb.ErrUnknownColumn) {
+			t.Fatalf("%v: cross-column Or error = %v", mode, err)
+		}
+		if err := db.Insert(1); !errors.Is(err, crackdb.ErrUpdatesUnsupported) {
+			t.Fatalf("%v: table insert error = %v", mode, err)
+		}
+		if _, err := db.Snapshot(); !errors.Is(err, crackdb.ErrSnapshotUnsupported) {
+			t.Fatalf("%v: table snapshot error = %v", mode, err)
+		}
+		// Batches spanning columns stitch correctly.
+		out, err := db.QueryBatch(ctx, []crackdb.Predicate{
+			crackdb.Range(10, 20).On("a"),
+			crackdb.Range(10, 20).On("b"),
+		})
+		if err != nil || out[0].Count() != 10 || out[1].Count() != 5 {
+			t.Fatalf("%v: cross-column batch (%d,%d) err=%v", mode, out[0].Count(), out[1].Count(), err)
+		}
+		if db.Stats().Queries == 0 {
+			t.Fatalf("%v: no stats", mode)
+		}
+	}
+	// A one-column table serves unscoped predicates on its only column.
+	db, err := crackdb.OpenTable(map[string][]int64{"only": a}, crackdb.Crack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := db.Query(ctx, crackdb.Eq(42)); err != nil || res.Count() != 1 {
+		t.Fatalf("default column: count=%d err=%v", res.Count(), err)
+	}
+	// Sharded tables are not implemented.
+	if _, err := crackdb.OpenTable(map[string][]int64{"a": a}, crackdb.Crack,
+		crackdb.WithConcurrency(crackdb.Sharded(4))); !errors.Is(err, errors.ErrUnsupported) {
+		t.Fatalf("sharded table error = %v", err)
+	}
+}
+
+func TestDBConcurrentTraffic(t *testing.T) {
+	const n = 30_000
+	ctx := context.Background()
+	for _, mode := range []crackdb.Concurrency{crackdb.Shared, crackdb.Sharded(4)} {
+		db, err := crackdb.Open(crackdb.MakeData(n, 39), crackdb.DD1R,
+			crackdb.WithSeed(40), crackdb.WithConcurrency(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan string, 32)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 25; i++ {
+					lo := int64((g*1103 + i*197) % (n - 300))
+					switch i % 3 {
+					case 0:
+						res, err := db.Query(ctx, crackdb.Range(lo, lo+100))
+						if err != nil || res.Count() != 100 {
+							errs <- "query wrong"
+							return
+						}
+					case 1:
+						out, err := db.QueryBatch(ctx, []crackdb.Predicate{
+							crackdb.Range(lo, lo+10),
+							crackdb.Range(lo+50, lo+60).Or(crackdb.Range(lo+90, lo+100)),
+						})
+						if err != nil || out[0].Count() != 10 || out[1].Count() != 20 {
+							errs <- "batch wrong"
+							return
+						}
+					default:
+						agg, err := db.QueryAggregate(ctx, crackdb.Range(lo, lo+100))
+						if err != nil || agg.Count != 100 {
+							errs <- "aggregate wrong"
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatalf("%v: %s", mode, e)
+		}
+	}
+}
+
+// TestDBCanceledContext covers the acceptance criterion: a canceled
+// context aborts queries in every mode, including a sharded QueryBatch
+// mid-fan-out.
+func TestDBCanceledContext(t *testing.T) {
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, db := range allModes(t, 10_000, crackdb.DD1R) {
+		if _, err := db.Query(canceled, crackdb.Range(0, 100)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: query error = %v", name, err)
+		}
+		if _, err := db.QueryBatch(canceled, []crackdb.Predicate{crackdb.Eq(1)}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: batch error = %v", name, err)
+		}
+		if _, err := db.QueryAggregate(canceled, crackdb.Range(0, 100)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: aggregate error = %v", name, err)
+		}
+	}
+}
+
+func TestDBShardedBatchCancelMidFanout(t *testing.T) {
+	const n = 2_000_000
+	db, err := crackdb.Open(crackdb.MakeData(n, 41), crackdb.Crack,
+		crackdb.WithSeed(42), crackdb.WithConcurrency(crackdb.Sharded(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A big batch of wide fresh ranges: every range fans out to all 8
+	// shards and cracks, so the batch runs far longer than the cancel
+	// delay below.
+	ps := make([]crackdb.Predicate, 400)
+	for i := range ps {
+		lo := int64(i * (n / 500))
+		ps[i] = crackdb.Range(lo, lo+n/100)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := db.QueryBatch(ctx, ps)
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("batch error = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled batch did not return")
+	}
+	// The abort must be prompt: the full batch takes far longer than the
+	// post-cancel grace we allow here (one in-flight range per shard).
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	// The DB stays fully usable after an aborted batch.
+	res, err := db.Query(context.Background(), crackdb.Range(1000, 1100))
+	if err != nil || res.Count() != 100 {
+		t.Fatalf("post-cancel query count=%d err=%v", res.Count(), err)
+	}
+}

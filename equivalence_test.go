@@ -1,0 +1,164 @@
+package crackdb_test
+
+import (
+	"context"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+
+	crackdb "repro"
+)
+
+// equivHandles opens the same dataset behind every execution mode the DB
+// offers, plus the Scan baseline as a cracking-free reference.
+func equivHandles(t *testing.T, n int64) map[string]*crackdb.DB {
+	t.Helper()
+	handles := make(map[string]*crackdb.DB)
+	open := func(name, algo string, opts ...crackdb.Option) {
+		db, err := crackdb.Open(crackdb.MakeData(n, 51), algo,
+			append(opts, crackdb.WithSeed(52))...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		handles[name] = db
+	}
+	open("single", crackdb.DD1R)
+	open("shared", crackdb.MDD1R, crackdb.WithConcurrency(crackdb.Shared))
+	open("sharded", crackdb.Crack, crackdb.WithConcurrency(crackdb.Sharded(5)))
+	open("scan", crackdb.Scan)
+	tbl, err := crackdb.OpenTable(map[string][]int64{"v": crackdb.MakeData(n, 51)},
+		crackdb.PMDD1R, crackdb.WithSeed(52), crackdb.WithConcurrency(crackdb.Shared))
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles["table"] = tbl
+	return handles
+}
+
+// randomPredicate builds a random predicate over the domain [0, n) and
+// returns, alongside it, the sorted distinct values of [0, n) it selects —
+// the closed-form oracle MakeData's permutation affords.
+func randomPredicate(rng *rand.Rand, n int64) (crackdb.Predicate, []int64) {
+	numRanges := 1
+	switch rng.Intn(3) {
+	case 1:
+		numRanges = 2
+	case 2:
+		numRanges = 3
+	}
+	p := crackdb.Predicate{}
+	var bounds [][2]int64
+	for i := 0; i < numRanges; i++ {
+		lo := rng.Int63n(n + 100) // may poke past the domain edge
+		width := 1 + rng.Int63n(200)
+		q := crackdb.Range(lo, lo+width)
+		if rng.Intn(4) == 0 {
+			q = crackdb.Between(lo, lo+width) // inclusive flavor
+			width++
+		}
+		if i == 0 {
+			p = q
+		} else {
+			p = p.Or(q)
+		}
+		bounds = append(bounds, [2]int64{lo, lo + width})
+	}
+	hit := make(map[int64]bool)
+	for _, b := range bounds {
+		for v := b[0]; v < b[1] && v < n; v++ {
+			if v >= 0 {
+				hit[v] = true
+			}
+		}
+	}
+	want := make([]int64, 0, len(hit))
+	for v := range hit {
+		want = append(want, v)
+	}
+	slices.Sort(want)
+	return p, want
+}
+
+// TestCrossModeEquivalence is the cross-mode property test: the same
+// predicate workload must produce identical answers through Single,
+// Shared, Sharded and Table execution and the Scan baseline — cracking,
+// sharding and locking strategies may reorganize differently, but never
+// answer differently.
+func TestCrossModeEquivalence(t *testing.T) {
+	const n = 30_000
+	const queries = 120
+	ctx := context.Background()
+	handles := equivHandles(t, n)
+	rng := rand.New(rand.NewSource(53))
+	for q := 0; q < queries; q++ {
+		p, want := randomPredicate(rng, n)
+		for name, db := range handles {
+			res, err := db.Query(ctx, p)
+			if err != nil {
+				t.Fatalf("q%d %s on %s: %v", q, p, name, err)
+			}
+			got := res.Owned()
+			slices.Sort(got)
+			if !slices.Equal(got, want) {
+				t.Fatalf("q%d %s on %s: %d values, want %d (first diff around %v)",
+					q, p, name, len(got), len(want), firstDiff(got, want))
+			}
+			agg, err := db.QueryAggregate(ctx, p)
+			if err != nil || agg.Count != len(want) {
+				t.Fatalf("q%d %s on %s: aggregate count=%d err=%v", q, p, name, agg.Count, err)
+			}
+		}
+	}
+}
+
+// TestCrossModeEquivalenceConcurrent replays the same property under
+// concurrent traffic on the goroutine-safe modes; with -race (CI runs the
+// facade package under the race detector) it doubles as the data-race
+// variant of the equivalence suite.
+func TestCrossModeEquivalenceConcurrent(t *testing.T) {
+	const n = 20_000
+	ctx := context.Background()
+	handles := equivHandles(t, n)
+	delete(handles, "single") // not goroutine-safe by contract
+	delete(handles, "scan")
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(60 + int64(g)))
+			for q := 0; q < 40; q++ {
+				p, want := randomPredicate(rng, n)
+				for name, db := range handles {
+					res, err := db.Query(ctx, p)
+					if err != nil {
+						errs <- name + ": " + err.Error()
+						return
+					}
+					got := res.Owned()
+					slices.Sort(got)
+					if !slices.Equal(got, want) {
+						errs <- name + ": wrong answer for " + p.String()
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func firstDiff(a, b []int64) [2]int64 {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return [2]int64{a[i], b[i]}
+		}
+	}
+	return [2]int64{-1, -1}
+}

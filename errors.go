@@ -1,0 +1,31 @@
+package crackdb
+
+import "repro/internal/dberr"
+
+// Sentinel errors returned (wrapped) by the crackdb API. Match them with
+// errors.Is; the error strings carry context (algorithm spec, column
+// name, pending-update counts) and are not part of the API.
+var (
+	// ErrUnknownAlgorithm: the algorithm spec is not recognized by any
+	// builder (see Algorithms for the accepted specs).
+	ErrUnknownAlgorithm = dberr.ErrUnknownAlgorithm
+
+	// ErrUpdatesUnsupported: Insert/Delete against an index kind that
+	// cannot take updates (the sorted baseline, the partition/merge
+	// hybrids) or against a table database.
+	ErrUpdatesUnsupported = dberr.ErrUpdatesUnsupported
+
+	// ErrSnapshotUnsupported: Snapshot against an index kind or
+	// concurrency mode that cannot serialize its physical state (hybrids,
+	// sharded and table databases).
+	ErrSnapshotUnsupported = dberr.ErrSnapshotUnsupported
+
+	// ErrUnknownColumn: a predicate or projection names a column the
+	// database does not have — including an unscoped predicate against a
+	// multi-column table (scope it with Predicate.On) and a column-scoped
+	// predicate against a single-column database.
+	ErrUnknownColumn = dberr.ErrUnknownColumn
+
+	// ErrClosed: an operation on a DB handle after Close.
+	ErrClosed = dberr.ErrClosed
+)

@@ -1,31 +1,70 @@
 package crackdb_test
 
 import (
+	"context"
 	"fmt"
 
 	crackdb "repro"
 )
 
-// Building an index and querying it: there is no build step; the column
-// adapts as queries arrive.
-func ExampleNew() {
+// Opening a database and querying it: there is no build step; the column
+// adapts as queries arrive. Concurrency is a construction option, not a
+// different API.
+func ExampleOpen() {
 	data := crackdb.MakeData(1000, 42) // shuffled [0, 1000)
-	ix, err := crackdb.New(data, crackdb.DD1R, crackdb.WithSeed(7))
+	db, err := crackdb.Open(data, crackdb.DD1R, crackdb.WithSeed(7))
 	if err != nil {
 		panic(err)
 	}
-	res := ix.Query(100, 110)
+	res, err := db.Query(context.Background(), crackdb.Range(100, 110))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("rows:", res.Count(), "sum:", res.Sum())
 	// Output:
 	// rows: 10 sum: 1045
 }
 
-// Results can be iterated, counted, summed, or copied out; they remain
-// valid until the next query on the same index.
-func ExampleIndex_Query() {
-	ix, _ := crackdb.New([]int64{13, 16, 4, 9, 2, 12, 7, 1, 19, 3, 14, 11, 8, 6}, crackdb.Crack)
-	res := ix.Query(10, 14) // the paper's Fig. 1 Q1: 10 < A < 14 over ints
-	vals := res.Materialize(nil)
+// The same handle, code and predicates serve concurrent traffic when the
+// DB is opened with a concurrency mode; results are then owned slices,
+// safe to retain.
+func ExampleWithConcurrency() {
+	db, err := crackdb.Open(crackdb.MakeData(1000, 42), crackdb.DD1R,
+		crackdb.WithSeed(7), crackdb.WithConcurrency(crackdb.Sharded(4)))
+	if err != nil {
+		panic(err)
+	}
+	agg, err := db.QueryAggregate(context.Background(), crackdb.LessEq(99))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("mode:", db.Mode(), "count:", agg.Count, "sum:", agg.Sum)
+	// Output:
+	// mode: sharded-4 count: 100 sum: 4950
+}
+
+// SQL-shaped predicates normalize onto the engine's half-open ranges and
+// compose with And/Or; disjoint unions become multi-range predicates,
+// answered as a batch under the hood.
+func ExamplePredicate() {
+	q1 := crackdb.Greater(10).And(crackdb.Less(14))
+	fmt.Println(q1)
+	lo, hi := q1.Bounds()
+	fmt.Println(lo, hi)
+	fmt.Println(crackdb.Eq(3).Or(crackdb.Between(7, 9)))
+	// Output:
+	// 11 <= v < 14
+	// 11 14
+	// 3 <= v < 4 OR 7 <= v < 10
+}
+
+// Results can be iterated, counted, summed, or copied out; Single-mode
+// results are zero-copy views valid until the next query on the handle.
+func ExampleDB_Query() {
+	db, _ := crackdb.Open([]int64{13, 16, 4, 9, 2, 12, 7, 1, 19, 3, 14, 11, 8, 6}, crackdb.Crack)
+	// The paper's Fig. 1 Q1: 10 < A < 14 over ints.
+	res, _ := db.Query(context.Background(), crackdb.Greater(10).And(crackdb.Less(14)))
+	vals := res.Owned()
 	sum := int64(0)
 	for _, v := range vals {
 		sum += v
@@ -35,29 +74,31 @@ func ExampleIndex_Query() {
 	// qualifying: 3 sum: 36
 }
 
-// SQL-shaped predicates normalize onto the engine's half-open ranges.
-func ExamplePredicate() {
-	q1 := crackdb.Greater(10).And(crackdb.Less(14))
-	fmt.Println(q1)
-	lo, hi := q1.Bounds()
-	fmt.Println(lo, hi)
-	// Output:
-	// 11 <= v < 14
-	// 11 14
-}
-
 // Updates queue as pending and merge into the column exactly when a query
-// touches their range (Ripple merge).
-func ExampleIndex_Insert() {
-	ix, _ := crackdb.New(crackdb.MakeData(1000, 1), crackdb.Crack)
-	ix.Query(0, 500) // establish some cracks
-	_ = ix.Insert(250)
-	fmt.Println("pending before:", ix.PendingUpdates())
-	res := ix.Query(240, 260)
-	fmt.Println("pending after:", ix.PendingUpdates(), "rows:", res.Count())
+// touches their range (Ripple merge) — in every concurrency mode.
+func ExampleDB_Insert() {
+	ctx := context.Background()
+	db, _ := crackdb.Open(crackdb.MakeData(1000, 1), crackdb.Crack)
+	db.Query(ctx, crackdb.Range(0, 500)) // establish some cracks
+	_ = db.Insert(250)
+	fmt.Println("pending before:", db.PendingUpdates())
+	res, _ := db.Query(ctx, crackdb.Range(240, 260))
+	fmt.Println("pending after:", db.PendingUpdates(), "rows:", res.Count())
 	// Output:
 	// pending before: 1
 	// pending after: 0 rows: 21
+}
+
+// Multi-column tables crack per attribute; predicates scope to a column
+// with On.
+func ExampleOpenTable() {
+	a := []int64{5, 3, 1, 4, 2, 0}
+	b := []int64{50, 30, 10, 40, 20, 0}
+	db, _ := crackdb.OpenTable(map[string][]int64{"a": a, "b": b}, crackdb.Crack)
+	agg, _ := db.QueryAggregate(context.Background(), crackdb.Range(20, 50).On("b"))
+	fmt.Println("matching b values:", agg.Count, "sum:", agg.Sum)
+	// Output:
+	// matching b values: 3 sum: 90
 }
 
 // Workload generators reproduce the paper's query patterns (Fig. 7).
@@ -73,18 +114,14 @@ func ExampleNewWorkload() {
 	// 198 208
 }
 
-// Multi-column tables crack per attribute and reconstruct projections on
-// demand.
-func ExampleNewTable() {
-	a := []int64{5, 3, 1, 4, 2, 0}
-	b := []int64{50, 30, 10, 40, 20, 0}
-	tbl, _ := crackdb.NewTable(map[string][]int64{"a": a, "b": b}, crackdb.Crack)
-	proj, _ := tbl.SelectProjectSideways("a", "b", 2, 5)
-	sum := int64(0)
-	for _, v := range proj {
-		sum += v
+// The v1 constructors remain as deprecated shims over the same core.
+func ExampleNew() {
+	ix, err := crackdb.New(crackdb.MakeData(1000, 42), crackdb.DD1R, crackdb.WithSeed(7))
+	if err != nil {
+		panic(err)
 	}
-	fmt.Println("projected values:", len(proj), "sum:", sum)
+	res := ix.Query(100, 110)
+	fmt.Println("rows:", res.Count(), "sum:", res.Sum())
 	// Output:
-	// projected values: 3 sum: 90
+	// rows: 10 sum: 1045
 }

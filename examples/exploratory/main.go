@@ -9,12 +9,14 @@
 // This example reproduces the paper's headline comparison (Fig. 9) at a
 // laptop-friendly scale, printing cumulative cost after each decade of
 // queries for original cracking, stochastic cracking, a full sort and a
-// plain scan.
+// plain scan — all through the same crackdb.DB front door; only the
+// algorithm string changes.
 //
 //	go run ./examples/exploratory
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -27,7 +29,8 @@ const (
 )
 
 func runExploration(algo string) (time.Duration, int64) {
-	ix, err := crackdb.New(crackdb.MakeData(n, 1), algo, crackdb.WithSeed(3))
+	ctx := context.Background()
+	db, err := crackdb.Open(crackdb.MakeData(n, 1), algo, crackdb.WithSeed(3))
 	if err != nil {
 		panic(err)
 	}
@@ -41,13 +44,16 @@ func runExploration(algo string) (time.Duration, int64) {
 	for i := 0; i < q; i++ {
 		lo, hi := gen.Next()
 		t0 := time.Now()
-		res := ix.Query(lo, hi)
+		res, err := db.Query(ctx, crackdb.Range(lo, hi))
+		if err != nil {
+			panic(err)
+		}
 		total += time.Since(t0)
 		if res.Count() == 0 && hi > lo {
 			_ = res // ranges at the domain edge can legitimately be empty
 		}
 	}
-	return total, ix.Stats().Touched
+	return total, db.Stats().Touched
 }
 
 func main() {

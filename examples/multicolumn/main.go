@@ -8,15 +8,19 @@
 // during cracking, so projection becomes a contiguous copy.
 //
 // The example models a tiny telescope catalog — right ascension,
-// brightness, object id — and runs the astronomy query the paper's
-// SkyServer discussion motivates: "brightness of all objects in this
-// strip of the sky".
+// brightness, object id — first serving concurrent strip counts through
+// the unified DB front door (predicates scoped with On, per-column
+// executors), then running the astronomy query the paper's SkyServer
+// discussion motivates — "brightness of all objects in this strip of the
+// sky" — through both reconstruction strategies.
 //
 //	go run ./examples/multicolumn
 package main
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	crackdb "repro"
@@ -24,10 +28,9 @@ import (
 
 const n = 2_000_000
 
-func main() {
-	// Build the catalog: ra is a shuffled dense domain standing in for
-	// right-ascension; brightness and id are derived so results are easy
-	// to eyeball.
+func catalog() map[string][]int64 {
+	// ra is a shuffled dense domain standing in for right-ascension;
+	// brightness and id are derived so results are easy to eyeball.
 	ra := crackdb.MakeData(n, 21)
 	brightness := make([]int64, n)
 	objID := make([]int64, n)
@@ -35,23 +38,54 @@ func main() {
 		brightness[i] = 1000 + v%500
 		objID[i] = int64(i)
 	}
+	return map[string][]int64{"ra": ra, "brightness": brightness, "obj_id": objID}
+}
 
-	tbl, err := crackdb.NewTable(map[string][]int64{
-		"ra":         ra,
-		"brightness": brightness,
-		"obj_id":     objID,
-	}, crackdb.DD1R, crackdb.WithSeed(3))
+var strips = []struct{ lo, hi int64 }{
+	{100_000, 101_000},
+	{100_200, 100_800}, // refining inside the previous strip
+	{1_500_000, 1_502_000},
+}
+
+func main() {
+	ctx := context.Background()
+
+	// Part 1: the unified front door. A Shared table gives every selection
+	// column its own adaptive executor; concurrent observers count strips
+	// in parallel, and only the columns their predicates name are ever
+	// indexed.
+	db, err := crackdb.OpenTable(catalog(), crackdb.DD1R,
+		crackdb.WithSeed(3), crackdb.WithConcurrency(crackdb.Shared))
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("catalog: %d rows, columns %v\n\n", tbl.Rows(), tbl.Columns())
-
-	// A scan of one strip of the sky, projected two ways.
-	strips := []struct{ lo, hi int64 }{
-		{100_000, 101_000},
-		{100_200, 100_800}, // refining inside the previous strip
-		{1_500_000, 1_502_000},
+	fmt.Printf("catalog: %d rows, columns %v\n\n", db.Rows(), db.Columns())
+	var wg sync.WaitGroup
+	counts := make([]int, len(strips))
+	for i, s := range strips {
+		wg.Add(1)
+		go func(i int, lo, hi int64) {
+			defer wg.Done()
+			agg, err := db.QueryAggregate(ctx, crackdb.Range(lo, hi).On("ra"))
+			if err != nil {
+				panic(err)
+			}
+			counts[i] = agg.Count
+		}(i, s.lo, s.hi)
 	}
+	wg.Wait()
+	for i, s := range strips {
+		fmt.Printf("strip [%7d,%7d): %5d objects (counted concurrently)\n", s.lo, s.hi, counts[i])
+	}
+
+	// Part 2: projection, two ways. The projection APIs live on the Table
+	// handle (single-threaded); the selection column is cracked as a side
+	// effect either way.
+	tbl, err := crackdb.NewTable(catalog(), crackdb.DD1R, crackdb.WithSeed(3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println()
 	for _, s := range strips {
 		t0 := time.Now()
 		late, err := tbl.SelectProject("ra", "brightness", s.lo, s.hi)

@@ -1,4 +1,5 @@
-// Quickstart: build an adaptive index, run range queries, watch it adapt.
+// Quickstart: open an adaptive database, run predicate queries, watch it
+// adapt.
 //
 // There is no index-building step: the first query costs about as much as
 // a scan, and each query leaves the column a little more organized, so
@@ -8,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,14 +18,18 @@ import (
 
 func main() {
 	const n = 4_000_000
+	ctx := context.Background()
 
 	// The paper's dataset: a random permutation of the integers [0, n).
-	// Any []int64 works; the index takes ownership and reorganizes it.
+	// Any []int64 works; the database takes ownership and reorganizes it.
 	data := crackdb.MakeData(n, 42)
 
 	// DD1R — stochastic cracking with one random auxiliary crack per query
-	// bound — is the paper's best all-round choice (Fig. 20).
-	ix, err := crackdb.New(data, crackdb.DD1R, crackdb.WithSeed(7))
+	// bound — is the paper's best all-round choice (Fig. 20). The default
+	// concurrency mode is Single: zero-copy results, no locking; pass
+	// crackdb.WithConcurrency(crackdb.Shared) and the same code serves
+	// concurrent traffic.
+	db, err := crackdb.Open(data, crackdb.DD1R, crackdb.WithSeed(7))
 	if err != nil {
 		panic(err)
 	}
@@ -34,10 +40,13 @@ func main() {
 		hi := lo + 1_000
 
 		t0 := time.Now()
-		res := ix.Query(lo, hi)
+		res, err := db.Query(ctx, crackdb.Range(lo, hi))
+		if err != nil {
+			panic(err)
+		}
 		dt := time.Since(t0)
 
-		fmt.Printf("%-8d [%d, %d) %12v %10d %10d\n", i+1, lo, hi, dt, res.Count(), ix.Pieces())
+		fmt.Printf("%-8d [%d, %d) %12v %10d %10d\n", i+1, lo, hi, dt, res.Count(), db.Stats().Pieces)
 	}
 
 	// Re-running the same ranges hits existing cracks: no reorganization,
@@ -47,20 +56,27 @@ func main() {
 	for i := 0; i < 10; i++ {
 		lo := int64(i) * 350_000
 		t0 := time.Now()
-		res := ix.Query(lo, lo+1_000)
+		res, err := db.Query(ctx, crackdb.Range(lo, lo+1_000))
+		if err != nil {
+			panic(err)
+		}
 		dt := time.Since(t0)
 		if i < 3 || i == 9 {
 			fmt.Printf("%-8d [%d, %d) %12v %10d\n", i+1, lo, lo+1_000, dt, res.Count())
 		}
 	}
 
-	// Results are views plus materialized ends; copy out what you keep.
-	res := ix.Query(1_000_000, 1_000_005)
-	fmt.Println("\nvalues in [1000000, 1000005):", res.Materialize(nil))
+	// Predicates translate SQL's comparison shapes, compose with And/Or,
+	// and multi-range unions are answered as one batch under the hood.
+	res, err := db.Query(ctx, crackdb.Between(1_000_000, 1_000_004).Or(crackdb.Eq(2_000_000)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nvalues in [1000000, 1000004] ∪ {2000000}:", res.Owned())
 
-	// The index reports its physical work: tuples touched is the paper's
-	// machine-independent cost metric.
-	st := ix.Stats()
+	// The database reports its physical work: tuples touched is the
+	// paper's machine-independent cost metric.
+	st := db.Stats()
 	fmt.Printf("\nafter %d queries: touched %d tuples, %d cracks, %d pieces\n",
 		st.Queries, st.Touched, st.Cracks, st.Pieces)
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -25,7 +26,8 @@ const (
 )
 
 func replay(algo string) []time.Duration {
-	ix, err := crackdb.New(crackdb.MakeData(n, 11), algo, crackdb.WithSeed(11))
+	ctx := context.Background()
+	db, err := crackdb.Open(crackdb.MakeData(n, 11), algo, crackdb.WithSeed(11))
 	if err != nil {
 		panic(err)
 	}
@@ -38,7 +40,9 @@ func replay(algo string) []time.Duration {
 	for i := 0; i < q; i++ {
 		lo, hi := gen.Next()
 		t0 := time.Now()
-		ix.Query(lo, hi)
+		if _, err := db.Query(ctx, crackdb.Range(lo, hi)); err != nil {
+			panic(err)
+		}
 		total += time.Since(t0)
 		cum = append(cum, total)
 	}

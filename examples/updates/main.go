@@ -7,10 +7,14 @@
 // instead of rewriting the array (reproducing Fig. 15's setup: 10 random
 // inserts arriving with every 10 queries).
 //
+// The same DB.Insert/DB.Delete calls work in every concurrency mode — a
+// sharded database routes each value to the shard owning its range.
+//
 //	go run ./examples/updates
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,7 +27,8 @@ const (
 )
 
 func main() {
-	ix, err := crackdb.New(crackdb.MakeData(n, 5), crackdb.PMDD1R, crackdb.WithSeed(5))
+	ctx := context.Background()
+	db, err := crackdb.Open(crackdb.MakeData(n, 5), crackdb.PMDD1R, crackdb.WithSeed(5))
 	if err != nil {
 		panic(err)
 	}
@@ -44,7 +49,7 @@ func main() {
 		if i%10 == 0 {
 			for k := 0; k < 10; k++ {
 				v, _ := inserts.Next()
-				if err := ix.Insert(v); err != nil {
+				if err := db.Insert(v); err != nil {
 					panic(err)
 				}
 				inserted++
@@ -52,7 +57,10 @@ func main() {
 		}
 		lo, hi := queries.Next()
 		t0 := time.Now()
-		res := ix.Query(lo, hi)
+		res, err := db.Query(ctx, crackdb.Range(lo, hi))
+		if err != nil {
+			panic(err)
+		}
 		total += time.Since(t0)
 		// On permutation data every value is unique, so any count above
 		// the range width is a merged insert showing up in results.
@@ -61,13 +69,13 @@ func main() {
 		}
 		if (i+1)%400 == 0 {
 			fmt.Printf("after %5d queries: cumulative %8v, %5d inserts queued, %4d still pending\n",
-				i+1, total.Round(time.Millisecond), inserted, ix.PendingUpdates())
+				i+1, total.Round(time.Millisecond), inserted, db.PendingUpdates())
 		}
 	}
 
-	st := ix.Stats()
+	st := db.Stats()
 	fmt.Printf("\n%d inserts arrived; %d merged on demand, %d never touched by a query\n",
-		inserted, inserted-ix.PendingUpdates(), ix.PendingUpdates())
+		inserted, inserted-db.PendingUpdates(), db.PendingUpdates())
 	fmt.Printf("%d of them were returned by queries whose range covered them\n", matched)
 	fmt.Printf("index state: %d pieces, %d tuples touched in total\n", st.Pieces, st.Touched)
 	fmt.Println("\npaper shape (Fig. 15): the update stream does not disturb stochastic")

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/dberr"
 )
 
 // Build constructs an Index by algorithm name. Recognized specs:
@@ -77,7 +79,7 @@ func Build(values []int64, spec string, opt Options) (Index, error) {
 		}
 		return nil, fmt.Errorf("core: malformed rXcrack spec: %q", spec)
 	}
-	return nil, fmt.Errorf("core: unknown algorithm %q", spec)
+	return nil, fmt.Errorf("core: %w %q", dberr.ErrUnknownAlgorithm, spec)
 }
 
 func suffixInt(spec, prefix string) (int, bool) {

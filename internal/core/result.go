@@ -20,6 +20,11 @@ type Result struct {
 	lo, hi int // view range; empty when lo >= hi
 	left   []int64
 	right  []int64
+	// owned marks a result built from a caller-owned slice
+	// (NewOwnedResult): left does not alias index buffers and may be
+	// handed out without copying. NewMaterializedResult deliberately does
+	// NOT set it — its slice may be a buffer the index reuses.
+	owned bool
 }
 
 // Count returns the number of qualifying tuples.
@@ -93,9 +98,30 @@ func (r Result) Materialize(dst []int64) []int64 {
 	return dst
 }
 
-// NewMaterializedResult wraps an owned, fully materialized slice of
-// qualifying values as a Result. Used by composite indexes (e.g. the
-// partition/merge hybrids) whose results span non-contiguous storage.
+// Owned returns the qualifying values as a slice independent of the
+// index's internal buffers, safe to retain across queries. Results built
+// from a caller-owned slice (NewOwnedResult — every concurrent query
+// path) are returned without copying; view- or buffer-backed results are
+// copied out.
+func (r Result) Owned() []int64 {
+	if r.owned {
+		return r.left
+	}
+	return r.Materialize(make([]int64, 0, r.Count()))
+}
+
+// NewMaterializedResult wraps a fully materialized slice of qualifying
+// values as a Result. The slice may be a buffer the index reuses across
+// queries (the partition/merge hybrids do), so the Result is valid until
+// the next Query, like any other; use NewOwnedResult for slices the
+// caller gives away.
 func NewMaterializedResult(vals []int64) Result {
 	return Result{left: vals}
+}
+
+// NewOwnedResult wraps a caller-owned, fully materialized slice of
+// qualifying values as a Result whose Owned method returns vals without
+// copying. The caller must not retain or reuse vals afterwards.
+func NewOwnedResult(vals []int64) Result {
+	return Result{left: vals, owned: true}
 }

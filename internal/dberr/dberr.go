@@ -1,0 +1,29 @@
+// Package dberr declares the sentinel errors shared by the public crackdb
+// API and the internal layers that produce them. Internal packages wrap
+// these with fmt.Errorf("...: %w", ...) at the failure site; the facade
+// re-exports the same values (crackdb.ErrUnknownAlgorithm and friends), so
+// callers can classify failures with errors.Is instead of string-matching,
+// no matter how many layers the error crossed.
+package dberr
+
+import "errors"
+
+var (
+	// ErrUnknownAlgorithm reports an algorithm spec no builder recognizes.
+	ErrUnknownAlgorithm = errors.New("unknown algorithm")
+
+	// ErrUpdatesUnsupported reports an Insert/Delete against an index kind
+	// that cannot take updates (the sorted baseline, the hybrids).
+	ErrUpdatesUnsupported = errors.New("updates unsupported")
+
+	// ErrSnapshotUnsupported reports a Snapshot against an index kind or
+	// concurrency mode that cannot serialize its physical state.
+	ErrSnapshotUnsupported = errors.New("snapshots unsupported")
+
+	// ErrUnknownColumn reports a predicate or projection naming a column
+	// the table does not have.
+	ErrUnknownColumn = errors.New("unknown column")
+
+	// ErrClosed reports an operation on a closed DB handle.
+	ErrClosed = errors.New("database is closed")
+)

@@ -1,7 +1,8 @@
 // Package exec is the unified concurrent execution layer for adaptive
 // indexes: one adaptive read/write locking discipline that every
 // goroutine-safe path in the repository routes through (the facade's
-// Synchronized wrapper, the sharded index, the benchmark harness).
+// DB handle and Synchronized wrapper, the sharded index, the benchmark
+// harness).
 //
 // Cracking inverts the usual reader/writer economics — every query may
 // physically reorganize the column, so a mutual-exclusion lock is the
@@ -16,15 +17,24 @@
 // with other converged queries, while a reorganizing query takes the write
 // lock. On a converged workload throughput scales with GOMAXPROCS instead
 // of being serialized behind one mutex.
+//
+// Every query path takes a context.Context and honors cancellation at the
+// points where a long operation can be abandoned cheaply: before taking a
+// lock, after winning a contended write lock (the wait may have outlived
+// the caller), and between the ranges of a batch. A canceled context
+// never leaves the index in an inconsistent state — cracking is abandoned
+// only between queries, never inside one.
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/dberr"
 )
 
 // Index is the surface the executor drives: any single-threaded adaptive
@@ -93,39 +103,66 @@ func New(inner Index) *Executor {
 // Query answers [a, b) and returns an owned slice of the qualifying
 // values. Converged queries run under the shared lock.
 func (x *Executor) Query(a, b int64) []int64 {
+	out, _ := x.QueryCtx(context.Background(), a, b)
+	return out
+}
+
+// QueryCtx is Query honoring cancellation: it returns ctx.Err() without
+// touching the index when the context is already done, and again after
+// winning a contended write lock, since the wait may have outlived the
+// caller.
+func (x *Executor) QueryCtx(ctx context.Context, a, b int64) ([]int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if x.p != nil {
 		x.mu.RLock()
 		out, ok := x.p.TryAnswerReadOnly(a, b, nil)
 		x.mu.RUnlock()
 		if ok {
 			x.readQueries.Add(1)
-			return out
+			return out, nil
 		}
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	x.writeQueries.Add(1)
 	res := x.inner.Query(a, b)
-	return res.Materialize(make([]int64, 0, res.Count()))
+	return res.Materialize(make([]int64, 0, res.Count())), nil
 }
 
 // QueryAggregate answers [a, b) returning only (count, sum), skipping the
 // copy when the caller needs aggregates.
 func (x *Executor) QueryAggregate(a, b int64) (count int, sum int64) {
+	count, sum, _ = x.QueryAggregateCtx(context.Background(), a, b)
+	return count, sum
+}
+
+// QueryAggregateCtx is QueryAggregate honoring cancellation like QueryCtx.
+func (x *Executor) QueryAggregateCtx(ctx context.Context, a, b int64) (count int, sum int64, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
 	if x.p != nil {
 		x.mu.RLock()
 		count, sum, ok := x.p.TryAnswerReadOnlyAggregate(a, b)
 		x.mu.RUnlock()
 		if ok {
 			x.readQueries.Add(1)
-			return count, sum
+			return count, sum, nil
 		}
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
 	x.writeQueries.Add(1)
 	res := x.inner.Query(a, b)
-	return res.Count(), res.Sum()
+	return res.Count(), res.Sum(), nil
 }
 
 // QueryBatch answers many ranges with at most two lock acquisitions: one
@@ -135,9 +172,22 @@ func (x *Executor) QueryAggregate(a, b int64) (count int, sum int64) {
 // which keeps piece lookups and memory access local). Results are owned
 // slices in the order of the input ranges.
 func (x *Executor) QueryBatch(ranges []Range) [][]int64 {
+	out, _ := x.QueryBatchCtx(context.Background(), ranges)
+	return out
+}
+
+// QueryBatchCtx is QueryBatch honoring cancellation. The context is
+// re-checked between the ranges of the exclusive pass — the expensive one,
+// where each range may crack the column — so a long batch aborts cleanly
+// mid-way; on cancellation the partial results are discarded and only the
+// error is returned.
+func (x *Executor) QueryBatchCtx(ctx context.Context, ranges []Range) ([][]int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([][]int64, len(ranges))
 	if len(ranges) == 0 {
-		return out
+		return out, nil
 	}
 	order := make([]int, len(ranges))
 	for i := range order {
@@ -170,17 +220,20 @@ func (x *Executor) QueryBatch(ranges []Range) [][]int64 {
 		pending = order
 	}
 	if len(pending) == 0 {
-		return out
+		return out, nil
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	for _, i := range pending {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := ranges[i]
 		x.writeQueries.Add(1)
 		res := x.inner.Query(r.Lo, r.Hi)
 		out[i] = res.Materialize(make([]int64, 0, res.Count()))
 	}
-	return out
+	return out, nil
 }
 
 // Insert queues value v for insertion (merged into the column by the first
@@ -188,7 +241,7 @@ func (x *Executor) QueryBatch(ranges []Range) [][]int64 {
 // take updates.
 func (x *Executor) Insert(v int64) error {
 	if x.ins == nil {
-		return fmt.Errorf("exec: %s does not support updates", x.inner.Name())
+		return fmt.Errorf("exec: %s: %w", x.inner.Name(), dberr.ErrUpdatesUnsupported)
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
@@ -199,12 +252,37 @@ func (x *Executor) Insert(v int64) error {
 // Delete queues the removal of one occurrence of v, like Insert.
 func (x *Executor) Delete(v int64) error {
 	if x.ins == nil {
-		return fmt.Errorf("exec: %s does not support updates", x.inner.Name())
+		return fmt.Errorf("exec: %s: %w", x.inner.Name(), dberr.ErrUpdatesUnsupported)
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	x.ins.Delete(v)
 	return nil
+}
+
+// Pending returns the number of queued, not-yet-merged updates (0 when
+// the wrapped index cannot take updates).
+func (x *Executor) Pending() int {
+	if x.ins == nil {
+		return 0
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if p, ok := x.inner.(interface{ Pending() int }); ok {
+		return p.Pending()
+	}
+	return 0
+}
+
+// Exclusive runs fn on the wrapped index under the exclusive lock, with
+// every concurrent query drained. It is the escape hatch for whole-index
+// operations that the executor does not model itself — snapshotting the
+// physical state, counting pending updates — and must not be used to
+// retain the inner index past fn's return.
+func (x *Executor) Exclusive(fn func(inner Index)) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	fn(x.inner)
 }
 
 // Name identifies the wrapped algorithm.

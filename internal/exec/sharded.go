@@ -1,12 +1,14 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/updates"
 )
 
 // Sharded is a parallel cracking index: the column is value-range
@@ -22,6 +24,11 @@ import (
 // calling goroutine; multi-shard queries offload the extra shards to the
 // process-wide bounded worker pool. Results are returned materialized
 // (shards are not contiguous with one another).
+//
+// Updates route by value: each shard is wrapped with the pending-update
+// machinery (when the algorithm is engine-backed), and Insert/Delete hand
+// the value to the one shard whose range owns it, where it merges lazily
+// like on any single index.
 type Sharded struct {
 	shards []shard
 	spec   string
@@ -58,7 +65,11 @@ func NewSharded(values []int64, spec string, k int, opt core.Options) (*Sharded,
 		if err != nil {
 			return nil, fmt.Errorf("exec: sharded: %w", err)
 		}
-		s.shards = append(s.shards, shard{lo: lo, hi: hi, ex: New(ix)})
+		var inner Index = ix
+		if u, ok := updates.Wrap(ix); ok {
+			inner = u
+		}
+		s.shards = append(s.shards, shard{lo: lo, hi: hi, ex: New(inner)})
 		lo = hi
 	}
 	return s, nil
@@ -133,37 +144,76 @@ func (s *Sharded) intersect(a, b int64) (first, last int, ok bool) {
 	return first, last, first >= 0
 }
 
-// Query answers [a, b) and returns the qualifying values as one owned
-// slice. A query intersecting a single shard runs inline on the calling
-// goroutine; wider queries offload the extra shards to the worker pool.
-// Sharded is safe for concurrent use.
-func (s *Sharded) Query(a, b int64) []int64 {
-	s.q.Add(1)
-	if a >= b {
-		return nil
+// shardFor returns the shard whose value range owns v. Shard ranges tile
+// the whole int64 domain, with the last shard absorbing the top edge.
+func (s *Sharded) shardFor(v int64) *shard {
+	for i := range s.shards {
+		if v < s.shards[i].hi {
+			return &s.shards[i]
+		}
 	}
-	first, last, ok := s.intersect(a, b)
-	if !ok {
-		return nil
-	}
-	if first == last {
-		return s.shards[first].ex.Query(a, b)
-	}
-	parts := make([][]int64, last-first+1)
+	return &s.shards[len(s.shards)-1]
+}
+
+// fanOut runs work(si) for every shard in [first, last]: all but the
+// first are offloaded to the bounded worker pool (running inline when it
+// is saturated), the first runs on the calling goroutine, and fanOut
+// returns when every shard finished. Tasks must be independent.
+func (s *Sharded) fanOut(first, last int, work func(si int)) {
 	var wg sync.WaitGroup
 	for i := first + 1; i <= last; i++ {
 		idx := i
 		wg.Add(1)
 		task := func() {
-			parts[idx-first] = s.shards[idx].ex.Query(a, b)
+			work(idx)
 			wg.Done()
 		}
 		if !poolSubmit(task) {
 			task()
 		}
 	}
-	parts[0] = s.shards[first].ex.Query(a, b)
+	work(first)
 	wg.Wait()
+}
+
+// Query answers [a, b) and returns the qualifying values as one owned
+// slice. A query intersecting a single shard runs inline on the calling
+// goroutine; wider queries offload the extra shards to the worker pool.
+// Sharded is safe for concurrent use.
+func (s *Sharded) Query(a, b int64) []int64 {
+	out, _ := s.QueryCtx(context.Background(), a, b)
+	return out
+}
+
+// QueryCtx is Query honoring cancellation: the context is propagated to
+// every intersected shard's executor, so a canceled context aborts the
+// remaining per-shard work (already-running shard queries finish their
+// current range, then stop).
+func (s *Sharded) QueryCtx(ctx context.Context, a, b int64) ([]int64, error) {
+	s.q.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if a >= b {
+		return nil, nil
+	}
+	first, last, ok := s.intersect(a, b)
+	if !ok {
+		return nil, nil
+	}
+	if first == last {
+		return s.shards[first].ex.QueryCtx(ctx, a, b)
+	}
+	parts := make([][]int64, last-first+1)
+	errs := make([]error, last-first+1)
+	s.fanOut(first, last, func(si int) {
+		parts[si-first], errs[si-first] = s.shards[si].ex.QueryCtx(ctx, a, b)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -172,7 +222,43 @@ func (s *Sharded) Query(a, b int64) []int64 {
 	for _, p := range parts {
 		out = append(out, p...)
 	}
-	return out
+	return out, nil
+}
+
+// QueryAggregateCtx answers [a, b) returning only (count, sum), fanning
+// the aggregate out to the intersected shards without materializing any
+// values.
+func (s *Sharded) QueryAggregateCtx(ctx context.Context, a, b int64) (count int, sum int64, err error) {
+	s.q.Add(1)
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	if a >= b {
+		return 0, 0, nil
+	}
+	first, last, ok := s.intersect(a, b)
+	if !ok {
+		return 0, 0, nil
+	}
+	if first == last {
+		return s.shards[first].ex.QueryAggregateCtx(ctx, a, b)
+	}
+	counts := make([]int, last-first+1)
+	sums := make([]int64, last-first+1)
+	errs := make([]error, last-first+1)
+	s.fanOut(first, last, func(si int) {
+		counts[si-first], sums[si-first], errs[si-first] = s.shards[si].ex.QueryAggregateCtx(ctx, a, b)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	for i := range counts {
+		count += counts[i]
+		sum += sums[i]
+	}
+	return count, sum, nil
 }
 
 // QueryBatch answers many ranges, returning one owned slice per range in
@@ -181,10 +267,23 @@ func (s *Sharded) Query(a, b int64) []int64 {
 // lock acquisitions per shard, regardless of batch size); shard
 // sub-batches run in parallel on the worker pool.
 func (s *Sharded) QueryBatch(ranges []Range) [][]int64 {
+	out, _ := s.QueryBatchCtx(context.Background(), ranges)
+	return out
+}
+
+// QueryBatchCtx is QueryBatch honoring cancellation mid-fan-out: the
+// context reaches every shard's executor batch, which re-checks it between
+// ranges, so canceling while sub-batches are in flight abandons the
+// remaining ranges on every shard. On cancellation the partial results are
+// discarded and only the error is returned.
+func (s *Sharded) QueryBatchCtx(ctx context.Context, ranges []Range) ([][]int64, error) {
 	s.q.Add(int64(len(ranges)))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([][]int64, len(ranges))
 	if len(ranges) == 0 {
-		return out
+		return out, nil
 	}
 	// Per shard: which input ranges intersect it.
 	idxs := make([][]int, len(s.shards))
@@ -201,13 +300,14 @@ func (s *Sharded) QueryBatch(ranges []Range) [][]int64 {
 		}
 	}
 	parts := make([][][]int64, len(s.shards)) // parts[shard][pos in idxs[shard]]
+	errs := make([]error, len(s.shards))
 	var wg sync.WaitGroup
 	run := func(si int) {
 		sub := make([]Range, len(idxs[si]))
 		for j, ri := range idxs[si] {
 			sub[j] = ranges[ri]
 		}
-		parts[si] = s.shards[si].ex.QueryBatch(sub)
+		parts[si], errs[si] = s.shards[si].ex.QueryBatchCtx(ctx, sub)
 		wg.Done()
 	}
 	busy := -1 // run one busy shard inline, like Query
@@ -231,6 +331,11 @@ func (s *Sharded) QueryBatch(ranges []Range) [][]int64 {
 		run(busy)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	// Stitch shard answers back per range, in shard (= ascending value) order.
 	pos := make([]int, len(s.shards))
 	for si := range s.shards {
@@ -239,7 +344,25 @@ func (s *Sharded) QueryBatch(ranges []Range) [][]int64 {
 			pos[si]++
 		}
 	}
-	return out
+	return out, nil
+}
+
+// Insert queues value v for insertion on the shard whose value range owns
+// it; the shard merges it lazily like any single index. It errors when the
+// algorithm cannot take updates.
+func (s *Sharded) Insert(v int64) error { return s.shardFor(v).ex.Insert(v) }
+
+// Delete queues the removal of one occurrence of v, like Insert.
+func (s *Sharded) Delete(v int64) error { return s.shardFor(v).ex.Delete(v) }
+
+// Pending returns the number of queued, not-yet-merged updates across all
+// shards.
+func (s *Sharded) Pending() int {
+	total := 0
+	for i := range s.shards {
+		total += s.shards[i].ex.Pending()
+	}
+	return total
 }
 
 // Name identifies the configuration (e.g. "sharded-8(dd1r)").

@@ -27,6 +27,7 @@ import (
 	"repro/internal/cindex"
 	"repro/internal/column"
 	"repro/internal/core"
+	"repro/internal/dberr"
 	"repro/internal/intervals"
 	"repro/internal/xrand"
 )
@@ -292,7 +293,7 @@ func Build(values []int64, spec string, opt Options) (*Hybrid, error) {
 	case "aics1r":
 		return New(values, CrackSort, true, opt), nil
 	}
-	return nil, fmt.Errorf("hybrids: unknown hybrid %q", spec)
+	return nil, fmt.Errorf("hybrids: %w %q", dberr.ErrUnknownAlgorithm, spec)
 }
 
 // Specs lists the buildable hybrid algorithm names.

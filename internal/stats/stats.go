@@ -35,12 +35,17 @@ type PieceStats struct {
 
 // Compute derives PieceStats from the index of a column with n tuples.
 func Compute(idx *cindex.Tree, n int) PieceStats {
-	bounds := idx.Pieces(n)
+	return FromSizes(SizesFromBounds(idx.Pieces(n)), n)
+}
+
+// SizesFromBounds converts piece boundary positions (as returned by
+// cindex.Tree.Pieces: 0, every crack, n) to per-piece sizes.
+func SizesFromBounds(bounds []int) []int {
 	sizes := make([]int, 0, len(bounds)-1)
 	for i := 1; i < len(bounds); i++ {
 		sizes = append(sizes, bounds[i]-bounds[i-1])
 	}
-	return FromSizes(sizes, n)
+	return sizes
 }
 
 // FromSizes derives PieceStats from explicit piece sizes.
@@ -83,11 +88,16 @@ func (ps PieceStats) String() string {
 // Histogram renders piece sizes as a log2-bucketed text histogram, one
 // line per occupied bucket.
 func Histogram(idx *cindex.Tree, n int) string {
-	bounds := idx.Pieces(n)
+	return HistogramSizes(SizesFromBounds(idx.Pieces(n)))
+}
+
+// HistogramSizes renders explicit piece sizes as the same log2-bucketed
+// text histogram (for callers holding sizes rather than a cracker index,
+// like the DB facade's PieceSizes).
+func HistogramSizes(sizes []int) string {
 	buckets := map[int]int{}
 	maxBucket, maxCount := 0, 0
-	for i := 1; i < len(bounds); i++ {
-		size := bounds[i] - bounds[i-1]
+	for _, size := range sizes {
 		b := 0
 		for (1 << b) < size {
 			b++

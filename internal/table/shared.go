@@ -1,0 +1,131 @@
+package table
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dberr"
+	"repro/internal/exec"
+)
+
+// Shared is a goroutine-safe view of a Table for value selections: every
+// selection column's adaptive index runs behind its own exec.Executor, so
+// queries on different columns proceed fully in parallel (they share no
+// physical state — cracking is per attribute, paper §2) and queries on the
+// same column get the executor's adaptive read/write locking. The wrapper
+// assumes ownership of the Table; the single-threaded projection paths
+// (SelectProject, SelectProjectSideways) must not be used concurrently
+// with it.
+type Shared struct {
+	t       *Table
+	mu      sync.Mutex // guards the execs map only (cheap, never held during a build)
+	buildMu sync.Mutex // serializes lazy index construction on the shared Table
+	execs   map[string]*colExec
+}
+
+// colExec is one column's executor slot; once gates the O(rows) lazy
+// build so queries on other (already-built) columns never wait for it.
+// x is atomic because Stats peeks at slots without entering the once.
+type colExec struct {
+	once sync.Once
+	x    atomic.Pointer[exec.Executor]
+	err  error // read only after once.Do returns
+}
+
+// NewShared wraps t for concurrent use.
+func NewShared(t *Table) *Shared {
+	return &Shared{t: t, execs: make(map[string]*colExec)}
+}
+
+// Rows returns the number of rows.
+func (s *Shared) Rows() int { return s.t.Rows() }
+
+// Columns returns the column names in deterministic order.
+func (s *Shared) Columns() []string { return s.t.Columns() }
+
+// executor returns (building lazily) the adaptive executor on column sel.
+// The map mutex is held only for the slot lookup; the index build itself
+// runs under buildMu (the Table's lazy-build state is shared across
+// columns), so concurrent builds of different columns serialize with each
+// other but never stall queries on columns that already have executors.
+func (s *Shared) executor(sel string) (*exec.Executor, error) {
+	// Reject unknown columns before touching the slot map: caller-supplied
+	// bad names must not grow the map without bound on a serving handle.
+	if _, ok := s.t.base[sel]; !ok {
+		return nil, fmt.Errorf("table: %w %q", dberr.ErrUnknownColumn, sel)
+	}
+	s.mu.Lock()
+	ce := s.execs[sel]
+	if ce == nil {
+		ce = &colExec{}
+		s.execs[sel] = ce
+	}
+	s.mu.Unlock()
+	ce.once.Do(func() {
+		s.buildMu.Lock()
+		defer s.buildMu.Unlock()
+		si, err := s.t.index(sel)
+		if err != nil {
+			ce.err = err
+			return
+		}
+		ce.x.Store(exec.New(si.ix))
+	})
+	return ce.x.Load(), ce.err
+}
+
+// Query returns the values of column sel in [lo, hi) as an owned slice,
+// adapting sel's index as a side effect; converged queries run in parallel
+// under the column executor's shared lock.
+func (s *Shared) Query(ctx context.Context, sel string, lo, hi int64) ([]int64, error) {
+	x, err := s.executor(sel)
+	if err != nil {
+		return nil, err
+	}
+	return x.QueryCtx(ctx, lo, hi)
+}
+
+// QueryAggregate returns (count, sum) over column sel in [lo, hi).
+func (s *Shared) QueryAggregate(ctx context.Context, sel string, lo, hi int64) (count int, sum int64, err error) {
+	x, err := s.executor(sel)
+	if err != nil {
+		return 0, 0, err
+	}
+	return x.QueryAggregateCtx(ctx, lo, hi)
+}
+
+// QueryBatch answers many ranges over column sel, one owned slice per
+// range in input order, in at most two lock acquisitions on the column.
+func (s *Shared) QueryBatch(ctx context.Context, sel string, ranges []exec.Range) ([][]int64, error) {
+	x, err := s.executor(sel)
+	if err != nil {
+		return nil, err
+	}
+	return x.QueryBatchCtx(ctx, ranges)
+}
+
+// Stats aggregates physical-cost counters across the column executors.
+// Columns never queried through the wrapper cost, and report, nothing.
+func (s *Shared) Stats() core.Stats {
+	s.mu.Lock()
+	execs := make([]*exec.Executor, 0, len(s.execs))
+	for _, ce := range s.execs {
+		if x := ce.x.Load(); x != nil {
+			execs = append(execs, x)
+		}
+	}
+	s.mu.Unlock()
+	var agg core.Stats
+	for _, x := range execs {
+		st := x.Stats()
+		agg.Queries += st.Queries
+		agg.Touched += st.Touched
+		agg.Swaps += st.Swaps
+		agg.Cracks += st.Cracks
+		agg.Pieces += st.Pieces
+	}
+	return agg
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/cindex"
 	"repro/internal/column"
 	"repro/internal/core"
+	"repro/internal/dberr"
 )
 
 // Table is a column-store table: named columns of equal length. It is not
@@ -126,7 +127,7 @@ func (t *Table) index(sel string) (*selIndex, error) {
 	}
 	base, ok := t.base[sel]
 	if !ok {
-		return nil, fmt.Errorf("table: no column %q", sel)
+		return nil, fmt.Errorf("table: %w %q", dberr.ErrUnknownColumn, sel)
 	}
 	opt := t.opt
 	opt.TrackRowIDs = true
@@ -162,7 +163,7 @@ func (t *Table) Select(sel string, lo, hi int64) ([]int64, error) {
 func (t *Table) SelectProject(sel, proj string, lo, hi int64) ([]int64, error) {
 	base, ok := t.base[proj]
 	if !ok {
-		return nil, fmt.Errorf("table: no column %q", proj)
+		return nil, fmt.Errorf("table: %w %q", dberr.ErrUnknownColumn, proj)
 	}
 	si, err := t.index(sel)
 	if err != nil {
@@ -223,11 +224,11 @@ func (t *Table) sidewaysMap(sel, proj string) (*crackerMap, error) {
 	}
 	selBase, ok := t.base[sel]
 	if !ok {
-		return nil, fmt.Errorf("table: no column %q", sel)
+		return nil, fmt.Errorf("table: %w %q", dberr.ErrUnknownColumn, sel)
 	}
 	projBase, ok := t.base[proj]
 	if !ok {
-		return nil, fmt.Errorf("table: no column %q", proj)
+		return nil, fmt.Errorf("table: %w %q", dberr.ErrUnknownColumn, proj)
 	}
 	m := &crackerMap{
 		col: column.NewWithPayload(

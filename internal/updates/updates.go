@@ -176,6 +176,9 @@ func Wrap(inner core.Index) (*Index, bool) {
 	return &Index{inner: inner, engine: acc.Engine()}, true
 }
 
+// Engine exposes the wrapped index's engine (snapshotting, introspection).
+func (u *Index) Engine() *core.Engine { return u.engine }
+
 // Insert queues v for insertion; it becomes visible to the first query
 // whose range covers it.
 func (u *Index) Insert(v int64) { u.pending.Insert(v) }

@@ -15,13 +15,13 @@ type SnapshotState = core.SnapshotState
 
 // Snapshot captures the index's physical state so that a later Restore
 // resumes with all adaptation earned so far. Only engine-backed
-// algorithms (everything except the hybrids) support snapshots; indexes
-// with pending updates must drain them first (query the relevant ranges
-// or accept their loss).
+// algorithms (everything except the hybrids) support snapshots — others
+// fail with ErrSnapshotUnsupported; indexes with pending updates must
+// drain them first (query the relevant ranges or accept their loss).
 func (ix *Index) Snapshot() (SnapshotState, error) {
 	acc, ok := ix.inner.(interface{ Engine() *core.Engine })
 	if !ok {
-		return SnapshotState{}, fmt.Errorf("crackdb: %s does not support snapshots", ix.inner.Name())
+		return SnapshotState{}, fmt.Errorf("crackdb: %s: %w", ix.inner.Name(), ErrSnapshotUnsupported)
 	}
 	if ix.upd != nil && ix.upd.Pending() > 0 {
 		return SnapshotState{}, fmt.Errorf("crackdb: %d pending updates; merge them before snapshotting", ix.upd.Pending())
@@ -39,15 +39,22 @@ func (ix *Index) SaveSnapshot(path string) error {
 	return snapshot.SaveFile(path, st)
 }
 
+// SaveSnapshot writes the DB's state to path (atomic write, CRC32
+// protected). See DB.Snapshot for mode support.
+func (db *DB) SaveSnapshot(path string) error {
+	st, err := db.Snapshot()
+	if err != nil {
+		return err
+	}
+	return snapshot.SaveFile(path, st)
+}
+
 // Restore rebuilds an index from a snapshot, validating every crack
 // invariant first. algorithm selects who continues the cracking; crack
 // state is algorithm-agnostic, so restoring a "crack" snapshot into a
 // "dd1r" index is legal and useful.
 func Restore(st SnapshotState, algorithm string, opts ...Option) (*Index, error) {
-	cfg := config{}
-	for _, o := range opts {
-		o(&cfg)
-	}
+	cfg := applyOptions(opts)
 	inner, err := core.Restore(st, algorithm, cfg.core)
 	if err != nil {
 		return nil, err
@@ -56,14 +63,50 @@ func Restore(st SnapshotState, algorithm string, opts ...Option) (*Index, error)
 	return &Index{inner: inner, upd: u}, nil
 }
 
+// OpenSnapshot restores a DB from a snapshot state, resuming with all
+// adaptation earned so far. Single and Shared concurrency modes are
+// supported; a snapshot holds one contiguous column, so re-sharding it
+// fails with ErrSnapshotUnsupported (open a fresh sharded DB from the
+// materialized values instead).
+func OpenSnapshot(st SnapshotState, algorithm string, opts ...Option) (*DB, error) {
+	cfg := applyOptions(opts)
+	if cfg.conc.kind == concSharded {
+		return nil, fmt.Errorf("crackdb: restoring into a sharded database: %w", ErrSnapshotUnsupported)
+	}
+	ix, err := Restore(st, algorithm, opts...)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{mode: cfg.conc, rows: len(st.Values)}
+	if cfg.conc.kind == concShared {
+		db.x = ix.executor()
+	} else {
+		db.ix = ix
+	}
+	return db, nil
+}
+
 // LoadSnapshot reads a snapshot file written by SaveSnapshot and restores
 // an index from it.
+//
+// Deprecated: use OpenSnapshotFile, which restores a DB in any supported
+// concurrency mode.
 func LoadSnapshot(path, algorithm string, opts ...Option) (*Index, error) {
 	st, err := snapshot.LoadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	return Restore(st, algorithm, opts...)
+}
+
+// OpenSnapshotFile reads a snapshot file written by SaveSnapshot and
+// restores a DB from it (see OpenSnapshot).
+func OpenSnapshotFile(path, algorithm string, opts ...Option) (*DB, error) {
+	st, err := snapshot.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return OpenSnapshot(st, algorithm, opts...)
 }
 
 // LoadColumn reads an integer column from a file, accepting both the

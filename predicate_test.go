@@ -60,6 +60,72 @@ func TestPredicateString(t *testing.T) {
 	}
 }
 
+func TestPredicateOr(t *testing.T) {
+	// Disjoint union: multi-range predicate, ascending order.
+	p := crackdb.Range(10, 20).Or(crackdb.Range(40, 50))
+	if p.Empty() {
+		t.Fatal("disjoint union empty")
+	}
+	if lo, hi := p.Bounds(); lo != 10 || hi != 50 {
+		t.Fatalf("envelope = [%d,%d)", lo, hi)
+	}
+	if s := p.String(); s != "10 <= v < 20 OR 40 <= v < 50" {
+		t.Fatalf("String = %q", s)
+	}
+	// Overlapping and adjacent ranges coalesce back to a single range.
+	if s := crackdb.Range(10, 20).Or(crackdb.Range(15, 30)).String(); s != "10 <= v < 30" {
+		t.Fatalf("overlap String = %q", s)
+	}
+	if s := crackdb.Range(10, 20).Or(crackdb.Range(20, 30)).String(); s != "10 <= v < 30" {
+		t.Fatalf("adjacent String = %q", s)
+	}
+	// Empty operands are identity.
+	if s := crackdb.Range(5, 5).Or(crackdb.Eq(7)).String(); s != "7 <= v < 8" {
+		t.Fatalf("empty-or String = %q", s)
+	}
+	// Matches follows the union.
+	for v, want := range map[int64]bool{9: false, 10: true, 25: false, 45: true, 50: false} {
+		if p.Matches(v) != want {
+			t.Fatalf("Matches(%d) = %v", v, p.Matches(v))
+		}
+	}
+}
+
+func TestPredicateAndMultiRange(t *testing.T) {
+	// (10..30 ∪ 50..70) ∩ 20..60 = 20..30 ∪ 50..60
+	p := crackdb.Range(10, 30).Or(crackdb.Range(50, 70)).And(crackdb.Range(20, 60))
+	if s := p.String(); s != "20 <= v < 30 OR 50 <= v < 60" {
+		t.Fatalf("intersection String = %q", s)
+	}
+	// Intersection can empty the predicate entirely.
+	if !crackdb.Range(10, 20).Or(crackdb.Range(40, 50)).And(crackdb.Range(25, 35)).Empty() {
+		t.Fatal("disjoint intersection not empty")
+	}
+	// Multi ∩ multi.
+	q := crackdb.Range(15, 45).Or(crackdb.Range(60, 80))
+	got := crackdb.Range(10, 30).Or(crackdb.Range(50, 70)).And(q)
+	if s := got.String(); s != "15 <= v < 30 OR 60 <= v < 70" {
+		t.Fatalf("multi-multi String = %q", s)
+	}
+}
+
+func TestPredicateOn(t *testing.T) {
+	p := crackdb.Between(10, 20).On("ra")
+	if p.Column() != "ra" {
+		t.Fatalf("column = %q", p.Column())
+	}
+	if s := p.String(); s != "10 <= ra < 21" {
+		t.Fatalf("String = %q", s)
+	}
+	// Scope survives composition, whichever side carries it.
+	if crackdb.Eq(1).On("x").Or(crackdb.Eq(5)).Column() != "x" {
+		t.Fatal("Or dropped the column")
+	}
+	if crackdb.Eq(1).And(crackdb.Eq(1).On("y")).Column() != "y" {
+		t.Fatal("And dropped the column")
+	}
+}
+
 func TestQueryWhere(t *testing.T) {
 	ix, err := crackdb.New(crackdb.MakeData(10_000, 7), crackdb.Crack)
 	if err != nil {

@@ -10,17 +10,20 @@ import "repro/internal/exec"
 // single-process scale: physical reorganization never crosses a shard
 // boundary, and within a shard converged queries run in parallel under a
 // shared lock.
+//
+// Deprecated: open the DB with WithConcurrency(Sharded(k)) instead;
+// DB.Query adds predicates, context cancellation and value-routed
+// updates.
 type ShardedIndex struct {
 	s *exec.Sharded
 }
 
 // NewSharded builds a sharded index over values with k value-range shards,
 // each running the given algorithm.
+//
+// Deprecated: use Open with WithConcurrency(Sharded(k)).
 func NewSharded(values []int64, algorithm string, k int, opts ...Option) (*ShardedIndex, error) {
-	cfg := config{}
-	for _, o := range opts {
-		o(&cfg)
-	}
+	cfg := applyOptions(opts)
 	s, err := exec.NewSharded(values, algorithm, k, cfg.core)
 	if err != nil {
 		return nil, err
@@ -37,13 +40,29 @@ func (ix *ShardedIndex) Query(lo, hi int64) []int64 { return ix.s.Query(lo, hi) 
 // single executor batch, and shard sub-batches run in parallel.
 func (ix *ShardedIndex) QueryBatch(ranges []QueryRange) [][]int64 { return ix.s.QueryBatch(ranges) }
 
-// QueryWhere answers a predicate.
+// QueryWhere answers a predicate; multi-range predicates (Or) are
+// answered range by range in ascending order. The shim has no column
+// vocabulary: column scopes are ignored, and a predicate composed across
+// two different columns selects nothing.
+//
+// Deprecated: open the DB with WithConcurrency(Sharded(k)) and use
+// DB.Query, which adds context cancellation and column-aware errors.
 func (ix *ShardedIndex) QueryWhere(p Predicate) []int64 {
-	if p.Empty() {
+	if p.conflict != "" {
 		return nil
 	}
-	lo, hi := p.Bounds()
-	return ix.s.Query(lo, hi)
+	rs := p.rangeList()
+	switch len(rs) {
+	case 0:
+		return nil
+	case 1:
+		return ix.s.Query(rs[0][0], rs[0][1])
+	}
+	var out []int64
+	for _, r := range rs {
+		out = append(out, ix.s.Query(r[0], r[1])...)
+	}
+	return out
 }
 
 // Name identifies the configuration (e.g. "sharded-8(dd1r)").

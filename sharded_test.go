@@ -37,6 +37,14 @@ func TestShardedFacade(t *testing.T) {
 	if p := ix.QueryWhere(crackdb.Greater(5).And(crackdb.Less(5))); p != nil {
 		t.Fatal("empty predicate returned rows")
 	}
+	// Multi-range predicates answer range by range, never the envelope.
+	if p := ix.QueryWhere(crackdb.Range(10, 20).Or(crackdb.Range(40, 50))); len(p) != 20 {
+		t.Fatalf("multi-range predicate count = %d, want 20", len(p))
+	}
+	// Cross-column compositions select nothing (the shim has no columns).
+	if p := ix.QueryWhere(crackdb.Eq(1).On("a").And(crackdb.Eq(1).On("b"))); p != nil {
+		t.Fatal("conflicted predicate returned rows")
+	}
 
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {

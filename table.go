@@ -6,6 +6,11 @@ import "repro/internal/table"
 // level (paper §2): selections crack only the referenced column; other
 // attributes are reconstructed on demand, either through row ids or
 // through sideways cracker maps. A Table is not safe for concurrent use.
+//
+// Deprecated: open the table with OpenTable instead; DB.Query adds
+// column-scoped predicates, context cancellation and (with
+// WithConcurrency(Shared)) a concurrent per-column execution path. The
+// projection APIs (SelectProject, SelectProjectSideways) remain here.
 type Table struct {
 	t *table.Table
 }
@@ -13,11 +18,10 @@ type Table struct {
 // NewTable creates a table from named, equal-length columns. algorithm
 // selects the cracking flavor for selection indexes (any core algorithm
 // spec, e.g. crackdb.Crack or crackdb.DD1R).
+//
+// Deprecated: use OpenTable.
 func NewTable(cols map[string][]int64, algorithm string, opts ...Option) (*Table, error) {
-	cfg := config{}
-	for _, o := range opts {
-		o(&cfg)
-	}
+	cfg := applyOptions(opts)
 	t, err := table.New(cols, algorithm, cfg.core)
 	if err != nil {
 		return nil, err

@@ -37,6 +37,8 @@ func main() {
 		procs      = flag.Int("procs", 0, "set GOMAXPROCS for the run (0: leave as is; the concurrency experiment scales with it)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		report     = flag.String("report", "", "write a markdown paper-vs-measured report to this file and exit")
+		jsonOut    = flag.String("json", "", "write a machine-readable benchmark report (schema crackdb-bench/v1) to this file and exit; \"-\" for stdout. Every row carries the oracle-validation verdict regardless of -validate")
+		kernels    = flag.String("kernels", "", "comma-separated label=file pairs of `go test -bench` outputs merged into the -json report as kernel rows (e.g. kernel-before=old.txt,kernel-after=new.txt)")
 		plot       = flag.Bool("plot", false, "render an ASCII log-log comparison chart for -workload/-algos and exit")
 		plotWl     = flag.String("workload", "sequential", "workload for -plot")
 		plotAlgos  = flag.String("algos", "crack,dd1r,pmdd1r-10,sort", "comma-separated algorithms for -plot")
@@ -67,6 +69,48 @@ func main() {
 		for _, e := range bench.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
+		return
+	}
+	if *jsonOut != "" {
+		var extra []bench.JSONRow
+		if *kernels != "" {
+			for _, pair := range strings.Split(*kernels, ",") {
+				label, file, ok := strings.Cut(pair, "=")
+				if !ok {
+					fmt.Fprintf(os.Stderr, "crackbench: -kernels wants label=file, got %q\n", pair)
+					os.Exit(2)
+				}
+				f, err := os.Open(file)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "crackbench:", err)
+					os.Exit(1)
+				}
+				samples, err := bench.ParseBench(f)
+				f.Close()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "crackbench:", err)
+					os.Exit(1)
+				}
+				extra = append(extra, bench.KernelRows(label, samples)...)
+			}
+		}
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crackbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		t0 := time.Now()
+		err := bench.WriteJSON(bench.Config{N: *n, Q: *q, S: *s, Seed: *seed}, out, extra)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crackbench: json:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "json report written to %s (%v)\n", *jsonOut, time.Since(t0).Round(time.Millisecond))
 		return
 	}
 	if *report != "" {

@@ -42,6 +42,11 @@
 // (ErrUnknownAlgorithm, ErrUpdatesUnsupported, ErrUnknownColumn, ...)
 // for errors.Is classification.
 //
+// Latency-sensitive callers use the allocation-free forms: QueryAppend
+// appends into a caller-owned buffer and QueryBatchAppend materializes a
+// batch into a reusable BatchBuffer; with warmed buffers, converged
+// queries perform zero heap allocations in Single and Shared modes.
+//
 // # Algorithms
 //
 // The paper's full algorithm family is available: original cracking

@@ -249,13 +249,16 @@ func (db *DB) Query(ctx context.Context, p Predicate) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rs := p.rangeList()
-	switch len(rs) {
-	case 0:
-		return Result{}, nil
-	case 1:
-		return db.queryRange(ctx, col, rs[0][0], rs[0][1])
+	// Single-range predicates (every non-Or shape) skip the range-list
+	// allocation: with a converged query in Single mode this whole path is
+	// allocation-free.
+	if lo, hi, ok := p.singleRange(); ok {
+		if lo >= hi {
+			return Result{}, nil
+		}
+		return db.queryRange(ctx, col, lo, hi)
 	}
+	rs := p.rangeList()
 	// Multi-range: one batch, concatenated in ascending range order.
 	parts, err := db.batchRanges(ctx, col, toExecRanges(rs))
 	if err != nil {
@@ -413,6 +416,13 @@ func (db *DB) QueryAggregate(ctx context.Context, p Predicate) (Aggregate, error
 		return Aggregate{}, err
 	}
 	var agg Aggregate
+	// Single-range predicates skip the range-list allocation, like Query.
+	if lo, hi, ok := p.singleRange(); ok {
+		if lo >= hi {
+			return agg, nil
+		}
+		return db.aggRange(ctx, col, lo, hi, agg)
+	}
 	for _, r := range p.rangeList() {
 		// Re-check between the ranges of a multi-range predicate so long
 		// Single-mode aggregates cancel cleanly too (the concurrent
@@ -420,41 +430,51 @@ func (db *DB) QueryAggregate(ctx context.Context, p Predicate) (Aggregate, error
 		if err := ctx.Err(); err != nil {
 			return Aggregate{}, err
 		}
-		switch {
-		case db.ix != nil:
-			res := db.ix.Query(r[0], r[1])
-			agg.Count += res.Count()
-			agg.Sum += res.Sum()
-		case db.x != nil:
-			c, s, err := db.x.QueryAggregateCtx(ctx, r[0], r[1])
-			if err != nil {
-				return Aggregate{}, err
-			}
-			agg.Count += c
-			agg.Sum += s
-		case db.sh != nil:
-			c, s, err := db.sh.QueryAggregateCtx(ctx, r[0], r[1])
-			if err != nil {
-				return Aggregate{}, err
-			}
-			agg.Count += c
-			agg.Sum += s
-		case db.stbl != nil:
-			c, s, err := db.stbl.QueryAggregate(ctx, col, r[0], r[1])
-			if err != nil {
-				return Aggregate{}, err
-			}
-			agg.Count += c
-			agg.Sum += s
-		default:
-			vals, err := db.tbl.Select(col, r[0], r[1])
-			if err != nil {
-				return Aggregate{}, err
-			}
-			agg.Count += len(vals)
-			for _, v := range vals {
-				agg.Sum += v
-			}
+		var err error
+		if agg, err = db.aggRange(ctx, col, r[0], r[1], agg); err != nil {
+			return Aggregate{}, err
+		}
+	}
+	return agg, nil
+}
+
+// aggRange folds one half-open range's (count, sum) into agg in the DB's
+// mode.
+func (db *DB) aggRange(ctx context.Context, col string, lo, hi int64, agg Aggregate) (Aggregate, error) {
+	switch {
+	case db.ix != nil:
+		res := db.ix.Query(lo, hi)
+		agg.Count += res.Count()
+		agg.Sum += res.Sum()
+	case db.x != nil:
+		c, s, err := db.x.QueryAggregateCtx(ctx, lo, hi)
+		if err != nil {
+			return Aggregate{}, err
+		}
+		agg.Count += c
+		agg.Sum += s
+	case db.sh != nil:
+		c, s, err := db.sh.QueryAggregateCtx(ctx, lo, hi)
+		if err != nil {
+			return Aggregate{}, err
+		}
+		agg.Count += c
+		agg.Sum += s
+	case db.stbl != nil:
+		c, s, err := db.stbl.QueryAggregate(ctx, col, lo, hi)
+		if err != nil {
+			return Aggregate{}, err
+		}
+		agg.Count += c
+		agg.Sum += s
+	default:
+		vals, err := db.tbl.Select(col, lo, hi)
+		if err != nil {
+			return Aggregate{}, err
+		}
+		agg.Count += len(vals)
+		for _, v := range vals {
+			agg.Sum += v
 		}
 	}
 	return agg, nil

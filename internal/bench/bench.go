@@ -93,6 +93,13 @@ type Series struct {
 
 	TotalNS int64
 	Final   core.Stats
+
+	// Heap-allocation totals across the cell's query loop (measured as
+	// runtime.MemStats deltas; the loop runs on one goroutine, so the
+	// deltas are the cell's own). AllocBytes counts cumulative allocated
+	// bytes, not live heap.
+	Allocs     int64
+	AllocBytes int64
 }
 
 // At returns (per-query ns, cumulative ns, touched) for query index i.
@@ -176,6 +183,8 @@ func RunIndex(cfg Config, ix Index, gen workload.Generator, before func(i int, i
 	}
 	gen.Reset()
 	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	var cum int64
 	prevTouched := ix.Stats().Touched
 	for i := 0; i < cfg.Q; i++ {
@@ -202,6 +211,10 @@ func RunIndex(cfg Config, ix Index, gen workload.Generator, before func(i int, i
 	}
 	s.TotalNS = cum
 	s.Final = ix.Stats()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	s.Allocs = int64(m1.Mallocs - m0.Mallocs)
+	s.AllocBytes = int64(m1.TotalAlloc - m0.TotalAlloc)
 	return s, nil
 }
 

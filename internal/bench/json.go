@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Machine-readable benchmark reports: the perf trajectory of this
+// repository is recorded as BENCH_*.json files with a stable row schema,
+// one file per PR that claims a performance change (crackbench -json).
+// CI regenerates a current report on every run and uploads it as an
+// artifact, so regressions are visible as data, not anecdotes.
+
+// JSONRow is one measurement in the stable schema. Experiment cells
+// (algorithm x workload runs) fill every field and always carry the
+// oracle-validation verdict — the artifact certifies its own
+// correctness, regardless of which flags the run was started with.
+// Kernel rows (merged from `go test -bench` output) describe one
+// operation per query: per_query_ns is the median ns/op and n is 0 (the
+// workload label carries the operand size).
+type JSONRow struct {
+	Experiment string `json:"experiment"`
+	Algorithm  string `json:"algorithm"`
+	Workload   string `json:"workload"`
+	N          int64  `json:"n"`
+	Q          int64  `json:"q"`
+	PerQueryNS int64  `json:"per_query_ns"`
+	TotalNS    int64  `json:"total_ns"`
+	Allocs     int64  `json:"allocs"` // mean heap allocations per query
+	Bytes      int64  `json:"bytes"`  // mean heap bytes per query
+	Oracle     string `json:"oracle"` // "ok", "n/a" (kernel rows) or the failure
+}
+
+// JSONReport is the envelope of a BENCH_*.json file.
+type JSONReport struct {
+	Schema    string    `json:"schema"` // "crackdb-bench/v1"
+	Generated string    `json:"generated"`
+	Go        string    `json:"go"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	N         int64     `json:"n"`
+	Q         int       `json:"q"`
+	S         int64     `json:"s"`
+	Seed      uint64    `json:"seed"`
+	Rows      []JSONRow `json:"rows"`
+}
+
+// jsonAlgos and jsonWorkloads are the representative cell matrix of the
+// JSON report: the paper's headline algorithms over the robust, the
+// pathological and the real-trace workload.
+var (
+	jsonAlgos     = []string{"scan", "sort", "crack", "dd1r", "mdd1r", "pmdd1r-10"}
+	jsonWorkloads = []string{"random", "sequential", "skyserver"}
+)
+
+// WriteJSON runs the JSON report's cell matrix under cfg — validation
+// forced on, whatever cfg says — appends extra rows (kernel
+// measurements), and writes the report. The report is always written,
+// failed cells included; the returned error is non-nil when any cell
+// failed oracle validation, so CI both uploads the artifact and fails
+// the job.
+func WriteJSON(cfg Config, w io.Writer, extra []JSONRow) error {
+	cfg = cfg.WithDefaults()
+	cfg.Validate = true
+	rep := JSONReport{
+		Schema:    "crackdb-bench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		N:         cfg.N,
+		Q:         cfg.Q,
+		S:         cfg.S,
+		Seed:      cfg.Seed,
+	}
+	var failed []string
+	for _, wl := range jsonWorkloads {
+		for _, spec := range jsonAlgos {
+			row := JSONRow{Experiment: "cell", Algorithm: spec, Workload: wl, N: cfg.N, Q: int64(cfg.Q), Oracle: "ok"}
+			s, err := Run(cfg, spec, wl)
+			if err != nil {
+				row.Oracle = err.Error()
+				failed = append(failed, fmt.Sprintf("%s/%s", spec, wl))
+			} else {
+				row.TotalNS = s.TotalNS
+				row.PerQueryNS = s.TotalNS / int64(cfg.Q)
+				row.Allocs = s.Allocs / int64(cfg.Q)
+				row.Bytes = s.AllocBytes / int64(cfg.Q)
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	rep.Rows = append(rep.Rows, extra...)
+	sortRows(rep.Rows)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("bench: oracle validation failed for %s (see the oracle field of the written rows)",
+			strings.Join(failed, ", "))
+	}
+	return nil
+}
+
+func sortRows(rows []JSONRow) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Algorithm != b.Algorithm {
+			return a.Algorithm < b.Algorithm
+		}
+		return a.Workload < b.Workload
+	})
+}
+
+// KernelRows converts parsed `go test -bench` samples (ParseBench) into
+// JSON rows under the given experiment label, e.g. "kernel-before" /
+// "kernel-after" for a PR's improvement evidence. The benchmark name
+// splits into algorithm (func name) and workload (sub-benchmark label).
+func KernelRows(experiment string, samples map[string]*BenchSamples) []JSONRow {
+	var rows []JSONRow
+	for _, b := range samples {
+		algo := strings.TrimPrefix(b.Name, "Benchmark")
+		workload := ""
+		if i := strings.IndexByte(algo, '/'); i >= 0 {
+			algo, workload = algo[:i], algo[i+1:]
+		}
+		rows = append(rows, JSONRow{
+			Experiment: experiment,
+			Algorithm:  algo,
+			Workload:   workload,
+			Q:          1,
+			PerQueryNS: int64(b.MedianNs()),
+			TotalNS:    int64(b.MedianNs()),
+			Allocs:     int64(b.MedianAllocs()),
+			Bytes:      int64(b.MedianBytes()),
+			Oracle:     "n/a",
+		})
+	}
+	sortRows(rows)
+	return rows
+}

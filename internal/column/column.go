@@ -110,9 +110,18 @@ func (c *Column) checkRange(lo, hi int) {
 // precede all values >= pivot, and returns the split position p: after the
 // call, Values[lo:p] < pivot <= Values[p:hi]. It is the physical operation
 // behind a crack (pivot, p).
+//
+// Values-only columns take a specialized kernel (crackInTwoVals); columns
+// carrying row identifiers or a tandem payload permute every attribute
+// together through the generic path.
 func (c *Column) CrackInTwo(lo, hi int, pivot int64) int {
 	c.checkRange(lo, hi)
 	c.Stats.Touched += int64(hi - lo)
+	if c.RowIDs == nil && c.Payload == nil {
+		p, swaps := crackInTwoVals(c.Values[lo:hi:hi], pivot)
+		c.Stats.Swaps += swaps
+		return lo + p
+	}
 	v := c.Values
 	L, R := lo, hi-1
 	for L <= R {
@@ -131,17 +140,72 @@ func (c *Column) CrackInTwo(lo, hi int, pivot int64) int {
 	return L
 }
 
-// CrackInThree partitions positions [lo, hi) on two pivots a < b in a
-// single pass so that values < a come first, then values in [a, b), then
-// values >= b. It returns (p1, p2): Values[lo:p1] < a <= Values[p1:p2] < b
-// <= Values[p2:hi]. This is the first-query operation of original cracking
-// (Fig. 1, query Q1) performed in one pass instead of two.
+// crackInTwoVals is the hot crack-in-two kernel: a branchless Lomuto
+// partition over a bare value slice. A Hoare partition's inner scans exit
+// on a data-dependent comparison, which on the uniformly shuffled data
+// cracking sees is a coin-flip branch — one misprediction every couple of
+// tuples dominates the kernel's runtime. This loop instead performs an
+// unconditional pair write per tuple and advances the store index with a
+// flag-materialized increment, so the loop body carries no data-dependent
+// branch at all. The already-partitioned prefix is skipped first, which
+// also spares its write traffic.
+//
+// swaps counts every tuple < pivot that had to move left (those
+// encountered after the first tuple >= pivot). That is an upper bound on
+// — not equal to — the Hoare pair-exchange count the tandem path
+// records: a Hoare exchange fixes two misplaced tuples at once, so
+// values-only and rowid/payload columns can report different Swaps for
+// the same logical operation. Swaps is a kernel-level diagnostic;
+// Touched is the machine-independent cost metric the paper compares.
+func crackInTwoVals(v []int64, pivot int64) (p int, swaps int64) {
+	r := 0
+	for r < len(v) && v[r] < pivot {
+		r++
+	}
+	j := r
+	for i := r; i < len(v); i++ {
+		x := v[i]
+		v[i] = v[j]
+		v[j] = x
+		d := 0
+		if x < pivot {
+			d = 1
+		}
+		j += d
+	}
+	return j, int64(j - r)
+}
+
+// CrackInThree partitions positions [lo, hi) on two pivots a < b so that
+// values < a come first, then values in [a, b), then values >= b. It
+// returns (p1, p2): Values[lo:p1] < a <= Values[p1:p2] < b <=
+// Values[p2:hi]. This is the first-query operation of original cracking
+// (Fig. 1, query Q1).
+//
+// Values-only columns run two branchless crack-in-two passes — the second
+// only over the upper part — which beats the classic single-pass dual-pivot
+// loop: that loop's three-way switch mispredicts on nearly every tuple of
+// shuffled data, while two crackInTwoVals passes carry no data-dependent
+// branch. Touched stays the logical cost of the operation (one examination
+// of the piece, as the paper counts it); how a kernel schedules its memory
+// accesses — Lomuto's unconditional pair writes, the second pass here — is
+// below the machine-independent cost model. Columns with row identifiers
+// or a payload keep the single-pass generic path.
 func (c *Column) CrackInThree(lo, hi int, a, b int64) (p1, p2 int) {
 	c.checkRange(lo, hi)
 	if a > b {
 		panic(fmt.Sprintf("column: CrackInThree with a=%d > b=%d", a, b))
 	}
 	c.Stats.Touched += int64(hi - lo)
+	if c.RowIDs == nil && c.Payload == nil {
+		v := c.Values
+		q1, s1 := crackInTwoVals(v[lo:hi:hi], a)
+		p1 = lo + q1
+		q2, s2 := crackInTwoVals(v[p1:hi:hi], b)
+		p2 = p1 + q2
+		c.Stats.Swaps += s1 + s2
+		return p1, p2
+	}
 	v := c.Values
 	// Dual-pivot partition: [lo,l) < a, [l,i) in [a,b), [i,r] unseen,
 	// (r,hi) >= b.
@@ -164,6 +228,16 @@ func (c *Column) CrackInThree(lo, hi int, a, b int64) (p1, p2 int) {
 	return l, r + 1
 }
 
+// inRange reports a <= x && x < b in one compare: uint64(x-a) is x's rank
+// in the int64 order starting at a (the domain spans exactly 2^64 values,
+// so the subtraction is exact modular rank), and [a, b) is the rank
+// interval [0, uint64(b-a)). Requires a <= b, which every caller
+// normalizes first. One predictable compare instead of two keeps the
+// materialization kernels branch-lean.
+func inRange(x, a, b int64) bool {
+	return uint64(x-a) < uint64(b-a)
+}
+
 // Position returns the first index p in [lo, hi) such that all values in
 // [lo, p) are < pivot, assuming [lo, hi) is already partitioned on pivot.
 // It is used in tests to validate crack invariants; O(n).
@@ -180,10 +254,42 @@ func (c *Column) Position(lo, hi int, pivot int64) int {
 // [lo, hi) on pivot while collecting into out every value in [a, b)
 // encountered along the way, returning the grown slice and the split
 // position. One pass performs both the random crack and the query's result
-// materialization for this piece.
+// materialization for this piece. Values-only columns run the branchless
+// partition loop fused with a single-compare range test; the qualifying
+// branch stays, but at typical selectivities it is almost-never-taken and
+// predicts perfectly.
 func (c *Column) SplitAndMaterialize(lo, hi int, pivot, a, b int64, out []int64) ([]int64, int) {
 	c.checkRange(lo, hi)
 	c.Stats.Touched += int64(hi - lo)
+	if a > b {
+		a = b // normalize so the rank compare sees an empty interval
+	}
+	if c.RowIDs == nil && c.Payload == nil {
+		v := c.Values[lo:hi:hi]
+		r := 0
+		for r < len(v) && v[r] < pivot {
+			if x := v[r]; inRange(x, a, b) {
+				out = append(out, x)
+			}
+			r++
+		}
+		j := r
+		for i := r; i < len(v); i++ {
+			x := v[i]
+			v[i] = v[j]
+			v[j] = x
+			if inRange(x, a, b) {
+				out = append(out, x)
+			}
+			d := 0
+			if x < pivot {
+				d = 1
+			}
+			j += d
+		}
+		c.Stats.Swaps += int64(j - r)
+		return out, lo + j
+	}
 	v := c.Values
 	L, R := lo, hi-1
 	for L <= R {
@@ -214,6 +320,32 @@ func (c *Column) SplitAndMaterialize(lo, hi int, pivot, a, b int64, out []int64)
 func (c *Column) SplitAndMaterializeGE(lo, hi int, pivot, a int64, out []int64) ([]int64, int) {
 	c.checkRange(lo, hi)
 	c.Stats.Touched += int64(hi - lo)
+	if c.RowIDs == nil && c.Payload == nil {
+		v := c.Values[lo:hi:hi]
+		r := 0
+		for r < len(v) && v[r] < pivot {
+			if x := v[r]; x >= a {
+				out = append(out, x)
+			}
+			r++
+		}
+		j := r
+		for i := r; i < len(v); i++ {
+			x := v[i]
+			v[i] = v[j]
+			v[j] = x
+			if x >= a {
+				out = append(out, x)
+			}
+			d := 0
+			if x < pivot {
+				d = 1
+			}
+			j += d
+		}
+		c.Stats.Swaps += int64(j - r)
+		return out, lo + j
+	}
 	v := c.Values
 	L, R := lo, hi-1
 	for L <= R {
@@ -242,6 +374,32 @@ func (c *Column) SplitAndMaterializeGE(lo, hi int, pivot, a int64, out []int64) 
 func (c *Column) SplitAndMaterializeLT(lo, hi int, pivot, b int64, out []int64) ([]int64, int) {
 	c.checkRange(lo, hi)
 	c.Stats.Touched += int64(hi - lo)
+	if c.RowIDs == nil && c.Payload == nil {
+		v := c.Values[lo:hi:hi]
+		r := 0
+		for r < len(v) && v[r] < pivot {
+			if x := v[r]; x < b {
+				out = append(out, x)
+			}
+			r++
+		}
+		j := r
+		for i := r; i < len(v); i++ {
+			x := v[i]
+			v[i] = v[j]
+			v[j] = x
+			if x < b {
+				out = append(out, x)
+			}
+			d := 0
+			if x < pivot {
+				d = 1
+			}
+			j += d
+		}
+		c.Stats.Swaps += int64(j - r)
+		return out, lo + j
+	}
 	v := c.Values
 	L, R := lo, hi-1
 	for L <= R {
@@ -270,8 +428,11 @@ func (c *Column) SplitAndMaterializeLT(lo, hi int, pivot, b int64, out []int64) 
 func (c *Column) ScanMaterialize(lo, hi int, a, b int64, out []int64) []int64 {
 	c.checkRange(lo, hi)
 	c.Stats.Touched += int64(hi - lo)
+	if a >= b {
+		return out
+	}
 	for _, x := range c.Values[lo:hi] {
-		if a <= x && x < b {
+		if inRange(x, a, b) {
 			out = append(out, x)
 		}
 	}
@@ -283,9 +444,12 @@ func (c *Column) ScanMaterialize(lo, hi int, a, b int64, out []int64) []int64 {
 func (c *Column) CountRange(lo, hi int, a, b int64) int {
 	c.checkRange(lo, hi)
 	c.Stats.Touched += int64(hi - lo)
+	if a >= b {
+		return 0
+	}
 	n := 0
 	for _, x := range c.Values[lo:hi] {
-		if a <= x && x < b {
+		if inRange(x, a, b) {
 			n++
 		}
 	}

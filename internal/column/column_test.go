@@ -503,38 +503,3 @@ func TestStepPartitionDoneIdempotent(t *testing.T) {
 		t.Fatal("StepPartition on a done state must be a no-op")
 	}
 }
-
-func BenchmarkCrackInTwo(b *testing.B) {
-	vals := xrand.New(1).Perm(1 << 20)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		c := New(append([]int64(nil), vals...))
-		b.StartTimer()
-		c.CrackInTwo(0, c.Len(), 1<<19)
-	}
-}
-
-func BenchmarkCrackInThree(b *testing.B) {
-	vals := xrand.New(1).Perm(1 << 20)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		c := New(append([]int64(nil), vals...))
-		b.StartTimer()
-		c.CrackInThree(0, c.Len(), 1<<18, 3<<18)
-	}
-}
-
-func BenchmarkSplitAndMaterialize(b *testing.B) {
-	vals := xrand.New(1).Perm(1 << 20)
-	out := make([]int64, 0, 1024)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		c := New(append([]int64(nil), vals...))
-		b.StartTimer()
-		out, _ = c.SplitAndMaterialize(0, c.Len(), 1<<19, 1000, 2000, out[:0])
-	}
-	_ = out
-}

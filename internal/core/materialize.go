@@ -1,0 +1,78 @@
+package core
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pool"
+)
+
+// Parallel materialization of large results. A wide converged query's
+// answer is dominated by one contiguous memcpy out of the cracker column;
+// a single core cannot saturate the memory system of a multi-channel
+// machine, so copies above parallelCopyMin fan out to the process-wide
+// worker pool in copyChunk units.
+
+const (
+	// parallelCopyMin is the contiguous copy size (tuples) above which
+	// materialization fans out: 1 MiB of values. Below it a single core's
+	// copy bandwidth wins over coordination.
+	parallelCopyMin = 128 << 10
+	// copyChunk is the work unit one worker claims at a time (512 KiB):
+	// small enough to balance load, large enough that the atomic claim is
+	// noise.
+	copyChunk = 64 << 10
+)
+
+// appendBulk appends src to dst like append(dst, src...), fanning the copy
+// out to the worker pool when src is large. Small appends stay inline and
+// allocation-free (given capacity).
+func appendBulk(dst, src []int64) []int64 {
+	if len(src) < parallelCopyMin {
+		return append(dst, src...)
+	}
+	base := len(dst)
+	dst = slices.Grow(dst, len(src))[:base+len(src)]
+	bulkCopy(dst[base:], src)
+	return dst
+}
+
+// bulkCopy copies src into dst (equal lengths) using the worker pool.
+// Chunks are handed out by an atomic counter and the calling goroutine
+// claims chunks itself, so completion never depends on a pool worker
+// being free — safe to run from inside a pool task (the sharded
+// executor's fan-out) without risking pool starvation deadlock.
+func bulkCopy(dst, src []int64) {
+	n := len(src)
+	nchunks := (n + copyChunk - 1) / copyChunk
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(nchunks)
+	claim := func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= nchunks {
+				return
+			}
+			end := c*copyChunk + copyChunk
+			if end > n {
+				end = n
+			}
+			copy(dst[c*copyChunk:end], src[c*copyChunk:end])
+			wg.Done()
+		}
+	}
+	helpers := runtime.GOMAXPROCS(0) - 1
+	if m := nchunks - 1; helpers > m {
+		helpers = m
+	}
+	for i := 0; i < helpers; i++ {
+		if !pool.Submit(claim) {
+			break // saturated: the claim loop below does the rest
+		}
+	}
+	claim()
+	wg.Wait()
+}

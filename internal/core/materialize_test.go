@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestAppendBulkParallel(t *testing.T) {
+	// Well above parallelCopyMin so the copy takes the chunk-claiming
+	// pool path, with a tail chunk shorter than copyChunk.
+	n := parallelCopyMin*3 + copyChunk/2 + 7
+	src := xrand.New(5).Perm(n)
+	prefix := []int64{-1, -2, -3}
+	got := appendBulk(append([]int64(nil), prefix...), src)
+	if len(got) != len(prefix)+n {
+		t.Fatalf("len = %d, want %d", len(got), len(prefix)+n)
+	}
+	for i, v := range prefix {
+		if got[i] != v {
+			t.Fatalf("prefix[%d] clobbered: %d", i, got[i])
+		}
+	}
+	for i, v := range src {
+		if got[len(prefix)+i] != v {
+			t.Fatalf("copy diverges at %d: got %d want %d", i, got[len(prefix)+i], v)
+		}
+	}
+}
+
+func TestAppendBulkSmall(t *testing.T) {
+	src := []int64{4, 5, 6}
+	got := appendBulk([]int64{1}, src)
+	if len(got) != 4 || got[0] != 1 || got[3] != 6 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -101,7 +101,11 @@ type Stats struct {
 	// Touched is the number of tuples examined by reorganizations and
 	// scans — the cost metric of the paper's Fig. 2(e).
 	Touched int64
-	// Swaps is the number of element exchanges performed.
+	// Swaps counts tuple movements during reorganization. It is a
+	// kernel-level diagnostic, not a cross-kernel comparable: the
+	// branchless values-only kernels count each displaced qualifying
+	// tuple, the tandem (rowid/payload) kernels count Hoare pair
+	// exchanges. Compare physical cost across algorithms with Touched.
 	Swaps int64
 	// Cracks is the number of cracks in the cracker index.
 	Cracks int

@@ -121,9 +121,10 @@ func (e *Engine) answerPieces(dst []int64, a, b int64, loA, hiA int, exactA bool
 		dst = appendInRange(dst, vals[loA:hiA], a, b)
 		viewStart = hiA
 	}
-	// Middle: every piece strictly between the bound pieces qualifies whole.
+	// Middle: every piece strictly between the bound pieces qualifies
+	// whole — one contiguous copy, fanned out to the worker pool when wide.
 	if loB > viewStart {
-		dst = append(dst, vals[viewStart:loB]...)
+		dst = appendBulk(dst, vals[viewStart:loB])
 	}
 	// Right end piece: qualifying values are those < b.
 	if !exactB {
@@ -158,9 +159,16 @@ func (e *Engine) aggregatePieces(a, b int64, loA, hiA int, exactA bool, loB, hiB
 	return count, sum
 }
 
+// inRange is a <= v && v < b in one compare: uint64(v-a) is v's rank in
+// the int64 order starting at a, and [a, b) is the rank interval
+// [0, uint64(b-a)). Every caller has already normalized a < b.
+func inRange(v, a, b int64) bool {
+	return uint64(v-a) < uint64(b-a)
+}
+
 func appendInRange(dst, piece []int64, a, b int64) []int64 {
 	for _, v := range piece {
-		if a <= v && v < b {
+		if inRange(v, a, b) {
 			dst = append(dst, v)
 		}
 	}
@@ -169,7 +177,7 @@ func appendInRange(dst, piece []int64, a, b int64) []int64 {
 
 func countInRange(piece []int64, a, b int64) (count int, sum int64) {
 	for _, v := range piece {
-		if a <= v && v < b {
+		if inRange(v, a, b) {
 			count++
 			sum += v
 		}

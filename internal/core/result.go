@@ -88,11 +88,12 @@ func (r Result) ForEach(fn func(v int64)) {
 }
 
 // Materialize appends all qualifying values to dst and returns it. The
-// returned slice is independent of the index's internal buffers.
+// returned slice is independent of the index's internal buffers. Wide
+// view parts are copied in parallel through the worker pool.
 func (r Result) Materialize(dst []int64) []int64 {
 	dst = append(dst, r.left...)
 	if r.hi > r.lo {
-		dst = append(dst, r.col.Values[r.lo:r.hi]...)
+		dst = appendBulk(dst, r.col.Values[r.lo:r.hi])
 	}
 	dst = append(dst, r.right...)
 	return dst

@@ -27,9 +27,10 @@
 package exec
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -134,6 +135,36 @@ func (x *Executor) QueryCtx(ctx context.Context, a, b int64) ([]int64, error) {
 	return res.Materialize(make([]int64, 0, res.Count())), nil
 }
 
+// QueryAppendCtx answers [a, b) appending the qualifying values to dst
+// and returning it, like append: the caller owns dst before and after.
+// With a reused buffer of sufficient capacity a converged query performs
+// zero heap allocations end to end — the probe, the piece scans and the
+// append all run on caller- or engine-owned memory (see the AllocsPerRun
+// regression tests). Reorganizing queries take the write lock and
+// materialize into dst with one exact-size grow.
+func (x *Executor) QueryAppendCtx(ctx context.Context, a, b int64, dst []int64) ([]int64, error) {
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	if x.p != nil {
+		x.mu.RLock()
+		out, ok := x.p.TryAnswerReadOnly(a, b, dst)
+		x.mu.RUnlock()
+		if ok {
+			x.readQueries.Add(1)
+			return out, nil
+		}
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	x.writeQueries.Add(1)
+	res := x.inner.Query(a, b)
+	return res.Materialize(slices.Grow(dst, res.Count())), nil
+}
+
 // QueryAggregate answers [a, b) returning only (count, sum), skipping the
 // copy when the caller needs aggregates.
 func (x *Executor) QueryAggregate(a, b int64) (count int, sum int64) {
@@ -181,6 +212,10 @@ func (x *Executor) QueryBatch(ranges []Range) [][]int64 {
 // where each range may crack the column — so a long batch aborts cleanly
 // mid-way; on cancellation the partial results are discarded and only the
 // error is returned.
+// Each result is its own exact-size allocation, so retaining one result
+// does not pin the rest of the batch; callers chasing zero allocations
+// use QueryBatchInto, whose results deliberately share one reusable
+// arena.
 func (x *Executor) QueryBatchCtx(ctx context.Context, ranges []Range) ([][]int64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -189,18 +224,7 @@ func (x *Executor) QueryBatchCtx(ctx context.Context, ranges []Range) ([][]int64
 	if len(ranges) == 0 {
 		return out, nil
 	}
-	order := make([]int, len(ranges))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(i, j int) bool {
-		ri, rj := ranges[order[i]], ranges[order[j]]
-		if ri.Lo != rj.Lo {
-			return ri.Lo < rj.Lo
-		}
-		return ri.Hi < rj.Hi
-	})
-
+	order := sortedOrder(ranges, make([]int, len(ranges)))
 	pending := order[:0] // reuses order's backing array; reads stay ahead
 	if x.p != nil {
 		reads := int64(0)
@@ -234,6 +258,118 @@ func (x *Executor) QueryBatchCtx(ctx context.Context, ranges []Range) ([][]int64
 		out[i] = res.Materialize(make([]int64, 0, res.Count()))
 	}
 	return out, nil
+}
+
+// sortedOrder fills order with 0..len(ranges)-1 sorted ascending by
+// range: sorted bounds crack the column left to right, which keeps piece
+// lookups and memory access local during the exclusive pass.
+func sortedOrder(ranges []Range, order []int) []int {
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortFunc(order, func(i, j int) int {
+		ri, rj := ranges[i], ranges[j]
+		if c := cmp.Compare(ri.Lo, rj.Lo); c != 0 {
+			return c
+		}
+		return cmp.Compare(ri.Hi, rj.Hi)
+	})
+	return order
+}
+
+// BatchBuffer holds the reusable state of QueryBatchInto: the result
+// headers, the ordering scratch, the per-range offsets and one value
+// arena every result is a subslice of. The zero value is ready for use;
+// reusing one across calls makes converged batches allocation-free once
+// the buffers have warmed to the workload's sizes.
+type BatchBuffer struct {
+	out   [][]int64
+	order []int
+	offs  [][2]int
+	vals  []int64
+}
+
+// reset readies the buffer for n ranges, keeping every backing array.
+func (bb *BatchBuffer) reset(n int) {
+	bb.out = resetLen(bb.out, n)
+	bb.order = resetLen(bb.order, n)
+	bb.offs = resetLen(bb.offs, n)
+	bb.vals = bb.vals[:0]
+}
+
+func resetLen[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+// QueryBatchInto is QueryBatchCtx materializing into bb instead of fresh
+// allocations: every result is a capacity-capped subslice of bb's value
+// arena, valid until bb's next use (callers retaining results longer copy
+// them out, or simply keep the buffer). The returned slice aliases bb.
+// Locking and ordering are identical to QueryBatchCtx: one shared pass
+// answers every converged range, then — only if some ranges still need
+// reorganization — one exclusive pass answers the rest in ascending range
+// order (sorted bounds crack the column left to right, which keeps piece
+// lookups and memory access local). Results are in input-range order.
+func (x *Executor) QueryBatchInto(ctx context.Context, ranges []Range, bb *BatchBuffer) ([][]int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	bb.reset(len(ranges))
+	if len(ranges) == 0 {
+		return bb.out, nil
+	}
+	sortedOrder(ranges, bb.order)
+
+	pending := bb.order[:0] // reuses order's backing array; reads stay ahead
+	if x.p != nil {
+		reads := int64(0)
+		x.mu.RLock()
+		for _, i := range bb.order {
+			r := ranges[i]
+			start := len(bb.vals)
+			if res, ok := x.p.TryAnswerReadOnly(r.Lo, r.Hi, bb.vals); ok {
+				bb.vals = res
+				bb.offs[i] = [2]int{start, len(bb.vals)}
+				reads++
+			} else {
+				pending = append(pending, i)
+			}
+		}
+		x.mu.RUnlock()
+		x.readQueries.Add(reads)
+	} else {
+		pending = bb.order
+	}
+	if len(pending) > 0 {
+		x.mu.Lock()
+		for _, i := range pending {
+			if err := ctx.Err(); err != nil {
+				x.mu.Unlock()
+				return nil, err
+			}
+			r := ranges[i]
+			x.writeQueries.Add(1)
+			res := x.inner.Query(r.Lo, r.Hi)
+			start := len(bb.vals)
+			bb.vals = res.Materialize(slices.Grow(bb.vals, res.Count()))
+			bb.offs[i] = [2]int{start, len(bb.vals)}
+		}
+		x.mu.Unlock()
+	}
+	// Stitch: offsets stay valid across arena growth, so slicing happens
+	// only now, after the last append.
+	for i, o := range bb.offs {
+		bb.out[i] = bb.vals[o[0]:o[1]:o[1]]
+	}
+	return bb.out, nil
 }
 
 // Insert queues value v for insertion (merged into the column by the first

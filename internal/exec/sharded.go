@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/pool"
 	"repro/internal/updates"
 )
 
@@ -168,7 +169,7 @@ func (s *Sharded) fanOut(first, last int, work func(si int)) {
 			work(idx)
 			wg.Done()
 		}
-		if !poolSubmit(task) {
+		if !pool.Submit(task) {
 			task()
 		}
 	}
@@ -322,7 +323,7 @@ func (s *Sharded) QueryBatchCtx(ctx context.Context, ranges []Range) ([][]int64,
 		si := si
 		wg.Add(1)
 		task := func() { run(si) }
-		if !poolSubmit(task) {
+		if !pool.Submit(task) {
 			task()
 		}
 	}

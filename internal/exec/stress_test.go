@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// TestParallelMaterializeRaceStress hammers the parallel materialization
+// path: wide converged queries whose contiguous middle exceeds the
+// parallel-copy threshold, so every answer fans its bulk copy out to the
+// worker pool — from many goroutines at once, while narrow converged
+// queries and reorganizing queries interleave. Run under -race this
+// checks the chunk-claiming copy never races with concurrent readers or
+// with the executor's locking.
+func TestParallelMaterializeRaceStress(t *testing.T) {
+	const (
+		n       = 1 << 21
+		wideLo  = int64(n / 4)
+		wideHi  = int64(3 * n / 4)
+		wideLen = int(wideHi - wideLo)
+		workers = 8
+		iters   = 12
+	)
+	x := New(core.NewCrack(xrand.New(3).Perm(n), core.Options{Seed: 4}))
+	if out := x.Query(wideLo, wideHi); len(out) != wideLen { // converge the wide bounds
+		t.Fatalf("warmup got %d values, want %d", len(out), wideLen)
+	}
+	// The closed-form sum of [wideLo, wideHi) over a permutation of [0, n).
+	wantSum := (wideLo + wideHi - 1) * int64(wideLen) / 2
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(100 + w))
+			buf := make([]int64, 0, wideLen)
+			for i := 0; i < iters; i++ {
+				var err error
+				buf, err = x.QueryAppendCtx(ctx, wideLo, wideHi, buf[:0])
+				if err != nil || len(buf) != wideLen {
+					t.Errorf("worker %d: wide len=%d err=%v", w, len(buf), err)
+					return
+				}
+				var sum int64
+				for _, v := range buf {
+					sum += v
+				}
+				if sum != wantSum {
+					t.Errorf("worker %d: wide sum=%d want %d", w, sum, wantSum)
+					return
+				}
+				// Interleave narrow queries: converged reads and the
+				// occasional reorganizing crack elsewhere in the column.
+				a := rng.Int63n(n / 8)
+				if out, err := x.QueryAppendCtx(ctx, a, a+32, nil); err != nil || len(out) != 32 {
+					t.Errorf("worker %d: narrow len=%d err=%v", w, len(out), err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,56 @@
+// Package pool provides the process-wide bounded worker pool shared by
+// every parallel helper in the repository: the sharded executor's query
+// fan-out (internal/exec) and the engines' parallel materialization of
+// large converged results (internal/core).
+//
+// One pool for the whole process keeps total helper parallelism bounded at
+// GOMAXPROCS no matter how many indexes, shards or concurrent queries are
+// live: under heavy traffic the old per-feature goroutine spawning would
+// multiply (queries x shards x copy chunks) runnable goroutines; the pool
+// degrades to inline execution instead.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	once sync.Once
+	work chan func()
+)
+
+func start() {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2 // keep fan-out alive even on one proc
+	}
+	work = make(chan func(), 2*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for task := range work {
+				task()
+			}
+		}()
+	}
+}
+
+// Submit hands task to an idle worker; it reports false — without running
+// the task — when the pool is saturated, leaving the task to the caller.
+// Submission never blocks.
+//
+// Tasks must not block on other submitted tasks: every worker could be
+// occupied by a waiting task, leaving nobody to run the work it waits
+// for. Helpers that need completion must keep progress on the submitting
+// goroutine (see the chunk-claiming loop in core's bulk copy: the caller
+// claims chunks itself, so completion never depends on a worker being
+// free).
+func Submit(task func()) bool {
+	once.Do(start)
+	select {
+	case work <- task:
+		return true
+	default:
+		return false
+	}
+}

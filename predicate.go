@@ -70,6 +70,22 @@ func (p Predicate) On(col string) Predicate {
 // Column returns the column the predicate is scoped to ("" when unscoped).
 func (p Predicate) Column() string { return p.col }
 
+// singleRange returns the predicate's sole half-open range without
+// allocating — the fast path of the common non-Or predicate; ok is false
+// for multi-range predicates, which need rangeList. The range may be
+// empty (lo >= hi). Conflicted predicates report an empty range: they
+// match nothing anywhere (queries reject them at column-resolve time,
+// before consulting ranges).
+func (p Predicate) singleRange() (lo, hi int64, ok bool) {
+	if p.conflict != "" {
+		return 0, 0, true
+	}
+	if p.set != nil {
+		return 0, 0, false
+	}
+	return p.lo, p.hi, true
+}
+
 // rangeList returns the predicate's disjoint half-open ranges in
 // increasing order (nil when empty, including cross-column conflicts,
 // which can never match).

@@ -1,0 +1,192 @@
+package crackdb_test
+
+import (
+	"context"
+	"testing"
+
+	crackdb "repro"
+)
+
+// The zero-allocation contract of the converged hot path: once a query's
+// bounds are exact cracks (or fall in pieces too small to split), Query
+// in Single mode and the Append forms in Single and Shared modes perform
+// no heap allocation at all. These are regression tests — the CI bench
+// job guards ns/op, these guard allocs/op.
+
+// zeroAllocValues builds a deterministic shuffle of [0, n) without
+// importing internal packages.
+func zeroAllocValues(n int) []int64 {
+	vals := make([]int64, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		j := int(state % uint64(i+1))
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	return vals
+}
+
+const (
+	zaN     = 1 << 16
+	zaLo    = int64(zaN / 4)
+	zaHi    = zaLo + 512
+	zaCount = 512
+)
+
+// convergedDB opens a DB over shuffled [0, zaN) and runs the benchmark
+// range once, so both bounds become exact cracks and every later query on
+// it is converged.
+func convergedDB(t *testing.T, mode crackdb.Concurrency) *crackdb.DB {
+	t.Helper()
+	db, err := crackdb.Open(zeroAllocValues(zaN), crackdb.Crack, crackdb.WithConcurrency(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(context.Background(), crackdb.Range(zaLo, zaHi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != zaCount {
+		t.Fatalf("warmup count = %d, want %d", res.Count(), zaCount)
+	}
+	return db
+}
+
+func assertZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+		t.Errorf("%s: %.1f allocs/op, want 0", name, allocs)
+	}
+}
+
+func TestConvergedQueryZeroAllocsSingle(t *testing.T) {
+	db := convergedDB(t, crackdb.Single)
+	ctx := context.Background()
+	p := crackdb.Range(zaLo, zaHi)
+	assertZeroAllocs(t, "Single Query", func() {
+		res, err := db.Query(ctx, p)
+		if err != nil || res.Count() != zaCount {
+			t.Fatalf("count=%d err=%v", res.Count(), err)
+		}
+	})
+	buf := make([]int64, 0, zaCount)
+	assertZeroAllocs(t, "Single QueryAppend", func() {
+		out, err := db.QueryAppend(ctx, p, buf[:0])
+		if err != nil || len(out) != zaCount {
+			t.Fatalf("len=%d err=%v", len(out), err)
+		}
+	})
+	assertZeroAllocs(t, "Single QueryAggregate", func() {
+		agg, err := db.QueryAggregate(ctx, p)
+		if err != nil || agg.Count != zaCount {
+			t.Fatalf("count=%d err=%v", agg.Count, err)
+		}
+	})
+}
+
+func TestConvergedQueryZeroAllocsShared(t *testing.T) {
+	db := convergedDB(t, crackdb.Shared)
+	ctx := context.Background()
+	p := crackdb.Range(zaLo, zaHi)
+	buf := make([]int64, 0, zaCount)
+	assertZeroAllocs(t, "Shared QueryAppend", func() {
+		out, err := db.QueryAppend(ctx, p, buf[:0])
+		if err != nil || len(out) != zaCount {
+			t.Fatalf("len=%d err=%v", len(out), err)
+		}
+	})
+	assertZeroAllocs(t, "Shared QueryAggregate", func() {
+		agg, err := db.QueryAggregate(ctx, p)
+		if err != nil || agg.Count != zaCount {
+			t.Fatalf("count=%d err=%v", agg.Count, err)
+		}
+	})
+}
+
+// queryBatchZeroAllocs asserts a converged batch of single-range
+// predicates runs allocation-free through a warmed BatchBuffer.
+func queryBatchZeroAllocs(t *testing.T, mode crackdb.Concurrency) {
+	db := convergedDB(t, mode)
+	ctx := context.Background()
+	ps := []crackdb.Predicate{
+		crackdb.Range(zaLo, zaLo+128),
+		crackdb.Range(zaLo+128, zaLo+256),
+		crackdb.Range(zaLo+256, zaHi),
+	}
+	// Converge every batch bound first, then warm the buffer.
+	for _, p := range ps {
+		if _, err := db.Query(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var bb crackdb.BatchBuffer
+	if _, err := db.QueryBatchAppend(ctx, ps, &bb); err != nil {
+		t.Fatal(err)
+	}
+	assertZeroAllocs(t, mode.String()+" QueryBatchAppend", func() {
+		out, err := db.QueryBatchAppend(ctx, ps, &bb)
+		if err != nil || len(out) != len(ps) {
+			t.Fatalf("len=%d err=%v", len(out), err)
+		}
+		if len(out[0]) != 128 || len(out[1]) != 128 || len(out[2]) != zaCount-256 {
+			t.Fatalf("lens=%d,%d,%d", len(out[0]), len(out[1]), len(out[2]))
+		}
+	})
+}
+
+func TestConvergedQueryBatchZeroAllocsSingle(t *testing.T) {
+	queryBatchZeroAllocs(t, crackdb.Single)
+}
+
+func TestConvergedQueryBatchZeroAllocsShared(t *testing.T) {
+	queryBatchZeroAllocs(t, crackdb.Shared)
+}
+
+// TestQueryAppendMatchesQuery pins the Append forms to the canonical
+// Query across modes, including multi-range predicates, on a workload
+// that mixes converged and reorganizing queries.
+func TestQueryAppendMatchesQuery(t *testing.T) {
+	ctx := context.Background()
+	for _, mode := range []crackdb.Concurrency{crackdb.Single, crackdb.Shared, crackdb.Sharded(4)} {
+		db, err := crackdb.Open(zeroAllocValues(zaN), crackdb.DD1R, crackdb.WithConcurrency(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := crackdb.Open(zeroAllocValues(zaN), crackdb.DD1R, crackdb.WithConcurrency(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds := []crackdb.Predicate{
+			crackdb.Range(10, 500),
+			crackdb.Range(100, 200).Or(crackdb.Range(1000, 1100)),
+			crackdb.Range(10, 500), // now converged
+			crackdb.Range(zaN/2, zaN/2+3000),
+		}
+		var buf []int64
+		for i, p := range preds {
+			buf, err = db.QueryAppend(ctx, p, buf[:0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ref.Query(ctx, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(buf) != res.Count() {
+				t.Fatalf("%s pred %d: append len %d, query count %d", mode, i, len(buf), res.Count())
+			}
+			var sum int64
+			for _, v := range buf {
+				sum += v
+			}
+			if sum != res.Sum() {
+				t.Fatalf("%s pred %d: append sum %d, query sum %d", mode, i, sum, res.Sum())
+			}
+		}
+	}
+}

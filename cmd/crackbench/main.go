@@ -12,17 +12,31 @@
 // Output is plain text: gnuplot-friendly series for the figures and
 // aligned tables for the paper's tables. Paper scale is -n 100000000; the
 // default 10000000 preserves every reported shape at ~1/10 the runtime.
+//
+// With -serve, crackbench is instead a load generator against a running
+// crackserver (cmd/crackserver): -clients concurrent clients replay the
+// -serve-workloads patterns over the wire, every answer is validated
+// against the closed-form oracle, and the run reports per-query latency
+// quantiles plus the live convergence telemetry sampled from /v1/stats:
+//
+//	crackserver -n 10000000 &
+//	crackbench -serve -serve-url http://127.0.0.1:8080 -clients 16 -q 2000
+//	crackbench -serve -quick               # CI smoke
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/server"
 )
 
 func main() {
@@ -42,6 +56,11 @@ func main() {
 		plot       = flag.Bool("plot", false, "render an ASCII log-log comparison chart for -workload/-algos and exit")
 		plotWl     = flag.String("workload", "sequential", "workload for -plot")
 		plotAlgos  = flag.String("algos", "crack,dd1r,pmdd1r-10,sort", "comma-separated algorithms for -plot")
+		serve      = flag.Bool("serve", false, "load-generator mode: replay workloads against a running crackserver and exit")
+		serveURL   = flag.String("serve-url", "http://127.0.0.1:8080", "crackserver base URL for -serve")
+		clients    = flag.Int("clients", 8, "concurrent clients for -serve")
+		serveWls   = flag.String("serve-workloads", "random,sequential,skew", "comma-separated workloads replayed round-robin across -serve clients")
+		serveAgg   = flag.Bool("serve-aggregate", false, "-serve: request (count, sum) only, no value payloads")
 	)
 	flag.Parse()
 
@@ -68,6 +87,33 @@ func main() {
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *serve {
+		// Quick mode shrinks the per-client query count through the shared
+		// -q default above; a few hundred queries per client still crosses
+		// the convergence knee on a quick-sized server column.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if *quick && !set["clients"] {
+			*clients = 4
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		var names []string
+		for _, w := range strings.Split(*serveWls, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				names = append(names, w)
+			}
+		}
+		_, err := server.RunLoad(ctx, server.LoadConfig{
+			URL: *serveURL, Clients: *clients, Workloads: names,
+			Q: *q, S: *s, Seed: *seed, Aggregate: *serveAgg,
+		}, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crackbench: serve:", err)
+			os.Exit(1)
 		}
 		return
 	}

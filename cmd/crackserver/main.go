@@ -1,0 +1,159 @@
+// Command crackserver serves an adaptive cracking index over HTTP/JSON:
+// the paper's "index refinement as a side effect of query processing",
+// observable under real concurrent client traffic.
+//
+// The server builds the paper's dataset — a seeded random permutation of
+// [0, n) — opens a crackdb.DB over it in the chosen concurrency mode, and
+// serves range queries, lazy updates and live cracking telemetry (see
+// internal/server for the endpoint reference):
+//
+//	crackserver -n 10000000 -algorithm dd1r -mode shared
+//	crackserver -mode sharded-8 -inflight 256
+//	crackserver -addr 127.0.0.1:0 -addr-file /tmp/addr   # CI: random port
+//
+// Because the data is a permutation, every answer is checkable against a
+// closed-form oracle; `crackbench -serve` exploits that to validate a
+// whole load-test run end to end over the wire.
+//
+// On SIGINT/SIGTERM the server drains gracefully: it stops accepting,
+// waits up to -drain for in-flight requests, then cancels their contexts
+// (the DB's query paths honor cancellation) and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	crackdb "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (host:0 picks a random port)")
+		addrFile = flag.String("addr-file", "", "write the resolved listen address to this file once serving (CI port discovery)")
+		n        = flag.Int64("n", 1_000_000, "column size: the data is a seeded permutation of [0, n)")
+		algo     = flag.String("algorithm", crackdb.DD1R, "cracking algorithm spec (see crackdb.Algorithms)")
+		mode     = flag.String("mode", "shared", "concurrency mode: single, shared, or sharded-<k>")
+		seed     = flag.Uint64("seed", 42, "seed for the data permutation and the stochastic algorithms")
+		inflight = flag.Int("inflight", 0, "max in-flight data-plane requests before 429 (0: 8x worker pool; <0: unlimited)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGTERM before in-flight requests are canceled")
+	)
+	flag.Parse()
+
+	conc, err := parseMode(*mode)
+	if err != nil {
+		log.Fatalf("crackserver: %v", err)
+	}
+
+	log.Printf("building %d-row permutation (seed %d)...", *n, *seed)
+	data := crackdb.MakeData(*n, *seed)
+	db, err := crackdb.Open(data, *algo,
+		crackdb.WithSeed(*seed), crackdb.WithConcurrency(conc))
+	if err != nil {
+		log.Fatalf("crackserver: %v", err)
+	}
+	defer db.Close()
+
+	srv := server.New(db, server.Config{
+		MaxInFlight: *inflight,
+		Info: server.Info{
+			Rows: *n, Algorithm: *algo, Seed: *seed, Permutation: true,
+		},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("crackserver: %v", err)
+	}
+	resolved := ln.Addr().String()
+	if *addrFile != "" {
+		// Write-then-rename so a polling reader never sees a partial file.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(resolved), 0o644); err != nil {
+			log.Fatalf("crackserver: %v", err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			log.Fatalf("crackserver: %v", err)
+		}
+	}
+
+	// baseCtx cancels every in-flight request's context when the drain
+	// budget runs out; until then Shutdown lets them finish.
+	baseCtx, cancelRequests := context.WithCancel(context.Background())
+	defer cancelRequests()
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	log.Printf("serving %s (%s) on http://%s", db.Name(), db.Mode(), displayAddr(resolved))
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("crackserver: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("draining (up to %v)...", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("drain budget exceeded; canceling in-flight requests: %v", err)
+		cancelRequests()
+		if err := hs.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Printf("bye")
+}
+
+// parseMode maps "single", "shared", "sharded-<k>" to a crackdb
+// concurrency mode.
+func parseMode(mode string) (crackdb.Concurrency, error) {
+	m := strings.ToLower(strings.TrimSpace(mode))
+	switch {
+	case m == "single":
+		return crackdb.Single, nil
+	case m == "shared":
+		return crackdb.Shared, nil
+	case strings.HasPrefix(m, "sharded-"):
+		k, err := strconv.Atoi(strings.TrimPrefix(m, "sharded-"))
+		if err != nil || k < 1 {
+			return crackdb.Concurrency{}, fmt.Errorf("bad shard count in mode %q", mode)
+		}
+		return crackdb.Sharded(k), nil
+	}
+	return crackdb.Concurrency{}, fmt.Errorf("unknown mode %q (single, shared, sharded-<k>)", mode)
+}
+
+// displayAddr rewrites a wildcard listen address to a dialable one for
+// the startup log line.
+func displayAddr(addr string) string {
+	if host, port, err := net.SplitHostPort(addr); err == nil {
+		if host == "" || host == "::" || host == "0.0.0.0" {
+			return net.JoinHostPort("127.0.0.1", port)
+		}
+	}
+	return addr
+}

@@ -551,6 +551,26 @@ func (db *DB) Stats() Stats {
 	}
 }
 
+// PathStats reports how many queries the adaptive execution layer
+// answered under the shared read lock versus the exclusive write lock —
+// the observable form of the executor's convergence-driven adaptivity
+// (README "Concurrency model"). ok is false for modes without an
+// executor (Single and table databases), whose counters would be
+// meaningless. On a sharded DB a multi-shard query counts once per shard
+// it touched: the counters measure executor lock traffic.
+func (db *DB) PathStats() (reads, writes int64, ok bool) {
+	switch {
+	case db.x != nil:
+		reads, writes = db.x.PathStats()
+		return reads, writes, true
+	case db.sh != nil:
+		reads, writes = db.sh.PathStats()
+		return reads, writes, true
+	default:
+		return 0, 0, false
+	}
+}
+
 // PieceSizes returns the current sizes (in tuples) of the column's
 // pieces, in storage order — the physical-refinement state the paper
 // reasons about. A Shared DB reads them under the exclusive lock; a

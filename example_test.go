@@ -125,3 +125,79 @@ func ExampleNew() {
 	// Output:
 	// rows: 10 sum: 1045
 }
+
+// Latency-sensitive callers reuse a buffer across queries: QueryAppend
+// appends into caller-owned memory, and once the query's bounds are
+// converged cracks, the whole path runs without heap allocations.
+func ExampleDB_QueryAppend() {
+	db, err := crackdb.Open(crackdb.MakeData(1000, 42), crackdb.DD1R, crackdb.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	buf := make([]int64, 0, 64)
+	for _, p := range []crackdb.Predicate{crackdb.Range(100, 110), crackdb.Range(500, 520)} {
+		buf = buf[:0] // reuse the same backing array every query
+		buf, err = db.QueryAppend(context.Background(), p, buf)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(p, "->", len(buf), "rows")
+	}
+	// Output:
+	// 100 <= v < 110 -> 10 rows
+	// 500 <= v < 520 -> 20 rows
+}
+
+// A whole batch materializes into one reusable BatchBuffer arena: each
+// result is a subslice of the arena, valid until the buffer's next use.
+// With a warmed buffer, a converged batch runs allocation-free.
+func ExampleDB_QueryBatchAppend() {
+	db, err := crackdb.Open(crackdb.MakeData(1000, 42), crackdb.DD1R, crackdb.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	ps := []crackdb.Predicate{
+		crackdb.Range(0, 5),
+		crackdb.Between(990, 999),
+	}
+	var bb crackdb.BatchBuffer // zero value is ready; reuse it across batches
+	for round := 0; round < 2; round++ {
+		results, err := db.QueryBatchAppend(context.Background(), ps, &bb)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Print("round ", round)
+		for i, vals := range results {
+			fmt.Print(" q", i, "=", len(vals), " rows")
+		}
+		fmt.Println()
+	}
+	// Output:
+	// round 0 q0=5 rows q1=10 rows
+	// round 1 q0=5 rows q1=10 rows
+}
+
+// BatchBuffer owns every reusable piece of a batched query: the range
+// scratch, the per-result offsets and the value arena. Retaining a
+// result past the buffer's next use requires copying it out.
+func ExampleBatchBuffer() {
+	db, err := crackdb.Open(crackdb.MakeData(1000, 42), crackdb.DD1R, crackdb.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	var bb crackdb.BatchBuffer
+	results, err := db.QueryBatchAppend(context.Background(),
+		[]crackdb.Predicate{crackdb.Range(10, 20)}, &bb)
+	if err != nil {
+		panic(err)
+	}
+	kept := append([]int64(nil), results[0]...) // copy: results alias bb's arena
+	_, err = db.QueryBatchAppend(context.Background(),
+		[]crackdb.Predicate{crackdb.Range(700, 800)}, &bb) // invalidates results
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("kept", len(kept), "rows safely")
+	// Output:
+	// kept 10 rows safely
+}

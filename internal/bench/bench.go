@@ -14,6 +14,14 @@
 // are not comparable across machines either way. Go-specific GC noise in
 // per-query latencies is mitigated by the engines' buffer reuse and by a
 // forced GC between cells.
+//
+// Three front-ends consume this package: cmd/crackbench (figures, JSON
+// reports, the -kernels merge of `go test -bench` output), cmd/benchgate
+// (the CI regression gate over gate.go's parser), and the facade's
+// re-exports (MakeData, the workload constructors). The over-the-wire
+// load generator lives in internal/server, not here: bench sits below
+// the facade in the import graph (the root package imports it), while
+// the load generator needs the server's wire types above it.
 package bench
 
 import (

@@ -384,6 +384,19 @@ func (s *Sharded) Stats() core.Stats {
 	return agg
 }
 
+// PathStats aggregates the shards' read-path vs write-path query counts
+// (see Executor.PathStats). A multi-shard query contributes once per shard
+// it touched: the counters measure executor lock traffic, not client
+// queries.
+func (s *Sharded) PathStats() (reads, writes int64) {
+	for i := range s.shards {
+		r, w := s.shards[i].ex.PathStats()
+		reads += r
+		writes += w
+	}
+	return reads, writes
+}
+
 // NumShards returns the number of shards.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 

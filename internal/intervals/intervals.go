@@ -1,7 +1,12 @@
 // Package intervals implements a set of disjoint half-open int64 intervals
-// with union and complement-within-a-range queries. The adaptive indexing
-// hybrids (internal/hybrids) use it to track which value ranges have
-// already been merged out of the source partitions into the final store.
+// with union and complement-within-a-range queries.
+//
+// Two layers build on it: the adaptive indexing hybrids
+// (internal/hybrids) track which value ranges have already been merged
+// out of the source partitions into the final store, and the facade's
+// predicate algebra (Predicate.Or in the root package) normalizes
+// disjunctions into a canonical sorted, coalesced multi-range form —
+// which is why Add merges adjacent intervals, not just overlapping ones.
 package intervals
 
 import "sort"

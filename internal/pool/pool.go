@@ -8,6 +8,12 @@
 // live: under heavy traffic the old per-feature goroutine spawning would
 // multiply (queries x shards x copy chunks) runnable goroutines; the pool
 // degrades to inline execution instead.
+//
+// The pool bounds helper parallelism, not admission: layers that accept
+// external work (internal/server's HTTP handlers) put their own in-flight
+// limit in front, sized relative to Size, so that a traffic burst queues
+// at the door instead of piling goroutines onto an already saturated
+// pool.
 package pool
 
 import (
@@ -18,6 +24,7 @@ import (
 var (
 	once sync.Once
 	work chan func()
+	size int
 )
 
 func start() {
@@ -25,6 +32,7 @@ func start() {
 	if n < 2 {
 		n = 2 // keep fan-out alive even on one proc
 	}
+	size = n
 	work = make(chan func(), 2*n)
 	for i := 0; i < n; i++ {
 		go func() {
@@ -33,6 +41,14 @@ func start() {
 			}
 		}()
 	}
+}
+
+// Size returns the number of pool workers (GOMAXPROCS at first use,
+// floored at 2). Admission layers size their in-flight limits as a
+// multiple of it.
+func Size() int {
+	once.Do(start)
+	return size
 }
 
 // Submit hands task to an idle worker; it reports false — without running

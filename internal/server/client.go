@@ -1,0 +1,144 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a minimal Go client for the crackserver wire protocol, used
+// by the crackbench -serve load generator, the integration tests and the
+// CI smoke. It is safe for concurrent use (http.Client is).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the server at base (e.g.
+// "http://127.0.0.1:8080"). hc nil means http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// APIError is a non-2xx response, carrying the HTTP status and the
+// server's machine-readable code.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Query posts req to /v1/query.
+func (c *Client) Query(ctx context.Context, req QueryRequest) (QueryResponse, error) {
+	var resp QueryResponse
+	err := c.post(ctx, "/v1/query", req, &resp)
+	return resp, err
+}
+
+// QueryRange answers the single half-open range [lo, hi), returning its
+// result.
+func (c *Client) QueryRange(ctx context.Context, lo, hi int64) (QueryResult, error) {
+	resp, err := c.Query(ctx, QueryRequest{QueryItem: QueryItem{Lo: lo, Hi: hi}})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	if len(resp.Results) != 1 {
+		return QueryResult{}, fmt.Errorf("server: %d results for a single query", len(resp.Results))
+	}
+	return resp.Results[0], nil
+}
+
+// Aggregate answers [lo, hi) returning only (count, sum) — no value
+// payload on the wire.
+func (c *Client) Aggregate(ctx context.Context, lo, hi int64) (QueryResult, error) {
+	resp, err := c.Query(ctx, QueryRequest{QueryItem: QueryItem{Lo: lo, Hi: hi}, Aggregate: true})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	if len(resp.Results) != 1 {
+		return QueryResult{}, fmt.Errorf("server: %d results for a single query", len(resp.Results))
+	}
+	return resp.Results[0], nil
+}
+
+// Insert queues values for insertion, returning the pending-update depth.
+func (c *Client) Insert(ctx context.Context, values ...int64) (pending int, err error) {
+	var resp UpdateResponse
+	err = c.post(ctx, "/v1/insert", UpdateRequest{Values: values}, &resp)
+	return resp.Pending, err
+}
+
+// Delete queues value removals, returning the pending-update depth.
+func (c *Client) Delete(ctx context.Context, values ...int64) (pending int, err error) {
+	var resp UpdateResponse
+	err = c.post(ctx, "/v1/delete", UpdateRequest{Values: values}, &resp)
+	return resp.Pending, err
+}
+
+// Stats fetches /v1/stats. Every call also records one convergence
+// sample server-side.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var resp StatsResponse
+	err := c.get(ctx, "/v1/stats", &resp)
+	return resp, err
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var resp HealthResponse
+	err := c.get(ctx, "/healthz", &resp)
+	return resp, err
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Status: resp.StatusCode, Code: "unknown"}
+		var body ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&body) == nil && body.Code != "" {
+			apiErr.Code = body.Code
+			apiErr.Message = body.Error
+		}
+		return apiErr
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	crackdb "repro"
+)
+
+// TestConcurrentClientsCrossMode replays one predicate workload through
+// concurrent HTTP clients against servers in every concurrency mode and
+// asserts each answer equals the in-process answer of a Scan-backed DB —
+// the serving layer's cross-mode equivalence property. CI runs it under
+// -race.
+func TestConcurrentClientsCrossMode(t *testing.T) {
+	const rows = 20_000
+	type query struct {
+		item QueryItem
+		pred crackdb.Predicate
+	}
+	queries := make([]query, 0, 120)
+	for i := 0; i < 100; i++ {
+		lo := int64(i*37) % (rows - 200)
+		it := QueryItem{Lo: lo, Hi: lo + int64(50+i%100)}
+		queries = append(queries, query{item: it})
+	}
+	for i := 0; i < 20; i++ {
+		a := int64(i * 311 % (rows - 1000))
+		it := QueryItem{Or: []WireRange{{Lo: a, Hi: a + 40}, {Lo: a + 500, Hi: a + 520}}}
+		queries = append(queries, query{item: it})
+	}
+	for i := range queries {
+		p, err := queries[i].item.Predicate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i].pred = p
+	}
+
+	// In-process expectation: the Scan baseline over the same data never
+	// reorganizes, so it is a trustworthy oracle for arbitrary data.
+	oracleDB, err := crackdb.Open(crackdb.MakeData(rows, 11), crackdb.Scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracleDB.Close()
+	want := make([][]int64, len(queries))
+	for i, q := range queries {
+		res, err := oracleDB.Query(context.Background(), q.pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Owned()
+		slices.Sort(want[i])
+	}
+
+	for _, mode := range []crackdb.Concurrency{crackdb.Single, crackdb.Shared, crackdb.Sharded(4)} {
+		t.Run(mode.String(), func(t *testing.T) {
+			db, err := crackdb.Open(crackdb.MakeData(rows, 11), crackdb.DD1R,
+				crackdb.WithSeed(3), crackdb.WithConcurrency(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			s := New(db, Config{Info: Info{Rows: rows, Permutation: true}})
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			c := NewClient(ts.URL, nil)
+
+			const clients = 8
+			var wg sync.WaitGroup
+			errc := make(chan error, clients)
+			for g := 0; g < clients; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					// Each client walks the whole query list at its own
+					// offset, so the same ranges hit the server in
+					// different adaptation states.
+					for k := 0; k < len(queries); k++ {
+						i := (k + g*17) % len(queries)
+						resp, err := c.Query(context.Background(), QueryRequest{QueryItem: queries[i].item})
+						if err != nil {
+							errc <- fmt.Errorf("client %d query %d: %w", g, i, err)
+							return
+						}
+						got := slices.Clone(resp.Results[0].Values)
+						slices.Sort(got)
+						if !slices.Equal(got, want[i]) {
+							errc <- fmt.Errorf("client %d query %d (%v): got %d values, want %d",
+								g, i, queries[i].pred, len(got), len(want[i]))
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestRunLoadAgainstServer drives the crackbench -serve load generator
+// end to end against an in-process server: every workload validates
+// against the oracle and the telemetry shows the index refining during
+// the run.
+func TestRunLoadAgainstServer(t *testing.T) {
+	const rows = 50_000
+	db, err := crackdb.Open(crackdb.MakeData(rows, 5), crackdb.DD1R,
+		crackdb.WithSeed(5), crackdb.WithConcurrency(crackdb.Shared))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := New(db, Config{Info: Info{Rows: rows, Algorithm: crackdb.DD1R, Seed: 5, Permutation: true}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	out := os.Stderr
+	if !testing.Verbose() {
+		devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer devnull.Close()
+		out = devnull
+	}
+	res, err := RunLoad(context.Background(), LoadConfig{
+		URL: ts.URL, Clients: 6, Q: 150, S: 10, Seed: 9,
+		Workloads:     []string{"random", "sequential", "skew"},
+		StatsInterval: 20 * time.Millisecond,
+	}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 6*150 || res.Errors != 0 {
+		t.Fatalf("queries=%d errors=%d", res.Queries, res.Errors)
+	}
+	if !res.Validated {
+		t.Fatal("run was not oracle-validated")
+	}
+	if res.PiecesTo <= 1 {
+		t.Fatalf("index did not refine: pieces -> %d", res.PiecesTo)
+	}
+	if len(res.Workloads) != 3 {
+		t.Fatalf("workload reports: %+v", res.Workloads)
+	}
+	for _, wl := range res.Workloads {
+		if wl.Queries == 0 || wl.P99 < wl.P50 || wl.Max < wl.P99 {
+			t.Fatalf("latency report for %s: %+v", wl.Name, wl)
+		}
+	}
+}

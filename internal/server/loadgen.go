@@ -1,0 +1,293 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// LoadConfig configures RunLoad, the crackbench -serve load generator: N
+// concurrent clients replay the paper's workloads against a running
+// crackserver and report per-query latency quantiles, while a background
+// poller samples /v1/stats so the run shows the index converging live.
+type LoadConfig struct {
+	// URL of the crackserver (e.g. "http://127.0.0.1:8080").
+	URL string
+	// Clients is the number of concurrent clients; client i replays
+	// Workloads[i%len(Workloads)] with an independent seed.
+	Clients int
+	// Workloads names the internal/workload generators to replay
+	// (default: random, sequential, skew — the paper's friendly,
+	// adversarial and shifting patterns).
+	Workloads []string
+	// Q is the number of queries each client issues.
+	Q int
+	// S is the query selectivity in value units (the paper's default 10).
+	S int64
+	// Seed bases the per-client workload seeds.
+	Seed uint64
+	// Aggregate asks for (count, sum) only — no value payloads — which
+	// isolates serving latency from response bandwidth.
+	Aggregate bool
+	// StatsInterval is the telemetry sampling period (default 500ms).
+	StatsInterval time.Duration
+}
+
+func (cfg LoadConfig) withDefaults() LoadConfig {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = []string{"random", "sequential", "skew"}
+	}
+	if cfg.Q <= 0 {
+		cfg.Q = 1000
+	}
+	if cfg.S <= 0 {
+		cfg.S = 10
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	if cfg.StatsInterval <= 0 {
+		cfg.StatsInterval = 500 * time.Millisecond
+	}
+	return cfg
+}
+
+// LoadResult summarizes one RunLoad: per-workload latency quantiles, the
+// telemetry trajectory, and the validation verdict.
+type LoadResult struct {
+	Queries    int
+	Errors     int
+	Elapsed    time.Duration
+	Workloads  []WorkloadLatency
+	PiecesFrom int
+	PiecesTo   int
+	SkewFrom   float64
+	SkewTo     float64
+	Validated  bool
+}
+
+// WorkloadLatency is one workload's latency distribution across all its
+// clients' queries.
+type WorkloadLatency struct {
+	Name    string
+	Queries int
+	P50     time.Duration
+	P90     time.Duration
+	P99     time.Duration
+	Max     time.Duration
+}
+
+// RunLoad replays cfg against a running crackserver, streaming progress
+// to out, and returns the summary. When the server declares permutation
+// data, every answer is validated against the closed-form oracle (the
+// count and sum of any value range over a permutation of [0, rows) are
+// arithmetic) and any mismatch fails the run.
+func RunLoad(ctx context.Context, cfg LoadConfig, out io.Writer) (*LoadResult, error) {
+	cfg = cfg.withDefaults()
+	c := NewClient(cfg.URL, nil)
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: reaching %s: %w", cfg.URL, err)
+	}
+	fmt.Fprintf(out, "server %s: %s mode=%s rows=%d permutation=%v\n",
+		cfg.URL, st.Name, st.Mode, st.Rows, st.Permutation)
+	if st.Rows <= 0 {
+		return nil, fmt.Errorf("loadgen: server reports %d rows", st.Rows)
+	}
+	validate := st.Permutation && st.PendingUpdates == 0
+
+	type clientRun struct {
+		workload string
+		lats     []time.Duration
+		attempts int // queries sent (cancellation can stop a client early)
+		queries  int // queries answered without transport error
+		errs     []error
+	}
+	runs := make([]clientRun, cfg.Clients)
+	start := time.Now()
+
+	// Telemetry poller: sample /v1/stats on a fixed cadence so the run
+	// itself demonstrates convergence under live traffic. The handshake
+	// response is the before-traffic sample, so even a run shorter than
+	// one polling period reports a real trajectory.
+	pollCtx, stopPoll := context.WithCancel(ctx)
+	var pollWG sync.WaitGroup
+	telemetry := []StatsResponse{st}
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		t := time.NewTicker(cfg.StatsInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-pollCtx.Done():
+				return
+			case <-t.C:
+				if s, err := c.Stats(pollCtx); err == nil {
+					telemetry = append(telemetry, s)
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := range runs {
+		name := cfg.Workloads[i%len(cfg.Workloads)]
+		gen, err := workload.New(name, workload.Params{
+			N: st.Rows, Q: cfg.Q, S: cfg.S, Seed: cfg.Seed + uint64(i) + 1,
+		})
+		if err != nil {
+			stopPoll()
+			pollWG.Wait()
+			return nil, fmt.Errorf("loadgen: %w", err)
+		}
+		runs[i].workload = name
+		runs[i].lats = make([]time.Duration, 0, cfg.Q)
+		wg.Add(1)
+		go func(run *clientRun, gen workload.Generator) {
+			defer wg.Done()
+			for q := 0; q < cfg.Q; q++ {
+				if ctx.Err() != nil {
+					return
+				}
+				lo, hi := gen.Next()
+				run.attempts++
+				t0 := time.Now()
+				var res QueryResult
+				var err error
+				if cfg.Aggregate {
+					res, err = c.Aggregate(ctx, lo, hi)
+				} else {
+					res, err = c.QueryRange(ctx, lo, hi)
+				}
+				lat := time.Since(t0)
+				if err != nil {
+					run.errs = append(run.errs, err)
+					continue
+				}
+				run.lats = append(run.lats, lat)
+				run.queries++
+				if validate {
+					wantC, wantS := oracle(lo, hi, st.Rows)
+					if int64(res.Count) != wantC || res.Sum != wantS {
+						run.errs = append(run.errs, fmt.Errorf(
+							"wrong answer for [%d, %d): count=%d sum=%d, oracle count=%d sum=%d",
+							lo, hi, res.Count, res.Sum, wantC, wantS))
+					}
+				}
+			}
+		}(&runs[i], gen)
+	}
+	wg.Wait()
+	stopPoll()
+	pollWG.Wait()
+	elapsed := time.Since(start)
+
+	// Final sample so short runs still get a before/after trajectory.
+	if s, err := c.Stats(ctx); err == nil {
+		telemetry = append(telemetry, s)
+	}
+
+	res := &LoadResult{Elapsed: elapsed, Validated: validate}
+	byWorkload := map[string][]time.Duration{}
+	attempts := 0
+	for i := range runs {
+		run := &runs[i]
+		res.Queries += run.queries
+		res.Errors += len(run.errs)
+		attempts += run.attempts
+		byWorkload[run.workload] = append(byWorkload[run.workload], run.lats...)
+		for j, err := range run.errs {
+			if j >= 3 { // cap the noise; the count is in the summary
+				fmt.Fprintf(out, "client %d (%s): ... %d more errors\n", i, run.workload, len(run.errs)-j)
+				break
+			}
+			fmt.Fprintf(out, "client %d (%s): %v\n", i, run.workload, err)
+		}
+	}
+	for _, name := range cfg.Workloads {
+		lats, seen := byWorkload[name]
+		if !seen {
+			continue
+		}
+		delete(byWorkload, name)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		wl := WorkloadLatency{Name: name, Queries: len(lats)}
+		if len(lats) > 0 {
+			wl.P50 = quantile(lats, 0.50)
+			wl.P90 = quantile(lats, 0.90)
+			wl.P99 = quantile(lats, 0.99)
+			wl.Max = lats[len(lats)-1]
+		}
+		res.Workloads = append(res.Workloads, wl)
+	}
+
+	fmt.Fprintf(out, "\n%d clients x %d queries in %v (%.0f q/s, %d errors)\n",
+		cfg.Clients, cfg.Q, elapsed.Round(time.Millisecond),
+		float64(res.Queries)/elapsed.Seconds(), res.Errors)
+	fmt.Fprintf(out, "%-12s %8s %10s %10s %10s %10s\n", "workload", "queries", "p50", "p90", "p99", "max")
+	for _, wl := range res.Workloads {
+		fmt.Fprintf(out, "%-12s %8d %10v %10v %10v %10v\n",
+			wl.Name, wl.Queries, wl.P50, wl.P90, wl.P99, wl.Max)
+	}
+
+	if len(telemetry) > 0 {
+		first, last := telemetry[0], telemetry[len(telemetry)-1]
+		if first.Pieces != nil && last.Pieces != nil {
+			res.PiecesFrom, res.PiecesTo = first.Pieces.Pieces, last.Pieces.Pieces
+			res.SkewFrom, res.SkewTo = first.Pieces.Skew, last.Pieces.Skew
+			fmt.Fprintf(out, "convergence: pieces %d -> %d, max piece share %.4f -> %.4f over %d samples\n",
+				res.PiecesFrom, res.PiecesTo, res.SkewFrom, res.SkewTo, len(telemetry))
+		}
+		if last.HasPathStats {
+			fmt.Fprintf(out, "executor paths: %d read-lock, %d write-lock queries\n",
+				last.ReadQueries, last.WriteQueries)
+		}
+	}
+	if res.Errors > 0 {
+		// attempts, not queries+errors: a wrong answer counts as both an
+		// answered query and an error, so summing would double-count it.
+		return res, fmt.Errorf("loadgen: %d of %d queries failed or returned wrong answers", res.Errors, attempts)
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// quantile reads the q-quantile from ascending-sorted latencies.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// oracle returns the closed-form (count, sum) of the values in [a, b)
+// when the data is a permutation of [0, n) — the same identity
+// internal/bench validates against (kept separate: bench depends on the
+// root package, so it cannot be imported from here without a cycle).
+func oracle(a, b, n int64) (count, sum int64) {
+	if a < 0 {
+		a = 0
+	}
+	if b > n {
+		b = n
+	}
+	if a >= b {
+		return 0, 0
+	}
+	count = b - a
+	sum = (a + b - 1) * count / 2
+	return count, sum
+}

@@ -1,0 +1,618 @@
+// Package server is the network serving layer over the crackdb.DB front
+// door: an HTTP/JSON service that exposes adaptive range queries, lazy
+// updates and live cracking telemetry, so the paper's robustness story —
+// index refinement *while serving queries* — can be observed under real
+// concurrent client traffic instead of a single in-process query stream.
+//
+// Endpoints:
+//
+//	POST /v1/query     — single range, or-of-ranges, and batches; values or
+//	                     (count, sum) aggregates
+//	POST /v1/insert    — queue values for lazy ripple-merge insertion
+//	POST /v1/delete    — queue value removals
+//	GET  /v1/stats     — index counters, piece-size distribution and
+//	                     histogram, executor read/write path split, and a
+//	                     convergence series sampled per call
+//	GET  /healthz      — liveness
+//	GET  /debug/metrics — Prometheus text exposition
+//
+// The handlers stay on the DB's allocation-free forms: a single-range
+// query runs through DB.QueryAppend and a batch through
+// DB.QueryBatchAppend, both into sync.Pool-recycled buffers, so the query
+// hot path performs no per-request heap allocations beyond what HTTP and
+// JSON encoding inherently cost. Request contexts thread into the DB's
+// context-aware query paths: a disconnected client cancels its query at
+// the next cancellation point instead of holding the executor's locks.
+//
+// Concurrency follows the DB's construction mode. Shared and Sharded DBs
+// serve requests fully in parallel through internal/exec; a Single-mode
+// DB (unsynchronized by contract) is served behind one server-side mutex,
+// making it the paper's single-threaded experimental setting over the
+// wire. An admission limit bounds in-flight data-plane requests — excess
+// requests fail fast with 429 rather than convoying behind the write
+// lock — sized by default as a multiple of the process-wide worker pool
+// (internal/pool), which bounds helper parallelism underneath.
+//
+// Failures map the crackdb sentinel errors onto HTTP statuses (see
+// statusFor): predicate errors are 4xx with a machine-readable code, a
+// closed DB is 503, a canceled request is 499 (the de-facto
+// client-closed-request status).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	crackdb "repro"
+	"repro/internal/pool"
+	"repro/internal/stats"
+)
+
+// Info describes the dataset behind the served DB, so clients (the
+// crackbench -serve load generator) can validate answers against the
+// closed-form oracle when the data is a permutation of [0, Rows).
+type Info struct {
+	Rows        int64  `json:"rows"`
+	Algorithm   string `json:"algorithm"`
+	Seed        uint64 `json:"seed"`
+	Permutation bool   `json:"permutation"`
+}
+
+// Config configures a Server.
+type Config struct {
+	// Info describes the dataset (served back on /v1/stats).
+	Info Info
+	// MaxInFlight bounds concurrently admitted data-plane requests
+	// (/v1/query, /v1/insert, /v1/delete); excess requests get 429.
+	// 0 means 8 x pool.Size(); negative disables admission control.
+	MaxInFlight int
+}
+
+// Server serves one crackdb.DB over HTTP. Construct with New, mount with
+// Handler.
+type Server struct {
+	db   *crackdb.DB
+	info Info
+
+	// serial serializes every DB access for Single-mode DBs, which are
+	// not safe for concurrent use by contract. nil in the concurrent
+	// modes.
+	serial *sync.Mutex
+
+	sem         chan struct{} // admission slots; nil disables the limit
+	maxInFlight int
+	inFlight    atomic.Int64
+	rejects     atomic.Int64
+
+	mux *http.ServeMux
+	met metrics
+
+	// convMu guards conv, the convergence series sampled once per
+	// /v1/stats call.
+	convMu sync.Mutex
+	conv   stats.Convergence
+
+	// hold, when non-nil, runs inside the admission slot before the query
+	// executes. Test hook for pinning in-flight occupancy.
+	hold func()
+}
+
+// New builds a Server over db. The Server does not own the DB: callers
+// close it after the HTTP server has drained.
+func New(db *crackdb.DB, cfg Config) *Server {
+	s := &Server{db: db, info: cfg.Info}
+	if db.Mode() == crackdb.Single {
+		s.serial = &sync.Mutex{}
+	}
+	switch {
+	case cfg.MaxInFlight == 0:
+		s.maxInFlight = 8 * pool.Size()
+	case cfg.MaxInFlight > 0:
+		s.maxInFlight = cfg.MaxInFlight
+	}
+	if s.maxInFlight > 0 {
+		s.sem = make(chan struct{}, s.maxInFlight)
+	}
+	s.met.init()
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/query", s.instrument(epQuery, s.handleQuery))
+	s.mux.HandleFunc("POST /v1/insert", s.instrument(epInsert, s.handleInsert))
+	s.mux.HandleFunc("POST /v1/delete", s.instrument(epDelete, s.handleDelete))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument(epStats, s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.instrument(epHealth, s.handleHealth))
+	s.mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the Server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StatusClientClosedRequest is the non-standard 499 status (nginx
+// convention) reported when a request's context was canceled — the
+// client went away; no one reads the response, but logs and metrics
+// should not count it as a server error.
+const StatusClientClosedRequest = 499
+
+// WireRange is one half-open value range [Lo, Hi) on the wire.
+type WireRange struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+}
+
+// QueryItem is one predicate on the wire: either a single half-open range
+// (lo, hi) or a disjunction of ranges (or), optionally scoped to a table
+// column (col).
+type QueryItem struct {
+	Lo  int64       `json:"lo,omitempty"`
+	Hi  int64       `json:"hi,omitempty"`
+	Or  []WireRange `json:"or,omitempty"`
+	Col string      `json:"col,omitempty"`
+}
+
+// Predicate translates the wire form to the crackdb predicate algebra.
+func (it QueryItem) Predicate() (crackdb.Predicate, error) {
+	var p crackdb.Predicate
+	if len(it.Or) > 0 {
+		if it.Lo != 0 || it.Hi != 0 {
+			return p, errors.New("query: give either lo/hi or \"or\", not both")
+		}
+		p = crackdb.Range(it.Or[0].Lo, it.Or[0].Hi)
+		for _, r := range it.Or[1:] {
+			p = p.Or(crackdb.Range(r.Lo, r.Hi))
+		}
+	} else {
+		p = crackdb.Range(it.Lo, it.Hi)
+	}
+	if it.Col != "" {
+		p = p.On(it.Col)
+	}
+	return p, nil
+}
+
+// QueryRequest is the body of POST /v1/query: one inline QueryItem (the
+// common single-query case) or a batch under "queries" — not both. With
+// aggregate true the response carries only (count, sum) per query,
+// skipping value materialization and payload bytes.
+type QueryRequest struct {
+	QueryItem
+	Queries   []QueryItem `json:"queries,omitempty"`
+	Aggregate bool        `json:"aggregate,omitempty"`
+}
+
+// QueryResult is one query's answer. Values is omitted for aggregate
+// requests; Count and Sum are always filled.
+type QueryResult struct {
+	Count  int     `json:"count"`
+	Sum    int64   `json:"sum"`
+	Values []int64 `json:"values,omitempty"`
+}
+
+// QueryResponse is the body of a successful POST /v1/query: one result
+// per query, in request order (a lone inline query yields one result).
+type QueryResponse struct {
+	Results []QueryResult `json:"results"`
+}
+
+// UpdateRequest is the body of POST /v1/insert and /v1/delete: one value,
+// or several under "values".
+type UpdateRequest struct {
+	Value  *int64  `json:"value,omitempty"`
+	Values []int64 `json:"values,omitempty"`
+}
+
+// UpdateResponse reports the queue depth after the update: updates merge
+// lazily, so Pending is the number queued across the DB, not a failure.
+type UpdateResponse struct {
+	Pending int `json:"pending"`
+}
+
+// ErrorResponse is the body of every non-2xx response: a human-readable
+// message and a stable machine-readable code ("unknown_column",
+// "updates_unsupported", "over_capacity", "bad_request", "canceled",
+// "closed", "unsupported", "internal").
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// HistBucket is one bucket of the piece-size histogram: Count pieces of
+// size at most Le tuples (log2 bucket upper bounds, stats.BucketSizes).
+type HistBucket = stats.SizeBucket
+
+// ConvergenceInfo is the sampled convergence series: one entry per
+// /v1/stats call, oldest first, capped at the most recent
+// maxConvergenceSamples so a long-lived, frequently-polled server keeps
+// bounded memory and response sizes. ConvergedAt1Pct is the first
+// retained sample at which the largest piece fell below 1% of the
+// column (-1: not yet) — the paper's "curve flattens after k queries"
+// metric over samples.
+type ConvergenceInfo struct {
+	Samples         int       `json:"samples"`
+	MaxPieceShare   []float64 `json:"max_piece_share"`
+	Pieces          []int     `json:"pieces"`
+	ConvergedAt1Pct int       `json:"converged_at_1pct"`
+}
+
+// IndexStats is the wire form of the DB's cumulative physical-cost
+// counters.
+type IndexStats struct {
+	Queries int64 `json:"queries"`
+	Touched int64 `json:"touched"`
+	Swaps   int64 `json:"swaps"`
+	Cracks  int   `json:"cracks"`
+	Pieces  int   `json:"pieces"`
+}
+
+// StatsResponse is the body of GET /v1/stats: identity, dataset info,
+// serving counters, index counters, and — when the mode exposes them —
+// the executor path split, the piece-size distribution and the sampled
+// convergence series.
+type StatsResponse struct {
+	Name string `json:"name"`
+	Mode string `json:"mode"`
+	Info
+
+	QueriesServed    int64 `json:"queries_served"`
+	InFlight         int64 `json:"in_flight"`
+	AdmissionLimit   int   `json:"admission_limit"`
+	AdmissionRejects int64 `json:"admission_rejects"`
+	PendingUpdates   int   `json:"pending_updates"`
+
+	Index IndexStats `json:"index"`
+
+	// HasPathStats guards ReadQueries/WriteQueries (executor modes only).
+	HasPathStats bool  `json:"has_path_stats"`
+	ReadQueries  int64 `json:"read_queries"`
+	WriteQueries int64 `json:"write_queries"`
+
+	Pieces         *stats.PieceStats `json:"pieces,omitempty"`
+	PieceHistogram []HistBucket      `json:"piece_histogram,omitempty"`
+	Convergence    *ConvergenceInfo  `json:"convergence,omitempty"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Name   string `json:"name"`
+	Mode   string `json:"mode"`
+}
+
+// queryBuffers is the pooled per-request scratch of the query handler:
+// the predicate list, the single-query append destination and the batch
+// arena. Recycled through bufPool so a warmed server's query hot path
+// performs no per-request heap allocations in the DB layer.
+type queryBuffers struct {
+	preds []crackdb.Predicate
+	dst   []int64
+	bb    crackdb.BatchBuffer
+	res   []QueryResult
+}
+
+var bufPool = sync.Pool{New: func() any { return new(queryBuffers) }}
+
+// admit takes an admission slot, reporting false (after counting the
+// reject) when the server is at MaxInFlight. release must be called
+// exactly once when ok.
+func (s *Server) admit() (release func(), ok bool) {
+	s.inFlight.Add(1)
+	if s.sem == nil {
+		return func() { s.inFlight.Add(-1) }, true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem; s.inFlight.Add(-1) }, true
+	default:
+		s.inFlight.Add(-1)
+		s.rejects.Add(1)
+		return nil, false
+	}
+}
+
+// lockSerial takes the Single-mode serialization lock, a no-op in the
+// concurrent modes. Every DB access (queries, updates, stats reads) goes
+// through it so a Single DB sees one request at a time.
+func (s *Server) lockSerial() func() {
+	if s.serial == nil {
+		return func() {}
+	}
+	s.serial.Lock()
+	return s.serial.Unlock
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit()
+	if !ok {
+		writeError(w, http.StatusTooManyRequests, "over_capacity",
+			fmt.Sprintf("server at its in-flight limit (%d); retry", s.maxInFlight))
+		return
+	}
+	defer release()
+	if s.hold != nil {
+		s.hold()
+	}
+
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	inline := req.Lo != 0 || req.Hi != 0 || len(req.Or) > 0 || req.Col != ""
+	items := req.Queries
+	single := false
+	if items == nil {
+		items = []QueryItem{req.QueryItem}
+		single = true
+	} else if inline {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"give either an inline query or \"queries\", not both")
+		return
+	}
+	if len(items) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "empty \"queries\"")
+		return
+	}
+
+	qb := bufPool.Get().(*queryBuffers)
+	defer bufPool.Put(qb)
+	qb.preds = qb.preds[:0]
+	for _, it := range items {
+		p, err := it.Predicate()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		qb.preds = append(qb.preds, p)
+	}
+
+	qb.res = qb.res[:0]
+	ctx := r.Context()
+	unlock := s.lockSerial()
+	err := func() error {
+		switch {
+		case req.Aggregate:
+			for _, p := range qb.preds {
+				agg, err := s.db.QueryAggregate(ctx, p)
+				if err != nil {
+					return err
+				}
+				qb.res = append(qb.res, QueryResult{Count: agg.Count, Sum: agg.Sum})
+			}
+		case single:
+			dst, err := s.db.QueryAppend(ctx, qb.preds[0], qb.dst[:0])
+			qb.dst = dst
+			if err != nil {
+				return err
+			}
+			qb.res = append(qb.res, valuesResult(dst))
+		default:
+			outs, err := s.db.QueryBatchAppend(ctx, qb.preds, &qb.bb)
+			if err != nil {
+				return err
+			}
+			for _, vals := range outs {
+				qb.res = append(qb.res, valuesResult(vals))
+			}
+		}
+		return nil
+	}()
+	unlock()
+	if err != nil {
+		writeMappedError(w, err)
+		return
+	}
+	s.met.queries.Add(int64(len(qb.preds)))
+	// Encode before the deferred bufPool.Put: batch results alias qb.bb's
+	// arena and are invalid once the buffers are recycled.
+	writeJSON(w, http.StatusOK, QueryResponse{Results: qb.res})
+}
+
+// valuesResult builds a QueryResult over a materialized value slice,
+// folding the sum so clients can validate against the oracle without
+// re-summing.
+func valuesResult(vals []int64) QueryResult {
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	return QueryResult{Count: len(vals), Sum: sum, Values: vals}
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	s.handleUpdate(w, r, s.db.Insert)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.handleUpdate(w, r, s.db.Delete)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, apply func(int64) error) {
+	release, ok := s.admit()
+	if !ok {
+		writeError(w, http.StatusTooManyRequests, "over_capacity",
+			fmt.Sprintf("server at its in-flight limit (%d); retry", s.maxInFlight))
+		return
+	}
+	defer release()
+
+	var req UpdateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	values := req.Values
+	if req.Value != nil {
+		values = append(values, *req.Value)
+	}
+	if len(values) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "no values")
+		return
+	}
+	unlock := s.lockSerial()
+	var pending int
+	err := func() error {
+		for _, v := range values {
+			if err := apply(v); err != nil {
+				return err
+			}
+		}
+		pending = s.db.PendingUpdates()
+		return nil
+	}()
+	unlock()
+	if err != nil {
+		writeMappedError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, UpdateResponse{Pending: pending})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	unlock := s.lockSerial()
+	st := s.db.Stats()
+	pending := s.db.PendingUpdates()
+	reads, writes, hasPath := s.db.PathStats()
+	sizes, sizesErr := s.db.PieceSizes()
+	unlock()
+
+	resp := StatsResponse{
+		Name:             s.db.Name(),
+		Mode:             s.db.Mode().String(),
+		Info:             s.info,
+		QueriesServed:    s.met.queries.Load(),
+		InFlight:         s.inFlight.Load(),
+		AdmissionLimit:   s.maxInFlight,
+		AdmissionRejects: s.rejects.Load(),
+		PendingUpdates:   pending,
+		Index: IndexStats{
+			Queries: st.Queries, Touched: st.Touched, Swaps: st.Swaps,
+			Cracks: st.Cracks, Pieces: st.Pieces,
+		},
+		HasPathStats: hasPath,
+		ReadQueries:  reads,
+		WriteQueries: writes,
+	}
+	if sizesErr == nil {
+		ps := stats.FromSizes(sizes, int(s.info.Rows))
+		resp.Pieces = &ps
+		resp.PieceHistogram = stats.BucketSizes(sizes)
+
+		s.convMu.Lock()
+		s.conv.RecordSizes(sizes, int(s.info.Rows))
+		if n := len(s.conv.Pieces); n > maxConvergenceSamples {
+			drop := n - maxConvergenceSamples
+			s.conv.MaxPieceShare = append(s.conv.MaxPieceShare[:0], s.conv.MaxPieceShare[drop:]...)
+			s.conv.Pieces = append(s.conv.Pieces[:0], s.conv.Pieces[drop:]...)
+		}
+		resp.Convergence = &ConvergenceInfo{
+			Samples:         len(s.conv.Pieces),
+			MaxPieceShare:   append([]float64(nil), s.conv.MaxPieceShare...),
+			Pieces:          append([]int(nil), s.conv.Pieces...),
+			ConvergedAt1Pct: s.conv.ConvergedAt(0.01),
+		}
+		s.convMu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok", Name: s.db.Name(), Mode: s.db.Mode().String(),
+	})
+}
+
+// instrument wraps a handler with request counting and, for the query
+// endpoint, latency recording.
+func (s *Server) instrument(ep endpoint, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		s.met.observe(ep, sw.status(), time.Since(start))
+	}
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) status() int {
+	if sw.code == 0 {
+		return http.StatusOK
+	}
+	return sw.code
+}
+
+// maxBodyBytes bounds request bodies; a query request is a few ranges, an
+// update request a value list — 8 MiB leaves room for large bulk loads.
+const maxBodyBytes = 8 << 20
+
+// maxConvergenceSamples caps the retained /v1/stats convergence series:
+// the endpoint is unauthenticated and outside the admission limit, so
+// without a cap every poll would grow server memory (and, since the
+// series is echoed back whole, response sizes) for the process lifetime.
+const maxConvergenceSamples = 512
+
+// decodeBody strictly decodes the JSON request body into v, writing the
+// 400 itself on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// statusFor maps an error from the DB layer to (status, code): the
+// crackdb sentinel errors become 4xx/5xx with stable codes, context
+// cancellation becomes 499/504, everything else 500.
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, crackdb.ErrUnknownColumn):
+		return http.StatusBadRequest, "unknown_column"
+	case errors.Is(err, crackdb.ErrUpdatesUnsupported):
+		return http.StatusUnprocessableEntity, "updates_unsupported"
+	case errors.Is(err, crackdb.ErrClosed):
+		return http.StatusServiceUnavailable, "closed"
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest, "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, errors.ErrUnsupported):
+		return http.StatusUnprocessableEntity, "unsupported"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeMappedError(w http.ResponseWriter, err error) {
+	status, code := statusFor(err)
+	writeError(w, status, code, err.Error())
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// An encode failure after WriteHeader cannot change the status; the
+	// truncated body fails JSON parsing client-side, which is the right
+	// signal for a mid-response network error anyway.
+	_ = json.NewEncoder(w).Encode(v)
+}

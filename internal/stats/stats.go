@@ -16,21 +16,22 @@ import (
 )
 
 // PieceStats summarizes the piece-size distribution of a cracker index
-// over a column of N tuples.
+// over a column of N tuples. The JSON tags are the wire form served by
+// internal/server's /v1/stats endpoint.
 type PieceStats struct {
-	N          int
-	Pieces     int
-	MinSize    int
-	MaxSize    int
-	MedianSize int
-	MeanSize   float64
+	N          int     `json:"n"`
+	Pieces     int     `json:"pieces"`
+	MinSize    int     `json:"min_size"`
+	MaxSize    int     `json:"max_size"`
+	MedianSize int     `json:"median_size"`
+	MeanSize   float64 `json:"mean_size"`
 	// Skew is the largest piece's share of the column, in [1/Pieces, 1].
 	// 1.0 means a single piece dominates (no useful adaptation yet).
-	Skew float64
+	Skew float64 `json:"skew"`
 	// Entropy is the normalized Shannon entropy of the piece-size
 	// distribution, in [0, 1]; 1.0 means perfectly even pieces (the
 	// paper's "ideal cracking" quicksort-like split).
-	Entropy float64
+	Entropy float64 `json:"entropy"`
 }
 
 // Compute derives PieceStats from the index of a column with n tuples.
@@ -91,33 +92,54 @@ func Histogram(idx *cindex.Tree, n int) string {
 	return HistogramSizes(SizesFromBounds(idx.Pieces(n)))
 }
 
-// HistogramSizes renders explicit piece sizes as the same log2-bucketed
-// text histogram (for callers holding sizes rather than a cracker index,
-// like the DB facade's PieceSizes).
-func HistogramSizes(sizes []int) string {
-	buckets := map[int]int{}
-	maxBucket, maxCount := 0, 0
+// SizeBucket is one log2 bucket of a piece-size histogram: Count pieces
+// of size at most Le tuples.
+type SizeBucket struct {
+	Le    int `json:"le"`
+	Count int `json:"count"`
+}
+
+// BucketSizes bins piece sizes into log2 buckets (upper bounds 1, 2, 4,
+// ...), returning only the occupied buckets in ascending Le order. It is
+// the single source of the bucketing rule, shared by the text histogram
+// below and internal/server's structured /v1/stats form.
+func BucketSizes(sizes []int) []SizeBucket {
+	counts := map[int]int{}
+	maxB := 0
 	for _, size := range sizes {
 		b := 0
 		for (1 << b) < size {
 			b++
 		}
-		buckets[b]++
-		if b > maxBucket {
-			maxBucket = b
+		counts[b]++
+		if b > maxB {
+			maxB = b
 		}
-		if buckets[b] > maxCount {
-			maxCount = buckets[b]
+	}
+	var out []SizeBucket
+	for b := 0; b <= maxB; b++ {
+		if c := counts[b]; c > 0 {
+			out = append(out, SizeBucket{Le: 1 << b, Count: c})
+		}
+	}
+	return out
+}
+
+// HistogramSizes renders explicit piece sizes as the same log2-bucketed
+// text histogram (for callers holding sizes rather than a cracker index,
+// like the DB facade's PieceSizes).
+func HistogramSizes(sizes []int) string {
+	buckets := BucketSizes(sizes)
+	maxCount := 0
+	for _, b := range buckets {
+		if b.Count > maxCount {
+			maxCount = b.Count
 		}
 	}
 	var sb strings.Builder
-	for b := 0; b <= maxBucket; b++ {
-		c := buckets[b]
-		if c == 0 {
-			continue
-		}
-		bar := strings.Repeat("#", scaleBar(c, maxCount, 40))
-		fmt.Fprintf(&sb, "<=%-10d %6d %s\n", 1<<b, c, bar)
+	for _, b := range buckets {
+		bar := strings.Repeat("#", scaleBar(b.Count, maxCount, 40))
+		fmt.Fprintf(&sb, "<=%-10d %6d %s\n", b.Le, b.Count, bar)
 	}
 	return sb.String()
 }
@@ -143,6 +165,15 @@ type Convergence struct {
 // Record appends the current state.
 func (c *Convergence) Record(idx *cindex.Tree, n int) {
 	ps := Compute(idx, n)
+	c.MaxPieceShare = append(c.MaxPieceShare, ps.Skew)
+	c.Pieces = append(c.Pieces, ps.Pieces)
+}
+
+// RecordSizes appends the state derived from explicit piece sizes, for
+// callers that observe the physical layout through DB.PieceSizes rather
+// than holding the cracker index itself (the serving layer's telemetry).
+func (c *Convergence) RecordSizes(sizes []int, n int) {
+	ps := FromSizes(sizes, n)
 	c.MaxPieceShare = append(c.MaxPieceShare, ps.Skew)
 	c.Pieces = append(c.Pieces, ps.Pieces)
 }

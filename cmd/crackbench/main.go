@@ -22,6 +22,16 @@
 //	crackserver -n 10000000 &
 //	crackbench -serve -serve-url http://127.0.0.1:8080 -clients 16 -q 2000
 //	crackbench -serve -quick               # CI smoke
+//
+// With -resume, crackbench measures what snapshot-backed warm starts are
+// worth: it runs half the workload, snapshots, and compares the second
+// half's cost across an uninterrupted index, a cold restart, and warm
+// restarts into every concurrency mode (including a re-sharded layout).
+// Standalone it prints a table; with -json the rows join the report
+// under experiment "resume":
+//
+//	crackbench -resume -quick
+//	crackbench -resume -json BENCH.json
 package main
 
 import (
@@ -56,6 +66,7 @@ func main() {
 		plot       = flag.Bool("plot", false, "render an ASCII log-log comparison chart for -workload/-algos and exit")
 		plotWl     = flag.String("workload", "sequential", "workload for -plot")
 		plotAlgos  = flag.String("algos", "crack,dd1r,pmdd1r-10,sort", "comma-separated algorithms for -plot")
+		resume     = flag.Bool("resume", false, "measure restored-vs-cold convergence: run half the workload, snapshot, restore into every mode (incl. re-sharded), finish the workload; rows join the -json report under experiment \"resume\"")
 		serve      = flag.Bool("serve", false, "load-generator mode: replay workloads against a running crackserver and exit")
 		serveURL   = flag.String("serve-url", "http://127.0.0.1:8080", "crackserver base URL for -serve")
 		clients    = flag.Int("clients", 8, "concurrent clients for -serve")
@@ -117,8 +128,27 @@ func main() {
 		}
 		return
 	}
+	var resumeExtra []bench.JSONRow
+	if *resume {
+		rows, err := resumeExperiment(*n, *q, *s, *seed, "dd1r")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crackbench: resume:", err)
+			os.Exit(1)
+		}
+		if *jsonOut == "" {
+			printResume(os.Stdout, rows)
+			for _, r := range rows {
+				if r.Oracle != "ok" {
+					fmt.Fprintln(os.Stderr, "crackbench: resume: oracle validation failed:", r.Oracle)
+					os.Exit(1)
+				}
+			}
+			return
+		}
+		resumeExtra = rows
+	}
 	if *jsonOut != "" {
-		var extra []bench.JSONRow
+		extra := resumeExtra
 		if *kernels != "" {
 			for _, pair := range strings.Split(*kernels, ",") {
 				label, file, ok := strings.Cut(pair, "=")

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	crackdb "repro"
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+// resumeExperiment measures what a snapshot-backed warm start is worth:
+// it runs the first half of a workload, snapshots, then compares the cost
+// of the second half across three futures —
+//
+//   - uninterrupted: the index keeps running (the no-restart baseline);
+//   - cold restart: the process restarts without a snapshot and re-pays
+//     the convergence the first half had earned;
+//   - warm restart: the process restores the snapshot into each
+//     concurrency mode (including a different shard count) and resumes.
+//
+// Every answer is validated against the closed-form permutation oracle.
+// The rows slot into the crackdb-bench/v1 JSON schema under experiment
+// "resume" (crackbench -resume -json), workload naming the future.
+func resumeExperiment(n int64, q int, s int64, seed uint64, algo string) ([]bench.JSONRow, error) {
+	if q < 4 {
+		q = 4
+	}
+	half := q / 2
+	ctx := context.Background()
+
+	gen := func() workload.Generator {
+		return workload.Random(workload.Params{N: n, Q: q, S: s, Seed: seed})
+	}
+	row := func(name string, halfQ int, elapsed time.Duration, verr error) bench.JSONRow {
+		r := bench.JSONRow{
+			Experiment: "resume", Algorithm: algo, Workload: name,
+			N: n, Q: int64(halfQ), Oracle: "ok",
+			TotalNS: elapsed.Nanoseconds(), PerQueryNS: elapsed.Nanoseconds() / int64(halfQ),
+		}
+		if verr != nil {
+			r.Oracle = verr.Error()
+		}
+		return r
+	}
+	// runHalf replays queries [from, to) of the workload on db, timing and
+	// validating them.
+	runHalf := func(db *crackdb.DB, from, to int) (time.Duration, error) {
+		g := gen()
+		for i := 0; i < from; i++ {
+			g.Next()
+		}
+		var verr error
+		start := time.Now()
+		for i := from; i < to; i++ {
+			lo, hi := g.Next()
+			agg, err := db.QueryAggregate(ctx, crackdb.Range(lo, hi))
+			if err != nil {
+				return time.Since(start), err
+			}
+			if verr == nil {
+				if wc, ws := oracleRange(lo, hi, n); int64(agg.Count) != wc || agg.Sum != ws {
+					verr = fmt.Errorf("query %d [%d,%d): got (%d,%d), want (%d,%d)",
+						i, lo, hi, agg.Count, agg.Sum, wc, ws)
+				}
+			}
+		}
+		return time.Since(start), verr
+	}
+
+	var rows []bench.JSONRow
+
+	// Uninterrupted baseline: one index runs the whole workload.
+	db, err := crackdb.Open(crackdb.MakeData(n, seed), algo, crackdb.WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := runHalf(db, 0, half); err != nil {
+		return nil, err
+	}
+	elapsed, verr := runHalf(db, half, q)
+	rows = append(rows, row("uninterrupted", q-half, elapsed, verr))
+
+	// Cold restart: a fresh index pays the convergence again.
+	cold, err := crackdb.Open(crackdb.MakeData(n, seed), algo, crackdb.WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	elapsed, verr = runHalf(cold, half, q)
+	rows = append(rows, row("cold-restart", q-half, elapsed, verr))
+
+	// Warm source: first half, then snapshot to disk — the full file
+	// round trip a real restart takes.
+	src, err := crackdb.Open(crackdb.MakeData(n, seed), algo, crackdb.WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := runHalf(src, 0, half); err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "crackbench-resume")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "resume.crks")
+	if err := src.SaveSnapshot(snapPath); err != nil {
+		return nil, err
+	}
+
+	for _, target := range []struct {
+		name string
+		mode crackdb.Concurrency
+	}{
+		{"warm-single", crackdb.Single},
+		{"warm-shared", crackdb.Shared},
+		{"warm-sharded-4", crackdb.Sharded(4)},
+		{"warm-sharded-7", crackdb.Sharded(7)}, // re-cut along new bounds
+	} {
+		restored, err := crackdb.OpenSnapshotFile(snapPath, algo,
+			crackdb.WithSeed(seed), crackdb.WithConcurrency(target.mode))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", target.name, err)
+		}
+		elapsed, verr := runHalf(restored, half, q)
+		rows = append(rows, row(target.name, q-half, elapsed, verr))
+	}
+	return rows, nil
+}
+
+// oracleRange is the closed-form oracle for permutation data: count and
+// sum of the integers of [0, n) falling in [lo, hi).
+func oracleRange(lo, hi, n int64) (count, sum int64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return 0, 0
+	}
+	count = hi - lo
+	sum = (hi - 1 + lo) * count / 2
+	return count, sum
+}
+
+// printResume renders the resume rows as an aligned table with the
+// headline ratio: how much of the cold-restart cost a warm start avoids.
+func printResume(w io.Writer, rows []bench.JSONRow) {
+	var cold, warm int64
+	fmt.Fprintf(w, "%-18s %12s %14s %s\n", "second half", "per-query", "total", "oracle")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %10dns %12dns %s\n", r.Workload, r.PerQueryNS, r.TotalNS, r.Oracle)
+		switch r.Workload {
+		case "cold-restart":
+			cold = r.TotalNS
+		case "warm-single":
+			warm = r.TotalNS
+		}
+	}
+	if cold > 0 && warm > 0 {
+		fmt.Fprintf(w, "warm start keeps the index: second half costs %.1f%% of a cold restart\n",
+			100*float64(warm)/float64(cold))
+	}
+}

@@ -49,6 +49,8 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "seed for the data permutation and the stochastic algorithms")
 		inflight = flag.Int("inflight", 0, "max in-flight data-plane requests before 429 (0: 8x worker pool; <0: unlimited)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGTERM before in-flight requests are canceled")
+		snapPath = flag.String("snapshot", "", "snapshot file: warm-start from it when it exists (resuming all adaptation earned before the restart), and the save target for POST /v1/snapshot and -snapshot-interval")
+		snapIntv = flag.Duration("snapshot-interval", 0, "periodically save a snapshot to -snapshot (0 disables)")
 	)
 	flag.Parse()
 
@@ -56,18 +58,50 @@ func main() {
 	if err != nil {
 		log.Fatalf("crackserver: %v", err)
 	}
+	if *snapIntv > 0 && *snapPath == "" {
+		log.Fatalf("crackserver: -snapshot-interval needs -snapshot")
+	}
 
-	log.Printf("building %d-row permutation (seed %d)...", *n, *seed)
-	data := crackdb.MakeData(*n, *seed)
-	db, err := crackdb.Open(data, *algo,
-		crackdb.WithSeed(*seed), crackdb.WithConcurrency(conc))
-	if err != nil {
-		log.Fatalf("crackserver: %v", err)
+	// Warm start when the snapshot file exists; cold permutation build
+	// otherwise. A warm start restores into whatever -mode says — the
+	// snapshot re-cuts itself along new shard bounds if the count changed.
+	var db *crackdb.DB
+	if *snapPath != "" {
+		// Only a confirmed not-exist falls through to a cold start: any
+		// other stat failure is fatal, because proceeding cold would let
+		// the next save overwrite a real snapshot with an unrefined index.
+		_, statErr := os.Stat(*snapPath)
+		if statErr != nil && !errors.Is(statErr, os.ErrNotExist) {
+			log.Fatalf("crackserver: checking -snapshot %s: %v", *snapPath, statErr)
+		}
+		if statErr == nil {
+			db, err = crackdb.OpenSnapshotFile(*snapPath, *algo,
+				crackdb.WithSeed(*seed), crackdb.WithConcurrency(conc))
+			if err != nil {
+				log.Fatalf("crackserver: warm start from %s: %v", *snapPath, err)
+			}
+			if int64(db.Rows()) != *n {
+				log.Printf("snapshot holds %d rows; overriding -n %d", db.Rows(), *n)
+				*n = int64(db.Rows())
+			}
+			log.Printf("warm start from %s: %d rows, %d pieces restored (%s)",
+				*snapPath, db.Rows(), db.Stats().Pieces, db.Mode())
+		}
+	}
+	if db == nil {
+		log.Printf("building %d-row permutation (seed %d)...", *n, *seed)
+		data := crackdb.MakeData(*n, *seed)
+		db, err = crackdb.Open(data, *algo,
+			crackdb.WithSeed(*seed), crackdb.WithConcurrency(conc))
+		if err != nil {
+			log.Fatalf("crackserver: %v", err)
+		}
 	}
 	defer db.Close()
 
 	srv := server.New(db, server.Config{
-		MaxInFlight: *inflight,
+		MaxInFlight:  *inflight,
+		SnapshotPath: *snapPath,
 		Info: server.Info{
 			Rows: *n, Algorithm: *algo, Seed: *seed, Permutation: true,
 		},
@@ -101,6 +135,30 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Periodic background saver: every tick captures the adapted state via
+	// the same drain path as POST /v1/snapshot. A tick that races pending
+	// updates just logs and retries next interval — lazily merged updates
+	// drain with query traffic.
+	if *snapIntv > 0 {
+		go func() {
+			tick := time.NewTicker(*snapIntv)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if info, err := srv.SaveSnapshot(); err != nil {
+						log.Printf("periodic snapshot: %v", err)
+					} else {
+						log.Printf("periodic snapshot: %d pieces -> %s (%d bytes, %dms)",
+							info.Pieces, info.Path, info.Bytes, info.ElapsedMS)
+					}
+				}
+			}
+		}()
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

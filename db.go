@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/hybrids"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 	"repro/internal/table"
 	"repro/internal/updates"
@@ -614,29 +615,57 @@ func (db *DB) PieceSizes() ([]int, error) {
 	}
 }
 
-// Snapshot captures the DB's physical state so a later Restore resumes
-// with all adaptation earned so far. A Shared DB snapshots under the
-// exclusive lock, draining in-flight queries first. Indexes with pending
-// updates must merge them before snapshotting (query the relevant
-// ranges); sharded and table databases fail with ErrSnapshotUnsupported.
-func (db *DB) Snapshot() (SnapshotState, error) {
+// Snapshot captures the DB's physical state as a multi-part manifest so
+// a later OpenSnapshot resumes with all adaptation earned so far. Every
+// single-column mode snapshots: Single directly, Shared under the
+// executor's exclusive lock (draining in-flight queries first), and
+// Sharded with every shard drained at once (exec.Sharded.ExclusiveAll)
+// so the manifest is one atomic cut of the whole index — one part per
+// shard, shard boundaries included, so the restore can rebuild or re-cut
+// the same partitioning.
+// Indexes with pending updates must merge them before snapshotting
+// (query the relevant ranges) or the snapshot fails with
+// ErrPendingUpdates; table databases fail with ErrSnapshotUnsupported.
+func (db *DB) Snapshot() (DBSnapshot, error) {
 	if db.closed.Load() {
-		return SnapshotState{}, fmt.Errorf("crackdb: %w", ErrClosed)
+		return DBSnapshot{}, fmt.Errorf("crackdb: %w", ErrClosed)
 	}
 	switch {
 	case db.ix != nil:
-		return db.ix.Snapshot()
+		st, err := db.ix.Snapshot()
+		if err != nil {
+			return DBSnapshot{}, err
+		}
+		return snapshot.Single(st), nil
 	case db.x != nil:
 		var st SnapshotState
 		var err error
 		db.x.Exclusive(func(inner exec.Index) {
 			st, err = snapshotInner(inner)
 		})
-		return st, err
+		if err != nil {
+			return DBSnapshot{}, err
+		}
+		return snapshot.Single(st), nil
 	case db.sh != nil:
-		return SnapshotState{}, fmt.Errorf("crackdb: sharded databases: %w", ErrSnapshotUnsupported)
+		parts := make([]SnapshotPart, 0, db.sh.NumShards())
+		var err error
+		db.sh.ExclusiveAll(func(inners []exec.Index) {
+			for i, inner := range inners {
+				var st SnapshotState
+				if st, err = snapshotInner(inner); err != nil {
+					return
+				}
+				lo, hi := db.sh.ShardRange(i)
+				parts = append(parts, snapshot.ClampedPart(lo, hi, st))
+			}
+		})
+		if err != nil {
+			return DBSnapshot{}, err
+		}
+		return DBSnapshot{Parts: parts}, nil
 	default:
-		return SnapshotState{}, fmt.Errorf("crackdb: table databases: %w", ErrSnapshotUnsupported)
+		return DBSnapshot{}, fmt.Errorf("crackdb: table databases: %w", ErrSnapshotUnsupported)
 	}
 }
 
@@ -644,7 +673,8 @@ func (db *DB) Snapshot() (SnapshotState, error) {
 // updates are pending (their queue is not part of the snapshot format).
 func snapshotInner(inner exec.Index) (SnapshotState, error) {
 	if u, ok := inner.(*updates.Index); ok && u.Pending() > 0 {
-		return SnapshotState{}, fmt.Errorf("crackdb: %d pending updates; merge them before snapshotting", u.Pending())
+		return SnapshotState{}, fmt.Errorf("crackdb: %d updates queued; merge them before snapshotting: %w",
+			u.Pending(), ErrPendingUpdates)
 	}
 	acc, ok := inner.(interface{ Engine() *core.Engine })
 	if !ok {

@@ -173,34 +173,40 @@ func TestDBUpdatesAllModes(t *testing.T) {
 func TestDBSnapshotModes(t *testing.T) {
 	ctx := context.Background()
 	dbs := allModes(t, 10_000, crackdb.DD1R)
-	for _, name := range []string{"single", "shared"} {
+	for _, name := range []string{"single", "shared", "sharded"} {
 		db := dbs[name]
 		if _, err := db.Query(ctx, crackdb.Range(100, 5000)); err != nil {
 			t.Fatal(err)
 		}
-		st, err := db.Snapshot()
+		snap, err := db.Snapshot()
 		if err != nil {
 			t.Fatalf("%s: snapshot: %v", name, err)
 		}
-		restored, err := crackdb.OpenSnapshot(st, crackdb.Crack,
-			crackdb.WithConcurrency(crackdb.Shared))
-		if err != nil {
-			t.Fatalf("%s: restore: %v", name, err)
+		// Every source mode restores into every target mode, including a
+		// shard count different from the source layout.
+		for tname, target := range map[string]crackdb.Concurrency{
+			"single":    crackdb.Single,
+			"shared":    crackdb.Shared,
+			"sharded-4": crackdb.Sharded(4), // the source sharded layout
+			"sharded-3": crackdb.Sharded(3), // re-cut along new bounds
+		} {
+			restored, err := crackdb.OpenSnapshot(snap, crackdb.Crack,
+				crackdb.WithConcurrency(target))
+			if err != nil {
+				t.Fatalf("%s->%s: restore: %v", name, tname, err)
+			}
+			res, err := restored.Query(ctx, crackdb.Range(100, 200))
+			if err != nil || res.Count() != 100 {
+				t.Fatalf("%s->%s: restored count=%d err=%v", name, tname, res.Count(), err)
+			}
 		}
-		res, err := restored.Query(ctx, crackdb.Range(100, 200))
-		if err != nil || res.Count() != 100 {
-			t.Fatalf("%s: restored count=%d err=%v", name, res.Count(), err)
-		}
-		// Pending updates block snapshots.
+		// Pending updates block snapshots, with the sentinel.
 		if err := db.Insert(1); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := db.Snapshot(); err == nil {
-			t.Fatalf("%s: snapshot with pending updates accepted", name)
+		if _, err := db.Snapshot(); !errors.Is(err, crackdb.ErrPendingUpdates) {
+			t.Fatalf("%s: snapshot with pending updates: err = %v", name, err)
 		}
-	}
-	if _, err := dbs["sharded"].Snapshot(); !errors.Is(err, crackdb.ErrSnapshotUnsupported) {
-		t.Fatalf("sharded snapshot error = %v", err)
 	}
 }
 

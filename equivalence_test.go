@@ -154,6 +154,149 @@ func TestCrossModeEquivalenceConcurrent(t *testing.T) {
 	}
 }
 
+// nonzeroPieces reads the DB's piece-size profile with zero-size edge
+// pieces dropped: snapshotting clamps the informationless domain-edge
+// cracks (positions 0/len), so profiles compare modulo empty pieces.
+func nonzeroPieces(t *testing.T, db *crackdb.DB) []int {
+	t.Helper()
+	sizes, err := db.PieceSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sizes[:0:0]
+	for _, s := range sizes {
+		if s > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestRestoreEquivalence is the restore-equivalence property test: for
+// each algorithm and each source mode, snapshot mid-workload, restore
+// into every target layout (same mode, cross mode, and a re-sharded
+// count), and require
+//
+//   - the restored piece-size profile to equal the source's exactly for
+//     layout-preserving restores (Single/Shared/Sharded(k) all flatten to
+//     the same storage order), and to never lose refinement for
+//     re-sharded ones;
+//   - the remainder of the workload to produce answers identical to the
+//     uninterrupted DB's on every restored handle;
+//   - for the deterministic algorithm (crack) restored into the same
+//     mode, the final piece profile after the full workload to be
+//     byte-identical to the uninterrupted DB's — the interruption is
+//     physically invisible.
+func TestRestoreEquivalence(t *testing.T) {
+	const n = 20_000
+	const warmQ, contQ = 60, 60
+	ctx := context.Background()
+
+	sources := []struct {
+		name string
+		mode crackdb.Concurrency
+	}{
+		{"single", crackdb.Single},
+		{"shared", crackdb.Shared},
+		{"sharded-5", crackdb.Sharded(5)},
+	}
+	targets := []struct {
+		name string
+		mode crackdb.Concurrency
+	}{
+		{"single", crackdb.Single},
+		{"shared", crackdb.Shared},
+		{"sharded-5", crackdb.Sharded(5)},
+		{"sharded-3", crackdb.Sharded(3)}, // re-cut along new bounds
+		{"sharded-8", crackdb.Sharded(8)},
+	}
+	for _, algo := range []string{crackdb.Crack, crackdb.DD1R, crackdb.MDD1R} {
+		for _, src := range sources {
+			t.Run(algo+"/"+src.name, func(t *testing.T) {
+				open := func(mode crackdb.Concurrency) *crackdb.DB {
+					db, err := crackdb.Open(crackdb.MakeData(n, 81), algo,
+						crackdb.WithSeed(82), crackdb.WithConcurrency(mode))
+					if err != nil {
+						t.Fatal(err)
+					}
+					return db
+				}
+				db, twin := open(src.mode), open(src.mode)
+				rng := rand.New(rand.NewSource(83))
+				warm := make([]crackdb.Predicate, warmQ)
+				for i := range warm {
+					warm[i], _ = randomPredicate(rng, n)
+				}
+				cont := make([]crackdb.Predicate, contQ)
+				wants := make([][]int64, contQ)
+				for i := range cont {
+					cont[i], wants[i] = randomPredicate(rng, n)
+				}
+				run := func(h *crackdb.DB, ps []crackdb.Predicate) {
+					for _, p := range ps {
+						if _, err := h.Query(ctx, p); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				run(db, warm)
+				run(twin, warm)
+
+				snap, err := db.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				profAtSnap := nonzeroPieces(t, db)
+
+				for _, tgt := range targets {
+					restored, err := crackdb.OpenSnapshot(snap, algo,
+						crackdb.WithSeed(82), crackdb.WithConcurrency(tgt.mode))
+					if err != nil {
+						t.Fatalf("->%s: %v", tgt.name, err)
+					}
+					prof := nonzeroPieces(t, restored)
+					sameLayout := tgt.name == src.name || tgt.mode == crackdb.Single || tgt.mode == crackdb.Shared
+					if sameLayout {
+						// Flattening shards preserves the storage-order
+						// profile exactly (boundaries were already cuts).
+						if !slices.Equal(prof, profAtSnap) {
+							t.Fatalf("->%s: piece profile %v, want %v", tgt.name, prof, profAtSnap)
+						}
+					} else if len(prof) < len(profAtSnap) {
+						t.Fatalf("->%s: %d pieces after re-shard, source had %d; refinement lost",
+							tgt.name, len(prof), len(profAtSnap))
+					}
+					// The continuation answers byte-identically to the
+					// uninterrupted twin (both checked against the oracle).
+					for i, p := range cont {
+						res, err := restored.Query(ctx, p)
+						if err != nil {
+							t.Fatalf("->%s: cont %d: %v", tgt.name, i, err)
+						}
+						got := res.Owned()
+						slices.Sort(got)
+						if !slices.Equal(got, wants[i]) {
+							t.Fatalf("->%s: cont %d (%s): %d values, want %d",
+								tgt.name, i, p, len(got), len(wants[i]))
+						}
+					}
+					// Deterministic continuation: crack restored into its
+					// own layout must end physically identical to the twin.
+					if algo == crackdb.Crack && tgt.name == src.name {
+						run(twin, cont)
+						twinProf := nonzeroPieces(t, twin)
+						finalProf := nonzeroPieces(t, restored)
+						if !slices.Equal(finalProf, twinProf) {
+							t.Fatalf("->%s: final profile diverged from uninterrupted twin:\n%v\nvs\n%v",
+								tgt.name, finalProf, twinProf)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
 func firstDiff(a, b []int64) [2]int64 {
 	for i := 0; i < len(a) && i < len(b); i++ {
 		if a[i] != b[i] {

@@ -15,10 +15,24 @@ var (
 	// hybrids) or against a table database.
 	ErrUpdatesUnsupported = dberr.ErrUpdatesUnsupported
 
-	// ErrSnapshotUnsupported: Snapshot against an index kind or
-	// concurrency mode that cannot serialize its physical state (hybrids,
-	// sharded and table databases).
+	// ErrSnapshotUnsupported: Snapshot against an index kind that cannot
+	// serialize its physical state (hybrids, table databases), or a
+	// restore that cannot honor the snapshot's contents (merging sharded
+	// row-id payloads into a different layout). All single-column
+	// concurrency modes — Single, Shared and Sharded — snapshot fine.
 	ErrSnapshotUnsupported = dberr.ErrSnapshotUnsupported
+
+	// ErrSnapshotCorrupt: snapshot bytes failed structural decoding or
+	// checksum verification (wrong magic, version-bumped, truncated, CRC
+	// mismatch). A corrupt snapshot is rejected whole, never loaded
+	// partially.
+	ErrSnapshotCorrupt = dberr.ErrSnapshotCorrupt
+
+	// ErrPendingUpdates: Snapshot while updates are queued but not yet
+	// merged; the queues are not part of the snapshot format, so
+	// proceeding would silently lose them. Query the affected ranges to
+	// merge first.
+	ErrPendingUpdates = dberr.ErrPendingUpdates
 
 	// ErrUnknownColumn: a predicate or projection names a column the
 	// database does not have — including an unscoped predicate against a

@@ -20,6 +20,19 @@ var (
 	// concurrency mode that cannot serialize its physical state.
 	ErrSnapshotUnsupported = errors.New("snapshots unsupported")
 
+	// ErrSnapshotCorrupt reports snapshot bytes that failed structural
+	// decoding or checksum verification: wrong magic, an unsupported
+	// format version, truncation, impossible counts, or a CRC mismatch.
+	// Corrupt snapshots are never loaded partially — decoding fails as a
+	// whole.
+	ErrSnapshotCorrupt = errors.New("snapshot corrupt")
+
+	// ErrPendingUpdates reports a Snapshot attempted while updates are
+	// queued but not yet merged: the pending queues are not part of the
+	// snapshot format, so proceeding would silently lose them. Query the
+	// relevant ranges to merge the queue first.
+	ErrPendingUpdates = errors.New("pending updates")
+
 	// ErrUnknownColumn reports a predicate or projection naming a column
 	// the table does not have.
 	ErrUnknownColumn = errors.New("unknown column")

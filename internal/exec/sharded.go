@@ -76,6 +76,44 @@ func NewSharded(values []int64, spec string, k int, opt core.Options) (*Sharded,
 	return s, nil
 }
 
+// RestoreSharded rebuilds a sharded index from per-shard snapshot states
+// and the k-1 interior bounds separating them (strictly ascending; shard
+// i owns [bounds[i-1], bounds[i]), the first and last extending to the
+// domain edges). Each state is validated and restored through
+// core.Restore, so the shards resume with every crack earned before the
+// snapshot; the caller (the facade's OpenSnapshot) is responsible for
+// cutting a manifest along these bounds first.
+func RestoreSharded(states []core.SnapshotState, bounds []int64, spec string, opt core.Options) (*Sharded, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("exec: sharded restore: no shard states")
+	}
+	if len(bounds) != len(states)-1 {
+		return nil, fmt.Errorf("exec: sharded restore: %d bounds for %d shards", len(bounds), len(states))
+	}
+	s := &Sharded{spec: spec}
+	lo := int64(math.MinInt64)
+	for i, st := range states {
+		hi := int64(math.MaxInt64)
+		if i < len(bounds) {
+			hi = bounds[i]
+		}
+		if hi <= lo {
+			return nil, fmt.Errorf("exec: sharded restore: bounds not ascending at shard %d", i)
+		}
+		ix, err := core.Restore(st, spec, opt)
+		if err != nil {
+			return nil, fmt.Errorf("exec: sharded restore: shard %d: %w", i, err)
+		}
+		var inner Index = ix
+		if u, ok := updates.Wrap(ix); ok {
+			inner = u
+		}
+		s.shards = append(s.shards, shard{lo: lo, hi: hi, ex: New(inner)})
+		lo = hi
+	}
+	return s, nil
+}
+
 // shardBounds picks k-1 splitting values by sampling and sorting. The
 // sample strides over the unsorted input, with the stride offset seeded so
 // different seeds probe different tuples; the input is workload data,
@@ -402,3 +440,35 @@ func (s *Sharded) NumShards() int { return len(s.shards) }
 
 // Shard exposes shard i's executor (harness and tests).
 func (s *Sharded) Shard(i int) *Executor { return s.shards[i].ex }
+
+// ShardRange returns the half-open value range [lo, hi) shard i owns
+// (the first shard's lo is math.MinInt64, the last shard's hi is
+// math.MaxInt64 and absorbs the top edge). Snapshots record it so a
+// restore can rebuild — or deliberately re-cut — the same partitioning.
+func (s *Sharded) ShardRange(i int) (lo, hi int64) {
+	return s.shards[i].lo, s.shards[i].hi
+}
+
+// ExclusiveAll runs fn with every shard's executor drained at once, so
+// fn observes one atomic cut of the whole index — no query or update can
+// complete on any shard between the first lock and fn's return.
+// Snapshots need this: draining shards one at a time would let updates
+// land on later shards after earlier ones were captured, producing a
+// state that never existed at any instant. Locks are taken in shard
+// order; every other path holds at most one shard lock at a time, so the
+// ordering cannot deadlock.
+func (s *Sharded) ExclusiveAll(fn func(inners []Index)) {
+	inners := make([]Index, 0, len(s.shards))
+	var acquire func(i int)
+	acquire = func(i int) {
+		if i == len(s.shards) {
+			fn(inners)
+			return
+		}
+		s.shards[i].ex.Exclusive(func(inner Index) {
+			inners = append(inners, inner)
+			acquire(i + 1)
+		})
+	}
+	acquire(0)
+}

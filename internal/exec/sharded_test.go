@@ -199,3 +199,78 @@ func TestShardedDegenerate(t *testing.T) {
 		t.Fatal("bogus spec accepted")
 	}
 }
+
+// TestRestoreShardedResumesCracks rebuilds a sharded index from per-shard
+// snapshots and asserts both correctness (oracle answers) and that the
+// restored shards answer already-cracked ranges without rescanning.
+func TestRestoreShardedResumesCracks(t *testing.T) {
+	const n = 40000
+	vals := xrand.New(70).Perm(n)
+	src, err := NewSharded(append([]int64(nil), vals...), "crack", 4, core.Options{Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(72)
+	for i := 0; i < 300; i++ {
+		a := rng.Int63n(n - 50)
+		src.Query(a, a+50)
+	}
+	states := make([]core.SnapshotState, src.NumShards())
+	bounds := make([]int64, 0, src.NumShards()-1)
+	for i := 0; i < src.NumShards(); i++ {
+		lo, _ := src.ShardRange(i)
+		if i > 0 {
+			bounds = append(bounds, lo)
+		}
+		src.Shard(i).Exclusive(func(inner Index) {
+			acc := inner.(interface{ Engine() *core.Engine })
+			states[i] = acc.Engine().Snapshot()
+		})
+	}
+	restored, err := RestoreSharded(states, bounds, "crack", core.Options{Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumShards() != 4 {
+		t.Fatalf("restored %d shards, want 4", restored.NumShards())
+	}
+	// Same bounds as the source.
+	for i := 0; i < 4; i++ {
+		slo, shi := src.ShardRange(i)
+		rlo, rhi := restored.ShardRange(i)
+		if slo != rlo || shi != rhi {
+			t.Fatalf("shard %d range [%d,%d), want [%d,%d)", i, rlo, rhi, slo, shi)
+		}
+	}
+	// Correct answers across shard boundaries.
+	rng = xrand.New(74)
+	for i := 0; i < 100; i++ {
+		a := rng.Int63n(n)
+		b := a + rng.Int63n(n/3) + 1
+		got := restored.Query(a, b)
+		want := 0
+		for _, v := range vals {
+			if a <= v && v < b {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("query [%d,%d): got %d values, want %d", a, b, len(got), want)
+		}
+	}
+	// The restored index carries the source's refinement: repeating one of
+	// the warmed queries touches far fewer tuples than a cold crack would.
+	before := restored.Stats().Touched
+	restored.Query(100, 150)
+	if d := restored.Stats().Touched - before; d > n/4 {
+		t.Fatalf("restored shard rescanned %d tuples; adaptation lost", d)
+	}
+
+	// Mismatched bounds/state counts are rejected.
+	if _, err := RestoreSharded(states, bounds[:1], "crack", core.Options{}); err == nil {
+		t.Fatal("bounds/state mismatch accepted")
+	}
+	if _, err := RestoreSharded(nil, nil, "crack", core.Options{}); err == nil {
+		t.Fatal("empty restore accepted")
+	}
+}

@@ -15,6 +15,7 @@ const (
 	epInsert
 	epDelete
 	epStats
+	epSnapshot
 	epHealth
 	numEndpoints
 )
@@ -29,6 +30,8 @@ func (e endpoint) String() string {
 		return "delete"
 	case epStats:
 		return "stats"
+	case epSnapshot:
+		return "snapshot"
 	default:
 		return "healthz"
 	}

@@ -10,6 +10,9 @@
 //	                     (count, sum) aggregates
 //	POST /v1/insert    — queue values for lazy ripple-merge insertion
 //	POST /v1/delete    — queue value removals
+//	POST /v1/snapshot  — capture the live adapted state to the configured
+//	                     snapshot file (admission-gated; atomic temp-file
+//	                     write + rename), for warm restarts
 //	GET  /v1/stats     — index counters, piece-size distribution and
 //	                     histogram, executor read/write path split, and a
 //	                     convergence series sampled per call
@@ -45,6 +48,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,9 +73,16 @@ type Config struct {
 	// Info describes the dataset (served back on /v1/stats).
 	Info Info
 	// MaxInFlight bounds concurrently admitted data-plane requests
-	// (/v1/query, /v1/insert, /v1/delete); excess requests get 429.
-	// 0 means 8 x pool.Size(); negative disables admission control.
+	// (/v1/query, /v1/insert, /v1/delete, /v1/snapshot); excess requests
+	// get 429. 0 means 8 x pool.Size(); negative disables admission
+	// control.
 	MaxInFlight int
+	// SnapshotPath is the file POST /v1/snapshot (and the periodic saver,
+	// Server.SaveSnapshot) writes the DB's adapted state to, atomically.
+	// Empty disables the endpoint (422). The path is fixed at
+	// construction — clients trigger the capture but never choose where
+	// it lands.
+	SnapshotPath string
 }
 
 // Server serves one crackdb.DB over HTTP. Construct with New, mount with
@@ -98,6 +109,14 @@ type Server struct {
 	convMu sync.Mutex
 	conv   stats.Convergence
 
+	// snapMu serializes snapshot captures (endpoint and periodic saver):
+	// concurrent captures would race on the temp file, and back-to-back
+	// drains of the executor buy nothing. It is never held while waiting
+	// for an admission slot, so it cannot deadlock against the limit.
+	snapMu       sync.Mutex
+	snapshotPath string
+	snapshots    atomic.Int64
+
 	// hold, when non-nil, runs inside the admission slot before the query
 	// executes. Test hook for pinning in-flight occupancy.
 	hold func()
@@ -119,11 +138,13 @@ func New(db *crackdb.DB, cfg Config) *Server {
 	if s.maxInFlight > 0 {
 		s.sem = make(chan struct{}, s.maxInFlight)
 	}
+	s.snapshotPath = cfg.SnapshotPath
 	s.met.init()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/query", s.instrument(epQuery, s.handleQuery))
 	s.mux.HandleFunc("POST /v1/insert", s.instrument(epInsert, s.handleInsert))
 	s.mux.HandleFunc("POST /v1/delete", s.instrument(epDelete, s.handleDelete))
+	s.mux.HandleFunc("POST /v1/snapshot", s.instrument(epSnapshot, s.handleSnapshot))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument(epStats, s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.instrument(epHealth, s.handleHealth))
 	s.mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
@@ -214,7 +235,8 @@ type UpdateResponse struct {
 
 // ErrorResponse is the body of every non-2xx response: a human-readable
 // message and a stable machine-readable code ("unknown_column",
-// "updates_unsupported", "over_capacity", "bad_request", "canceled",
+// "updates_unsupported", "pending_updates", "snapshot_unsupported",
+// "snapshot_unconfigured", "over_capacity", "bad_request", "canceled",
 // "closed", "unsupported", "internal").
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -263,6 +285,7 @@ type StatsResponse struct {
 	AdmissionLimit   int   `json:"admission_limit"`
 	AdmissionRejects int64 `json:"admission_rejects"`
 	PendingUpdates   int   `json:"pending_updates"`
+	SnapshotsTaken   int64 `json:"snapshots_taken"`
 
 	Index IndexStats `json:"index"`
 
@@ -470,6 +493,79 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, apply func
 	writeJSON(w, http.StatusOK, UpdateResponse{Pending: pending})
 }
 
+// SnapshotResponse is the body of a successful POST /v1/snapshot: where
+// the state landed and how much adaptation it carries.
+type SnapshotResponse struct {
+	Path      string `json:"path"`
+	Rows      int    `json:"rows"`
+	Parts     int    `json:"parts"`  // shards in the manifest (1 unsharded)
+	Pieces    int    `json:"pieces"` // column pieces captured — the earned refinement
+	Bytes     int64  `json:"bytes"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.snapshotPath == "" {
+		writeError(w, http.StatusUnprocessableEntity, "snapshot_unconfigured",
+			"server started without a snapshot path (-snapshot)")
+		return
+	}
+	// Snapshot capture drains the executor like a write-path query, so it
+	// competes for an admission slot like one: under overload the caller
+	// gets a fast 429 instead of convoying yet another drain behind the
+	// backlog.
+	release, ok := s.admit()
+	if !ok {
+		writeError(w, http.StatusTooManyRequests, "over_capacity",
+			fmt.Sprintf("server at its in-flight limit (%d); retry", s.maxInFlight))
+		return
+	}
+	defer release()
+	if s.hold != nil {
+		s.hold()
+	}
+	resp, err := s.SaveSnapshot()
+	if err != nil {
+		writeMappedError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SaveSnapshot captures the DB's live adapted state and writes it to the
+// configured snapshot path (atomic temp-file write + rename). The
+// capture happens under the DB's own drain (exclusive per executor); the
+// file write happens after, outside every DB lock. Both the endpoint and
+// the periodic saver (cmd/crackserver -snapshot-interval) funnel through
+// here, serialized by snapMu.
+func (s *Server) SaveSnapshot() (SnapshotResponse, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	start := time.Now()
+	unlock := s.lockSerial()
+	snap, err := s.db.Snapshot()
+	unlock()
+	if err != nil {
+		return SnapshotResponse{}, err
+	}
+	if err := crackdb.SaveSnapshotFile(s.snapshotPath, snap); err != nil {
+		return SnapshotResponse{}, err
+	}
+	var bytes int64
+	if fi, err := os.Stat(s.snapshotPath); err == nil {
+		bytes = fi.Size()
+	}
+	s.snapshots.Add(1)
+	return SnapshotResponse{
+		Path:      s.snapshotPath,
+		Rows:      snap.Rows(),
+		Parts:     len(snap.Parts),
+		Pieces:    snap.Pieces(),
+		Bytes:     bytes,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	}, nil
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	unlock := s.lockSerial()
 	st := s.db.Stats()
@@ -487,6 +583,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AdmissionLimit:   s.maxInFlight,
 		AdmissionRejects: s.rejects.Load(),
 		PendingUpdates:   pending,
+		SnapshotsTaken:   s.snapshots.Load(),
 		Index: IndexStats{
 			Queries: st.Queries, Touched: st.Touched, Swaps: st.Swaps,
 			Cracks: st.Cracks, Pieces: st.Pieces,
@@ -586,6 +683,12 @@ func statusFor(err error) (int, string) {
 		return http.StatusBadRequest, "unknown_column"
 	case errors.Is(err, crackdb.ErrUpdatesUnsupported):
 		return http.StatusUnprocessableEntity, "updates_unsupported"
+	case errors.Is(err, crackdb.ErrPendingUpdates):
+		// Not-yet-merged updates would be lost by a snapshot; the caller
+		// can drain them with covering queries and retry.
+		return http.StatusConflict, "pending_updates"
+	case errors.Is(err, crackdb.ErrSnapshotUnsupported):
+		return http.StatusUnprocessableEntity, "snapshot_unsupported"
 	case errors.Is(err, crackdb.ErrClosed):
 		return http.StatusServiceUnavailable, "closed"
 	case errors.Is(err, context.Canceled):

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	crackdb "repro"
+)
+
+func decodeSnapshot(t *testing.T, body []byte) SnapshotResponse {
+	t.Helper()
+	var resp SnapshotResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+	return resp
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.crks")
+	for _, mode := range []crackdb.Concurrency{crackdb.Single, crackdb.Shared, crackdb.Sharded(4)} {
+		s := newTestServer(t, mode, Config{SnapshotPath: path})
+		// Warm the index so the capture carries real refinement.
+		for i := 0; i < 30; i++ {
+			lo := int64(i * 300)
+			rec := post(t, s, "/v1/query", fmt.Sprintf(`{"lo":%d,"hi":%d}`, lo, lo+50))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("%v: warm query status %d", mode, rec.Code)
+			}
+		}
+		rec := post(t, s, "/v1/snapshot", "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%v: snapshot status %d: %s", mode, rec.Code, rec.Body)
+		}
+		resp := decodeSnapshot(t, rec.Body.Bytes())
+		if resp.Path != path || resp.Rows != testRows || resp.Bytes == 0 {
+			t.Fatalf("%v: snapshot response %+v", mode, resp)
+		}
+		wantParts := 1
+		if mode == crackdb.Sharded(4) {
+			wantParts = 4
+		}
+		if resp.Parts != wantParts || resp.Pieces < 20 {
+			t.Fatalf("%v: parts=%d pieces=%d, want %d parts and warmed pieces",
+				mode, resp.Parts, resp.Pieces, wantParts)
+		}
+		// The captured file restores to oracle-correct answers.
+		restored, err := crackdb.OpenSnapshotFile(path, crackdb.DD1R)
+		if err != nil {
+			t.Fatalf("%v: restore: %v", mode, err)
+		}
+		agg, err := restored.QueryAggregate(context.Background(), crackdb.Range(100, 400))
+		wc, ws := oracle(100, 400, testRows)
+		if err != nil || int64(agg.Count) != wc || agg.Sum != ws {
+			t.Fatalf("%v: restored aggregate %+v err=%v", mode, agg, err)
+		}
+		// The stats counter reflects the capture.
+		var st StatsResponse
+		if err := json.Unmarshal(get(t, s, "/v1/stats").Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.SnapshotsTaken != 1 {
+			t.Fatalf("%v: snapshots_taken=%d", mode, st.SnapshotsTaken)
+		}
+	}
+}
+
+func TestSnapshotUnconfigured(t *testing.T) {
+	s := newTestServer(t, crackdb.Shared, Config{})
+	rec := post(t, s, "/v1/snapshot", "")
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", rec.Code)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Code != "snapshot_unconfigured" {
+		t.Fatalf("error body %s (err %v)", rec.Body, err)
+	}
+}
+
+func TestSnapshotPendingUpdatesConflict(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "live.crks")
+	s := newTestServer(t, crackdb.Shared, Config{SnapshotPath: path})
+	if rec := post(t, s, "/v1/insert", `{"value": 42}`); rec.Code != http.StatusOK {
+		t.Fatalf("insert status %d", rec.Code)
+	}
+	rec := post(t, s, "/v1/snapshot", "")
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("snapshot with pending updates: status %d, want 409", rec.Code)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Code != "pending_updates" {
+		t.Fatalf("error body %s (err %v)", rec.Body, err)
+	}
+	// A covering query merges the queue; the capture then succeeds.
+	if rec := post(t, s, "/v1/query", `{"lo":0,"hi":100}`); rec.Code != http.StatusOK {
+		t.Fatalf("merge query status %d", rec.Code)
+	}
+	if rec := post(t, s, "/v1/snapshot", ""); rec.Code != http.StatusOK {
+		t.Fatalf("snapshot after merge: status %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestSnapshotUnderLoad is the -race variant of the capture path:
+// concurrent snapshot captures race full query traffic through a tight
+// admission limit. The drains must interleave cleanly — no deadlock
+// against the admission semaphore, no torn capture — and the final file
+// must restore to oracle-validated answers in every mode.
+func TestSnapshotUnderLoad(t *testing.T) {
+	for _, mode := range []crackdb.Concurrency{crackdb.Shared, crackdb.Sharded(4)} {
+		path := filepath.Join(t.TempDir(), "under-load.crks")
+		s := newTestServer(t, mode, Config{SnapshotPath: path, MaxInFlight: 4})
+
+		const clients = 6
+		var wg sync.WaitGroup
+		var rejected, captured atomic.Int64
+		fail := make(chan string, clients+2)
+		for g := 0; g < clients; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 60; i++ {
+					lo := int64((g*911 + i*257) % (testRows - 200))
+					rec := post(t, s, "/v1/query", fmt.Sprintf(`{"lo":%d,"hi":%d}`, lo, lo+150))
+					switch rec.Code {
+					case http.StatusOK:
+						var qr QueryResponse
+						if err := json.Unmarshal(rec.Body.Bytes(), &qr); err != nil {
+							fail <- err.Error()
+							return
+						}
+						wc, ws := oracle(lo, lo+150, testRows)
+						if int64(qr.Results[0].Count) != wc || qr.Results[0].Sum != ws {
+							fail <- fmt.Sprintf("wrong answer for [%d,%d)", lo, lo+150)
+							return
+						}
+					case http.StatusTooManyRequests:
+						rejected.Add(1) // fine under a limit of 4
+					default:
+						fail <- fmt.Sprintf("query status %d: %s", rec.Code, rec.Body)
+						return
+					}
+				}
+			}(g)
+		}
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 10; i++ {
+					rec := post(t, s, "/v1/snapshot", "")
+					switch rec.Code {
+					case http.StatusOK:
+						captured.Add(1)
+					case http.StatusTooManyRequests:
+						rejected.Add(1)
+					default:
+						fail <- fmt.Sprintf("snapshot status %d: %s", rec.Code, rec.Body)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(fail)
+		for msg := range fail {
+			t.Fatalf("%v: %s", mode, msg)
+		}
+		// At least one capture must land even under the tight limit; then
+		// take a final, uncontended one and restore-validate it.
+		if rec := post(t, s, "/v1/snapshot", ""); rec.Code != http.StatusOK {
+			t.Fatalf("%v: final snapshot status %d: %s", mode, rec.Code, rec.Body)
+		}
+		captured.Add(1)
+		t.Logf("%v: %d captures, %d admission rejects", mode, captured.Load(), rejected.Load())
+		for _, tgtMode := range []crackdb.Concurrency{crackdb.Single, crackdb.Shared, crackdb.Sharded(3)} {
+			restored, err := crackdb.OpenSnapshotFile(path, crackdb.DD1R,
+				crackdb.WithConcurrency(tgtMode))
+			if err != nil {
+				t.Fatalf("%v->%v: restore: %v", mode, tgtMode, err)
+			}
+			for i := 0; i < 25; i++ {
+				lo := int64(i * 370)
+				agg, err := restored.QueryAggregate(context.Background(), crackdb.Range(lo, lo+200))
+				wc, ws := oracle(lo, lo+200, testRows)
+				if err != nil || int64(agg.Count) != wc || agg.Sum != ws {
+					t.Fatalf("%v->%v: [%d,%d): %+v err=%v", mode, tgtMode, lo, lo+200, agg, err)
+				}
+			}
+		}
+	}
+}

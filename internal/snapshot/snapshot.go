@@ -5,10 +5,24 @@
 // Cracking earns its index incrementally; a restart that drops the crack
 // set throws that investment away. Persisting the snapshot lets a process
 // resume with all adaptation intact, and is the building block for the
-// paper's §6 "disk-based processing" direction. The format is
-// little-endian: magic/version, column length, row-id flag, values,
-// optional row ids, crack count, (key, pos) pairs. A CRC32 trailer guards
-// against torn writes.
+// paper's §6 "disk-based processing" direction.
+//
+// Two wire versions share the "CRKS" magic:
+//
+//   - v1 holds one engine state: magic/version, column length, row-id
+//     flag, values, optional row ids, crack count, (key, pos) pairs.
+//   - v2 is the multi-part manifest behind sharded databases: a part
+//     count followed by one (lo, hi, engine state) triple per shard, in
+//     ascending value order. A single-part manifest spanning the whole
+//     domain is byte-equivalent in content to v1 and is written as v1,
+//     so unsharded snapshots stay loadable by the v1 API.
+//
+// Everything is little-endian and a CRC32 trailer guards against torn
+// writes. Decoding failures wrap dberr.ErrSnapshotCorrupt (sentinel,
+// errors.Is-matchable): a corrupt stream is rejected as a whole, never
+// loaded partially. The checksum makes silent bit damage detectable;
+// semantic damage with a valid checksum is caught by
+// core.SnapshotState.Validate on restore.
 package snapshot
 
 import (
@@ -17,20 +31,92 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
+	"slices"
 
 	"repro/internal/core"
+	"repro/internal/dberr"
 )
 
-var magic = [8]byte{'C', 'R', 'K', 'S', 0, 0, 0, 1}
+var (
+	magicV1 = [8]byte{'C', 'R', 'K', 'S', 0, 0, 0, 1}
+	magicV2 = [8]byte{'C', 'R', 'K', 'S', 0, 0, 0, 2}
+)
 
-// Write serializes st to w.
+// ErrCorrupt is the sentinel wrapped by every decoding failure
+// (dberr.ErrSnapshotCorrupt, re-exported by the facade).
+var ErrCorrupt = dberr.ErrSnapshotCorrupt
+
+// Limits on counts read from the wire before allocating. Reads are
+// chunked (see readInt64s), so a corrupt length costs bounded memory
+// before the truncation or checksum error surfaces, but the hard caps
+// keep even a maliciously long stream from ballooning.
+const (
+	maxValues = 1 << 33
+	maxParts  = 1 << 16
+	// readChunk bounds per-step slice growth while decoding, in elements.
+	readChunk = 1 << 16
+)
+
+// corruptf builds a decoding error wrapping ErrCorrupt.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("snapshot: %s: %w", fmt.Sprintf(format, args...), ErrCorrupt)
+}
+
+// Write serializes one engine state st to w in the v1 format.
 func Write(w io.Writer, st core.SnapshotState) error {
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
-	if _, err := bw.Write(magic[:]); err != nil {
+	if _, err := bw.Write(magicV1[:]); err != nil {
 		return err
 	}
+	if err := writeState(bw, st); err != nil {
+		return err
+	}
+	// Flush the buffered body through the CRC before emitting the trailer
+	// directly to w (the trailer itself is not part of the checksum).
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// WriteManifest serializes a multi-part manifest to w. Single-part
+// manifests spanning the whole value domain are written in the v1 format
+// (content-equivalent), so unsharded snapshots remain loadable by v1
+// readers; everything else uses v2.
+func WriteManifest(w io.Writer, m Manifest) error {
+	if len(m.Parts) == 1 && m.Parts[0].Lo == math.MinInt64 && m.Parts[0].Hi == math.MaxInt64 {
+		return Write(w, m.Parts[0].State)
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	if _, err := bw.Write(magicV2[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(m.Parts))); err != nil {
+		return err
+	}
+	for _, p := range m.Parts {
+		if err := binary.Write(bw, binary.LittleEndian, p.Lo); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.Hi); err != nil {
+			return err
+		}
+		if err := writeState(bw, p.State); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// writeState emits one engine state body (no magic, no checksum).
+func writeState(bw *bufio.Writer, st core.SnapshotState) error {
 	if err := binary.Write(bw, binary.LittleEndian, uint64(len(st.Values))); err != nil {
 		return err
 	}
@@ -60,99 +146,192 @@ func Write(w io.Writer, st core.SnapshotState) error {
 			return err
 		}
 	}
-	// Flush the buffered body through the CRC before emitting the trailer
-	// directly to w (the trailer itself is not part of the checksum).
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+	return nil
 }
 
-// Read deserializes a snapshot from r, verifying structure and checksum.
-// The result still carries no semantic guarantees until core's
-// SnapshotState.Validate (run by core.Restore) accepts it.
+// ReadManifest deserializes a snapshot of either wire version from r,
+// verifying structure and checksum; a v1 stream yields one part spanning
+// the whole value domain. Decoding failures wrap ErrCorrupt. The result
+// carries no semantic guarantees until Manifest.Validate (run by the
+// restore paths) accepts it.
 //
 // The body is read with exact-size reads through a TeeReader feeding the
 // CRC — deliberately unbuffered, so no lookahead can pull trailer bytes
 // into the checksum.
-func Read(r io.Reader) (core.SnapshotState, error) {
-	var st core.SnapshotState
+func ReadManifest(r io.Reader) (Manifest, error) {
 	crc := crc32.NewIEEE()
 	tr := io.TeeReader(r, crc)
 
 	var m [8]byte
 	if _, err := io.ReadFull(tr, m[:]); err != nil {
-		return st, fmt.Errorf("snapshot: reading magic: %w", err)
+		return Manifest{}, corruptf("reading magic: %v", err)
 	}
-	if m != magic {
-		return st, fmt.Errorf("snapshot: not a CRKS snapshot (magic %x)", m)
-	}
-	var n uint64
-	if err := binary.Read(tr, binary.LittleEndian, &n); err != nil {
-		return st, fmt.Errorf("snapshot: reading length: %w", err)
-	}
-	const maxCount = 1 << 33
-	if n > maxCount {
-		return st, fmt.Errorf("snapshot: claims %d values", n)
-	}
-	var hasRowIDs uint8
-	if err := binary.Read(tr, binary.LittleEndian, &hasRowIDs); err != nil {
-		return st, fmt.Errorf("snapshot: reading flags: %w", err)
-	}
-	if hasRowIDs > 1 {
-		return st, fmt.Errorf("snapshot: bad row-id flag %d", hasRowIDs)
-	}
-	st.Values = make([]int64, n)
-	if err := binary.Read(tr, binary.LittleEndian, st.Values); err != nil {
-		return st, fmt.Errorf("snapshot: reading values: %w", err)
-	}
-	if hasRowIDs == 1 {
-		st.RowIDs = make([]uint32, n)
-		if err := binary.Read(tr, binary.LittleEndian, st.RowIDs); err != nil {
-			return st, fmt.Errorf("snapshot: reading row ids: %w", err)
+	var man Manifest
+	switch m {
+	case magicV1:
+		st, err := readState(tr)
+		if err != nil {
+			return Manifest{}, err
 		}
-	}
-	var k uint64
-	if err := binary.Read(tr, binary.LittleEndian, &k); err != nil {
-		return st, fmt.Errorf("snapshot: reading crack count: %w", err)
-	}
-	if k > n+1 {
-		return st, fmt.Errorf("snapshot: %d cracks for %d values", k, n)
-	}
-	if k > 0 {
-		raw := make([]byte, 16*k)
-		if _, err := io.ReadFull(tr, raw); err != nil {
-			return st, fmt.Errorf("snapshot: reading cracks: %w", err)
+		// Single clamps domain-edge cracks (keys MinInt64/MaxInt64), which
+		// legitimate v1 snapshots may carry from unbounded predicates.
+		man = Single(st)
+	case magicV2:
+		var parts uint64
+		if err := binary.Read(tr, binary.LittleEndian, &parts); err != nil {
+			return Manifest{}, corruptf("reading part count: %v", err)
 		}
-		st.Cracks = make([]core.CrackEntry, k)
-		for i := range st.Cracks {
-			key := int64(binary.LittleEndian.Uint64(raw[16*i:]))
-			pos := binary.LittleEndian.Uint64(raw[16*i+8:])
-			if pos > n {
-				return st, fmt.Errorf("snapshot: crack %d position %d out of range", i, pos)
+		if parts == 0 || parts > maxParts {
+			return Manifest{}, corruptf("claims %d parts", parts)
+		}
+		man.Parts = make([]Part, 0, min(parts, readChunk))
+		for i := uint64(0); i < parts; i++ {
+			var lo, hi int64
+			if err := binary.Read(tr, binary.LittleEndian, &lo); err != nil {
+				return Manifest{}, corruptf("part %d: reading bounds: %v", i, err)
 			}
-			st.Cracks[i] = core.CrackEntry{Key: key, Pos: int(pos)}
+			if err := binary.Read(tr, binary.LittleEndian, &hi); err != nil {
+				return Manifest{}, corruptf("part %d: reading bounds: %v", i, err)
+			}
+			st, err := readState(tr)
+			if err != nil {
+				return Manifest{}, fmt.Errorf("part %d: %w", i, err)
+			}
+			// Clamp like the v1 path: our own writers never emit cracks
+			// outside a part's range, but decoding normalizes foreign
+			// streams the same way so encode/decode stays idempotent.
+			man.Parts = append(man.Parts, ClampedPart(lo, hi, st))
 		}
+	default:
+		if m[0] == 'C' && m[1] == 'R' && m[2] == 'K' && m[3] == 'S' {
+			return Manifest{}, corruptf("unsupported CRKS version %d", binary.BigEndian.Uint32(m[4:]))
+		}
+		return Manifest{}, corruptf("not a CRKS snapshot (magic %x)", m)
 	}
 	want := crc.Sum32()
 	var got uint32
 	if err := binary.Read(r, binary.LittleEndian, &got); err != nil {
-		return st, fmt.Errorf("snapshot: reading checksum: %w", err)
+		return Manifest{}, corruptf("reading checksum: %v", err)
 	}
 	if got != want {
-		return st, fmt.Errorf("snapshot: checksum mismatch (got %08x, want %08x)", got, want)
+		return Manifest{}, corruptf("checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return man, nil
+}
+
+// Read deserializes a snapshot from r into a single engine state,
+// verifying structure and checksum. A v2 multi-part stream is merged into
+// one contiguous state (shard boundaries become cracks); decoding
+// failures wrap ErrCorrupt.
+func Read(r io.Reader) (core.SnapshotState, error) {
+	man, err := ReadManifest(r)
+	if err != nil {
+		return core.SnapshotState{}, err
+	}
+	return man.Merged()
+}
+
+// readState reads one engine state body (no magic, no checksum).
+func readState(tr io.Reader) (core.SnapshotState, error) {
+	var st core.SnapshotState
+	var n uint64
+	if err := binary.Read(tr, binary.LittleEndian, &n); err != nil {
+		return st, corruptf("reading length: %v", err)
+	}
+	if n > maxValues {
+		return st, corruptf("claims %d values", n)
+	}
+	var hasRowIDs uint8
+	if err := binary.Read(tr, binary.LittleEndian, &hasRowIDs); err != nil {
+		return st, corruptf("reading flags: %v", err)
+	}
+	if hasRowIDs > 1 {
+		return st, corruptf("bad row-id flag %d", hasRowIDs)
+	}
+	var err error
+	if st.Values, err = readSlice[int64](tr, n); err != nil {
+		return st, corruptf("reading values: %v", err)
+	}
+	if hasRowIDs == 1 {
+		if st.RowIDs, err = readSlice[uint32](tr, n); err != nil {
+			return st, corruptf("reading row ids: %v", err)
+		}
+	}
+	var k uint64
+	if err := binary.Read(tr, binary.LittleEndian, &k); err != nil {
+		return st, corruptf("reading crack count: %v", err)
+	}
+	if k > n+1 {
+		return st, corruptf("%d cracks for %d values", k, n)
+	}
+	if k > 0 {
+		st.Cracks = make([]core.CrackEntry, 0, min(k, readChunk))
+		raw := make([]byte, 16*min(k, readChunk))
+		for read := uint64(0); read < k; {
+			c := min(k-read, readChunk)
+			if _, err := io.ReadFull(tr, raw[:16*c]); err != nil {
+				return st, corruptf("reading cracks: %v", err)
+			}
+			for i := uint64(0); i < c; i++ {
+				key := int64(binary.LittleEndian.Uint64(raw[16*i:]))
+				pos := binary.LittleEndian.Uint64(raw[16*i+8:])
+				if pos > n {
+					return st, corruptf("crack %d position %d out of range", read+i, pos)
+				}
+				st.Cracks = append(st.Cracks, core.CrackEntry{Key: key, Pos: int(pos)})
+			}
+			read += c
+		}
 	}
 	return st, nil
 }
 
-// SaveFile writes a snapshot to path atomically (temp file + rename).
+// readSlice reads n little-endian elements, growing the destination in
+// chunks so a lying length field costs bounded memory before the stream
+// runs dry.
+func readSlice[T int64 | uint32](r io.Reader, n uint64) ([]T, error) {
+	out := make([]T, 0, min(n, readChunk))
+	for uint64(len(out)) < n {
+		c := int(min(n-uint64(len(out)), readChunk))
+		start := len(out)
+		out = slices.Grow(out, c)[: start+c : start+c]
+		if err := binary.Read(r, binary.LittleEndian, out[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Hooks for the crash-safety tests: they inject failures between the
+// temp-file write and the rename, and mid-write truncation, to prove the
+// previous snapshot file survives every failure mode. Production code
+// never touches them.
+var (
+	createFile = func(path string) (io.WriteCloser, error) { return os.Create(path) }
+	renameFile = os.Rename
+)
+
+// SaveFile writes a single-state snapshot to path atomically (temp file +
+// rename), in the v1 format.
 func SaveFile(path string, st core.SnapshotState) error {
+	return saveAtomic(path, func(w io.Writer) error { return Write(w, st) })
+}
+
+// SaveManifestFile writes a manifest to path atomically (temp file +
+// rename). A crash at any point leaves either the previous file or the
+// new one, never a torn mix: the body goes to path.tmp first and the
+// rename is the only step that touches path.
+func SaveManifestFile(path string, m Manifest) error {
+	return saveAtomic(path, func(w io.Writer) error { return WriteManifest(w, m) })
+}
+
+func saveAtomic(path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := createFile(tmp)
 	if err != nil {
 		return err
 	}
-	if err := Write(f, st); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -161,10 +340,15 @@ func SaveFile(path string, st core.SnapshotState) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := renameFile(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
-// LoadFile reads a snapshot from path.
+// LoadFile reads a snapshot from path as one engine state (a multi-part
+// file is merged; see Read).
 func LoadFile(path string) (core.SnapshotState, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -172,4 +356,14 @@ func LoadFile(path string) (core.SnapshotState, error) {
 	}
 	defer f.Close()
 	return Read(f)
+}
+
+// LoadManifestFile reads a snapshot manifest from path.
+func LoadManifestFile(path string) (Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	defer f.Close()
+	return ReadManifest(f)
 }

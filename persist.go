@@ -5,26 +5,47 @@ import (
 
 	"repro/internal/colload"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/snapshot"
 	"repro/internal/updates"
 )
 
-// SnapshotState is the serializable physical state of an index: the
-// (partially reorganized) column plus its crack set.
+// SnapshotState is the serializable physical state of one index engine:
+// the (partially reorganized) column plus its crack set.
 type SnapshotState = core.SnapshotState
+
+// DBSnapshot is the serializable physical state of a whole DB: a
+// versioned multi-part manifest with one part per shard (a single part
+// for Single/Shared databases), each carrying its value range and engine
+// state. DB.Snapshot produces it in every single-column mode and
+// OpenSnapshot restores it into any of them — including a different
+// shard count, in which case the engine state is split or merged along
+// the shard bounds without losing cracks.
+type DBSnapshot = snapshot.Manifest
+
+// SnapshotPart is one part of a DBSnapshot: the engine state of one
+// shard plus the half-open value range [Lo, Hi) it owns.
+type SnapshotPart = snapshot.Part
+
+// SnapshotOf wraps a single engine state (Index.Snapshot) as a
+// whole-domain DBSnapshot, for feeding v1-API snapshots into
+// OpenSnapshot.
+func SnapshotOf(st SnapshotState) DBSnapshot { return snapshot.Single(st) }
 
 // Snapshot captures the index's physical state so that a later Restore
 // resumes with all adaptation earned so far. Only engine-backed
 // algorithms (everything except the hybrids) support snapshots — others
-// fail with ErrSnapshotUnsupported; indexes with pending updates must
-// drain them first (query the relevant ranges or accept their loss).
+// fail with ErrSnapshotUnsupported; indexes with pending updates fail
+// with ErrPendingUpdates (query the relevant ranges to merge them
+// first).
 func (ix *Index) Snapshot() (SnapshotState, error) {
 	acc, ok := ix.inner.(interface{ Engine() *core.Engine })
 	if !ok {
 		return SnapshotState{}, fmt.Errorf("crackdb: %s: %w", ix.inner.Name(), ErrSnapshotUnsupported)
 	}
 	if ix.upd != nil && ix.upd.Pending() > 0 {
-		return SnapshotState{}, fmt.Errorf("crackdb: %d pending updates; merge them before snapshotting", ix.upd.Pending())
+		return SnapshotState{}, fmt.Errorf("crackdb: %d updates queued; merge them before snapshotting: %w",
+			ix.upd.Pending(), ErrPendingUpdates)
 	}
 	return acc.Engine().Snapshot(), nil
 }
@@ -39,14 +60,24 @@ func (ix *Index) SaveSnapshot(path string) error {
 	return snapshot.SaveFile(path, st)
 }
 
-// SaveSnapshot writes the DB's state to path (atomic write, CRC32
-// protected). See DB.Snapshot for mode support.
+// SaveSnapshot writes the DB's state to path (atomic temp-file write +
+// rename, CRC32 protected) in every single-column concurrency mode; see
+// DB.Snapshot. A crash mid-save leaves the previous snapshot file
+// intact.
 func (db *DB) SaveSnapshot(path string) error {
-	st, err := db.Snapshot()
+	snap, err := db.Snapshot()
 	if err != nil {
 		return err
 	}
-	return snapshot.SaveFile(path, st)
+	return snapshot.SaveManifestFile(path, snap)
+}
+
+// SaveSnapshotFile writes an already-captured DBSnapshot to path (atomic
+// temp-file write + rename, CRC32 protected). Use it when the capture
+// and the file write should not hold the DB's locks together — the
+// serving layer captures under the drain, then writes outside it.
+func SaveSnapshotFile(path string, snap DBSnapshot) error {
+	return snapshot.SaveManifestFile(path, snap)
 }
 
 // Restore rebuilds an index from a snapshot, validating every crack
@@ -63,15 +94,55 @@ func Restore(st SnapshotState, algorithm string, opts ...Option) (*Index, error)
 	return &Index{inner: inner, upd: u}, nil
 }
 
-// OpenSnapshot restores a DB from a snapshot state, resuming with all
-// adaptation earned so far. Single and Shared concurrency modes are
-// supported; a snapshot holds one contiguous column, so re-sharding it
-// fails with ErrSnapshotUnsupported (open a fresh sharded DB from the
-// materialized values instead).
-func OpenSnapshot(st SnapshotState, algorithm string, opts ...Option) (*DB, error) {
+// OpenSnapshot restores a DB from a snapshot manifest, resuming with all
+// adaptation earned so far, in any single-column concurrency mode. The
+// target layout need not match the source: restoring a sharded snapshot
+// into Single or Shared merges the shards into one contiguous state
+// (old shard boundaries become cracks), and restoring into Sharded(k)
+// re-cuts the manifest along k-1 bounds — the snapshot's own bounds when
+// k matches, otherwise bounds chosen from the snapshot's piece structure
+// (SplitBounds) — splitting or merging engine state without losing
+// cracks. The one restriction: a multi-part snapshot carrying row-id
+// payloads only restores into its own shard layout (row ids are
+// shard-local), else ErrSnapshotUnsupported.
+func OpenSnapshot(snap DBSnapshot, algorithm string, opts ...Option) (*DB, error) {
 	cfg := applyOptions(opts)
+	if err := snap.Validate(); err != nil {
+		return nil, fmt.Errorf("crackdb: %w", err)
+	}
 	if cfg.conc.kind == concSharded {
-		return nil, fmt.Errorf("crackdb: restoring into a sharded database: %w", ErrSnapshotUnsupported)
+		k := cfg.conc.shards
+		if k < 1 {
+			k = 1
+		}
+		if rows := snap.Rows(); k > rows && rows > 0 {
+			k = rows
+		}
+		m := snap
+		if k != len(snap.Parts) {
+			var err error
+			m, err = snap.Reshard(snap.SplitBounds(k, cfg.core.Seed))
+			if err != nil {
+				return nil, fmt.Errorf("crackdb: %w", err)
+			}
+		}
+		states := make([]core.SnapshotState, len(m.Parts))
+		bounds := make([]int64, 0, len(m.Parts)-1)
+		for i, p := range m.Parts {
+			states[i] = p.State
+			if i > 0 {
+				bounds = append(bounds, p.Lo)
+			}
+		}
+		sh, err := exec.RestoreSharded(states, bounds, algorithm, cfg.core)
+		if err != nil {
+			return nil, fmt.Errorf("crackdb: %w", err)
+		}
+		return &DB{mode: cfg.conc, rows: snap.Rows(), sh: sh}, nil
+	}
+	st, err := snap.Merged()
+	if err != nil {
+		return nil, fmt.Errorf("crackdb: %w", err)
 	}
 	ix, err := Restore(st, algorithm, opts...)
 	if err != nil {
@@ -100,13 +171,15 @@ func LoadSnapshot(path, algorithm string, opts ...Option) (*Index, error) {
 }
 
 // OpenSnapshotFile reads a snapshot file written by SaveSnapshot and
-// restores a DB from it (see OpenSnapshot).
+// restores a DB from it, in any single-column concurrency mode (see
+// OpenSnapshot). Corrupted, truncated or version-bumped files fail with
+// ErrSnapshotCorrupt, never a partial load.
 func OpenSnapshotFile(path, algorithm string, opts ...Option) (*DB, error) {
-	st, err := snapshot.LoadFile(path)
+	m, err := snapshot.LoadManifestFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return OpenSnapshot(st, algorithm, opts...)
+	return OpenSnapshot(m, algorithm, opts...)
 }
 
 // LoadColumn reads an integer column from a file, accepting both the

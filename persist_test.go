@@ -1,6 +1,9 @@
 package crackdb_test
 
 import (
+	"context"
+	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -68,6 +71,106 @@ func TestFacadeSnapshotRejectsHybrids(t *testing.T) {
 	}
 	if _, err := ix.Snapshot(); err == nil {
 		t.Fatal("hybrid snapshot accepted")
+	}
+}
+
+// TestDBSnapshotFileRoundTrip saves whole-DB snapshots from every
+// single-column mode and reopens them from disk across modes, including
+// a different shard count.
+func TestDBSnapshotFileRoundTrip(t *testing.T) {
+	const n = 15_000
+	ctx := context.Background()
+	dir := t.TempDir()
+	for _, src := range []struct {
+		name string
+		mode crackdb.Concurrency
+	}{
+		{"single", crackdb.Single},
+		{"shared", crackdb.Shared},
+		{"sharded-6", crackdb.Sharded(6)},
+	} {
+		db, err := crackdb.Open(crackdb.MakeData(n, 91), crackdb.DD1R,
+			crackdb.WithSeed(92), crackdb.WithConcurrency(src.mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 40; i++ {
+			if _, err := db.Query(ctx, crackdb.Range(i*300, i*300+80)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		piecesBefore := db.Stats().Pieces
+		path := filepath.Join(dir, src.name+".crks")
+		if err := db.SaveSnapshot(path); err != nil {
+			t.Fatalf("%s: save: %v", src.name, err)
+		}
+		for _, tgt := range []struct {
+			name string
+			mode crackdb.Concurrency
+		}{
+			{"single", crackdb.Single},
+			{"sharded-6", crackdb.Sharded(6)},
+			{"sharded-2", crackdb.Sharded(2)},
+		} {
+			restored, err := crackdb.OpenSnapshotFile(path, crackdb.DD1R,
+				crackdb.WithSeed(93), crackdb.WithConcurrency(tgt.mode))
+			if err != nil {
+				t.Fatalf("%s->%s: open: %v", src.name, tgt.name, err)
+			}
+			if restored.Rows() != n {
+				t.Fatalf("%s->%s: rows=%d", src.name, tgt.name, restored.Rows())
+			}
+			// No adaptation lost in the file round trip (modulo the
+			// zero-size edge pieces clamping drops).
+			if got := restored.Stats().Pieces; got < piecesBefore-12 {
+				t.Fatalf("%s->%s: pieces=%d, before save %d", src.name, tgt.name, got, piecesBefore)
+			}
+			res, err := restored.Query(ctx, crackdb.Range(600, 680))
+			if err != nil || res.Count() != 80 {
+				t.Fatalf("%s->%s: count=%d err=%v", src.name, tgt.name, res.Count(), err)
+			}
+		}
+	}
+}
+
+// TestOpenSnapshotFileRejectsCorruption proves the facade surfaces the
+// corruption sentinel for damaged files, in every target mode.
+func TestOpenSnapshotFileRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	db, err := crackdb.Open(crackdb.MakeData(3_000, 94), crackdb.Crack,
+		crackdb.WithConcurrency(crackdb.Sharded(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(context.Background(), crackdb.Range(100, 900)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "db.crks")
+	if err := db.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.crks")
+	for name, mutate := range map[string]func([]byte) []byte{
+		"bit flip":  func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b },
+		"truncated": func(b []byte) []byte { return b[:len(b)*2/3] },
+		"version bump": func(b []byte) []byte {
+			b[7] = 9
+			return b
+		},
+	} {
+		if err := os.WriteFile(bad, mutate(append([]byte(nil), raw...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []crackdb.Concurrency{crackdb.Single, crackdb.Sharded(3)} {
+			_, err := crackdb.OpenSnapshotFile(bad, crackdb.Crack, crackdb.WithConcurrency(mode))
+			if !errors.Is(err, crackdb.ErrSnapshotCorrupt) {
+				t.Fatalf("%s (%v): err = %v, want ErrSnapshotCorrupt", name, mode, err)
+			}
+		}
 	}
 }
 

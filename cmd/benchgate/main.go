@@ -27,7 +27,7 @@ func main() {
 		baselinePath = flag.String("baseline", "bench/baseline/kernels.txt", "committed baseline `go test -bench` output")
 		currentPath  = flag.String("current", "", "current `go test -bench` output to gate")
 		thresholdPct = flag.Float64("threshold-pct", 15, "fail when median ns/op regresses more than this percentage")
-		match        = flag.String("match", "BenchmarkCrackInTwo,BenchmarkCrackInThree,BenchmarkMDD1RMaterialize,BenchmarkConvergedProbe",
+		match        = flag.String("match", "BenchmarkCrackInTwo,BenchmarkCrackInThree,BenchmarkMDD1RMaterialize,BenchmarkConvergedProbe,BenchmarkParallelCrackInTwo",
 			"comma-separated benchmark name prefixes to gate (empty: every baseline benchmark)")
 	)
 	flag.Parse()

@@ -66,6 +66,7 @@ func main() {
 		plot       = flag.Bool("plot", false, "render an ASCII log-log comparison chart for -workload/-algos and exit")
 		plotWl     = flag.String("workload", "sequential", "workload for -plot")
 		plotAlgos  = flag.String("algos", "crack,dd1r,pmdd1r-10,sort", "comma-separated algorithms for -plot")
+		parCrack   = flag.Bool("parallelcrack", false, "measure the chunked parallel crack kernel vs serial (first touch and convergence) over a GOMAXPROCS ladder; combine with -procs to set the ladder top; rows join the -json report under experiment \"parallelcrack\"")
 		resume     = flag.Bool("resume", false, "measure restored-vs-cold convergence: run half the workload, snapshot, restore into every mode (incl. re-sharded), finish the workload; rows join the -json report under experiment \"resume\"")
 		serve      = flag.Bool("serve", false, "load-generator mode: replay workloads against a running crackserver and exit")
 		serveURL   = flag.String("serve-url", "http://127.0.0.1:8080", "crackserver base URL for -serve")
@@ -129,6 +130,24 @@ func main() {
 		return
 	}
 	var resumeExtra []bench.JSONRow
+	if *parCrack {
+		rows, err := bench.ParallelCrackRows(bench.Config{N: *n, Q: *q, S: *s, Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crackbench: parallelcrack:", err)
+			os.Exit(1)
+		}
+		if *jsonOut == "" {
+			bench.PrintParallelCrack(os.Stdout, rows)
+			for _, r := range rows {
+				if r.Oracle != "ok" {
+					fmt.Fprintln(os.Stderr, "crackbench: parallelcrack: oracle validation failed:", r.Oracle)
+					os.Exit(1)
+				}
+			}
+			return
+		}
+		resumeExtra = rows
+	}
 	if *resume {
 		rows, err := resumeExperiment(*n, *q, *s, *seed, "dd1r")
 		if err != nil {
@@ -145,7 +164,7 @@ func main() {
 			}
 			return
 		}
-		resumeExtra = rows
+		resumeExtra = append(resumeExtra, rows...)
 	}
 	if *jsonOut != "" {
 		extra := resumeExtra

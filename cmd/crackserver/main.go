@@ -51,6 +51,8 @@ func main() {
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGTERM before in-flight requests are canceled")
 		snapPath = flag.String("snapshot", "", "snapshot file: warm-start from it when it exists (resuming all adaptation earned before the restart), and the save target for POST /v1/snapshot and -snapshot-interval")
 		snapIntv = flag.Duration("snapshot-interval", 0, "periodically save a snapshot to -snapshot (0 disables)")
+		parCrack = flag.Bool("parallel-crack", false, "crack large pieces with the chunked parallel kernel (values-only columns)")
+		coarse   = flag.Int("coarse-init", 0, "coarse-granular initialization: pre-cut a cold build into this many pieces (0 disables; ignored on warm start)")
 	)
 	flag.Parse()
 
@@ -60,6 +62,16 @@ func main() {
 	}
 	if *snapIntv > 0 && *snapPath == "" {
 		log.Fatalf("crackserver: -snapshot-interval needs -snapshot")
+	}
+
+	opts := []crackdb.Option{crackdb.WithSeed(*seed), crackdb.WithConcurrency(conc)}
+	if *parCrack {
+		opts = append(opts, crackdb.WithParallelCrack())
+	}
+	if *coarse > 0 {
+		// A warm start ignores this by contract: the snapshot's cracks are
+		// recorded against the snapshot's layout, so Restore never pre-cuts.
+		opts = append(opts, crackdb.WithCoarseInit(*coarse))
 	}
 
 	// Warm start when the snapshot file exists; cold permutation build
@@ -75,8 +87,7 @@ func main() {
 			log.Fatalf("crackserver: checking -snapshot %s: %v", *snapPath, statErr)
 		}
 		if statErr == nil {
-			db, err = crackdb.OpenSnapshotFile(*snapPath, *algo,
-				crackdb.WithSeed(*seed), crackdb.WithConcurrency(conc))
+			db, err = crackdb.OpenSnapshotFile(*snapPath, *algo, opts...)
 			if err != nil {
 				log.Fatalf("crackserver: warm start from %s: %v", *snapPath, err)
 			}
@@ -91,8 +102,7 @@ func main() {
 	if db == nil {
 		log.Printf("building %d-row permutation (seed %d)...", *n, *seed)
 		data := crackdb.MakeData(*n, *seed)
-		db, err = crackdb.Open(data, *algo,
-			crackdb.WithSeed(*seed), crackdb.WithConcurrency(conc))
+		db, err = crackdb.Open(data, *algo, opts...)
 		if err != nil {
 			log.Fatalf("crackserver: %v", err)
 		}
@@ -104,6 +114,7 @@ func main() {
 		SnapshotPath: *snapPath,
 		Info: server.Info{
 			Rows: *n, Algorithm: *algo, Seed: *seed, Permutation: true,
+			ParallelCrack: *parCrack, CoarseInitPieces: *coarse,
 		},
 	})
 

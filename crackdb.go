@@ -168,6 +168,34 @@ func WithRowIDs() Option {
 	return func(c *config) { c.core.TrackRowIDs = true }
 }
 
+// WithParallelCrack routes crack operations on pieces of at least
+// core.DefaultParallelCrackMin tuples through the chunked parallel
+// partition kernel, which partitions on all cores via the process-wide
+// worker pool. It applies to values-only columns (WithRowIDs columns keep
+// the serial tandem kernels) and preserves every crack's split position
+// and per-side multiset exactly; only the physical order of values within
+// a side may differ from the serial kernel's. Use
+// WithParallelCrackMin to tune the threshold.
+func WithParallelCrack() Option {
+	return func(c *config) { c.core.ParallelCrackMin = core.DefaultParallelCrackMin }
+}
+
+// WithParallelCrackMin enables parallel cracking with an explicit
+// piece-size threshold in tuples (see WithParallelCrack); 0 disables.
+func WithParallelCrackMin(tuples int) Option {
+	return func(c *config) { c.core.ParallelCrackMin = tuples }
+}
+
+// WithCoarseInit pre-cuts the column into about p value-ranged pieces at
+// build time (coarse-granular initialization): the cuts are real cracks,
+// recorded in the cracker index and charged to the index's cost counters,
+// so no later query ever pays a full-column crack. Combined with
+// WithParallelCrack the pre-cut itself runs on all cores. Snapshot
+// restores ignore it — a snapshot already carries its earned refinement.
+func WithCoarseInit(p int) Option {
+	return func(c *config) { c.core.CoarseInitPieces = p }
+}
+
 // WithPartitions sets the number of source partitions for the hybrid
 // algorithms (ignored by the others).
 func WithPartitions(k int) Option {

@@ -154,11 +154,14 @@ func TestSecondsFormatting(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("experiment count = %d, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("experiment count = %d, want 17", len(all))
 	}
 	if _, ok := ByID("concurrency"); !ok {
 		t.Fatal("concurrency missing")
+	}
+	if _, ok := ByID("parallelcrack"); !ok {
+		t.Fatal("parallelcrack missing")
 	}
 	if _, ok := ByID("fig2"); !ok {
 		t.Fatal("fig2 missing")

@@ -38,6 +38,7 @@ func All() []Experiment {
 		{"fig20", "Initialization cost vs total cost, sequential workload (Fig. 20)", runFig20},
 		{"patterns", "Workload access patterns (Fig. 7 and Fig. 16b)", runPatterns},
 		{"concurrency", "Adaptive executor vs mutex vs sharded under concurrent load (§6 extension)", runConcurrency},
+		{"parallelcrack", "Serial vs chunked-parallel crack kernel, first touch and convergence (multi-core extension)", runParallelCrack},
 	}
 }
 

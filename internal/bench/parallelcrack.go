@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/column"
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// The parallelcrack experiment measures what the chunked parallel
+// crack-in-two kernel (internal/column, PR 6) buys over the serial
+// branchless kernel, at the point where it matters most: the first touch
+// of a cold column, where cracking's entire initialization cost is one
+// partition pass over all N tuples. Two measurements per GOMAXPROCS
+// ladder step:
+//
+//	first-touch — median wall-clock of a single crack of the whole cold
+//	              column at the midpoint pivot, serial vs parallel;
+//	converge    — total wall-clock of a random query sequence over dd1r,
+//	              serial vs parallel routing (ParallelCrackMin scaled so
+//	              the early, large pieces take the parallel path).
+//
+// Every measurement is oracle-validated: the data is a permutation of
+// [0, n), so the split position, the left-side sum and every query
+// answer have closed forms. The ladder climbs powers of two up to the
+// process's GOMAXPROCS at entry — `crackbench -procs 8 -experiment
+// parallelcrack` measures 1, 2, 4, 8. Speedup beyond one step requires
+// real hardware parallelism; the workload label records the host's
+// physical core count (cores=...) so a flat curve on a small host reads
+// as a property of the machine, not the kernel.
+
+// parallelCrackReps is the repetition count per cell; the reported
+// wall-clock is the median.
+const parallelCrackReps = 5
+
+// ParallelCrackRows runs the serial-vs-parallel ladder and returns one
+// JSONRow per (kernel, phase, procs) cell. Rows join BENCH_*.json under
+// experiment "parallelcrack"; a non-"ok" Oracle field reports the
+// validation failure rather than aborting the sweep.
+func ParallelCrackRows(cfg Config) ([]JSONRow, error) {
+	cfg = cfg.WithDefaults()
+	n := cfg.N
+	if n > 10_000_000 {
+		n = 10_000_000 // one cold crack per rep; 10M shows the kernel, paper scale adds nothing
+	}
+	queries := cfg.Q
+	if queries > 1000 {
+		queries = 1000 // convergence phase: the early, large cracks dominate
+	}
+
+	entry := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(entry)
+	cores := runtime.NumCPU()
+
+	data := MakeData(n, cfg.Seed)
+	var rows []JSONRow
+	for p := 1; p <= entry; p *= 2 {
+		runtime.GOMAXPROCS(p)
+		for _, kernel := range []string{"serial", "parallel"} {
+			ns, oracleErr := firstTouch(data, n, kernel == "parallel")
+			rows = append(rows, JSONRow{
+				Experiment: "parallelcrack",
+				Algorithm:  "crack-" + kernel,
+				Workload:   fmt.Sprintf("first-touch/procs=%d/cores=%d", p, cores),
+				N:          n, Q: 1,
+				PerQueryNS: ns, TotalNS: ns,
+				Oracle: oracleVerdict(oracleErr),
+			})
+			ns, oracleErr = convergeRun(cfg, data, n, queries, kernel == "parallel")
+			rows = append(rows, JSONRow{
+				Experiment: "parallelcrack",
+				Algorithm:  "dd1r-" + kernel,
+				Workload:   fmt.Sprintf("converge/procs=%d/cores=%d", p, cores),
+				N:          n, Q: int64(queries),
+				PerQueryNS: ns / int64(queries), TotalNS: ns,
+				Oracle: oracleVerdict(oracleErr),
+			})
+		}
+	}
+	return rows, nil
+}
+
+func oracleVerdict(err error) string {
+	if err != nil {
+		return err.Error()
+	}
+	return "ok"
+}
+
+// firstTouch cracks a cold copy of the column at the midpoint pivot and
+// validates the result against the permutation's closed forms: the split
+// position must equal the pivot (exactly pivot values are below it) and
+// the left side must sum to pivot*(pivot-1)/2.
+func firstTouch(data []int64, n int64, parallel bool) (int64, error) {
+	pivot := n / 2
+	samples := make([]int64, 0, parallelCrackReps)
+	var firstErr error
+	for r := 0; r < parallelCrackReps; r++ {
+		c := column.New(append([]int64(nil), data...))
+		start := time.Now()
+		var p int
+		if parallel {
+			p = c.ParallelCrackInTwo(0, int(n), pivot)
+		} else {
+			p = c.CrackInTwo(0, int(n), pivot)
+		}
+		samples = append(samples, time.Since(start).Nanoseconds())
+		if firstErr == nil {
+			firstErr = checkFirstTouch(c, p, pivot)
+		}
+	}
+	return medianNS(samples), firstErr
+}
+
+func checkFirstTouch(c *column.Column, p int, pivot int64) error {
+	if int64(p) != pivot {
+		return fmt.Errorf("split %d, oracle %d", p, pivot)
+	}
+	var sum int64
+	for _, v := range c.Values[:p] {
+		if v >= pivot {
+			return fmt.Errorf("value %d on the left of pivot %d", v, pivot)
+		}
+		sum += v
+	}
+	if want := pivot * (pivot - 1) / 2; sum != want {
+		return fmt.Errorf("left sum %d, oracle %d", sum, want)
+	}
+	return nil
+}
+
+// convergeRun answers a random query sequence on a fresh dd1r index and
+// validates every answer against the closed-form oracle. The parallel
+// variant scales ParallelCrackMin to the column so the early cracks — the
+// only ones big enough to matter — route through the chunked kernel.
+func convergeRun(cfg Config, data []int64, n int64, queries int, parallel bool) (int64, error) {
+	opt := core.Options{Seed: cfg.Seed}
+	if parallel {
+		opt.ParallelCrackMin = min(core.DefaultParallelCrackMin, max(2, int(n/8)))
+	}
+	ix, err := core.Build(append([]int64(nil), data...), "dd1r", opt)
+	if err != nil {
+		return 0, err
+	}
+	width := cfg.S
+	if width < 1 {
+		width = 1
+	}
+	rng := xrand.New(cfg.Seed + 1)
+	var bad error
+	start := time.Now()
+	for q := 0; q < queries; q++ {
+		a := rng.Int63n(n - width)
+		b := a + width
+		res := ix.Query(a, b)
+		wc, ws := oracle(a, b, n)
+		if int64(res.Count()) != wc || res.Sum() != ws {
+			if bad == nil {
+				bad = fmt.Errorf("query %d [%d,%d): (%d,%d), oracle (%d,%d)",
+					q, a, b, res.Count(), res.Sum(), wc, ws)
+			}
+		}
+	}
+	return time.Since(start).Nanoseconds(), bad
+}
+
+func medianNS(xs []int64) int64 {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return xs[len(xs)/2]
+}
+
+// PrintParallelCrack renders rows from ParallelCrackRows as an aligned
+// table with a serial/parallel speedup column per phase and procs step.
+func PrintParallelCrack(w io.Writer, rows []JSONRow) {
+	fmt.Fprintf(w, "# parallelcrack: serial vs chunked-parallel crack kernel (host cores matter;\n")
+	fmt.Fprintf(w, "# the ladder only reflects hardware parallelism actually available)\n")
+	fmt.Fprintf(w, "%-16s %-28s %14s %10s %8s\n", "algorithm", "workload", "wall(ms)", "speedup", "oracle")
+	serial := map[string]int64{}
+	for _, r := range rows {
+		if r.Algorithm == "crack-serial" || r.Algorithm == "dd1r-serial" {
+			serial[r.Workload] = r.TotalNS
+		}
+	}
+	for _, r := range rows {
+		speedup := ""
+		if s, ok := serial[r.Workload]; ok && r.TotalNS > 0 &&
+			(r.Algorithm == "crack-parallel" || r.Algorithm == "dd1r-parallel") {
+			speedup = fmt.Sprintf("%.2fx", float64(s)/float64(r.TotalNS))
+		}
+		fmt.Fprintf(w, "%-16s %-28s %14.2f %10s %8s\n",
+			r.Algorithm, r.Workload, float64(r.TotalNS)/1e6, speedup, r.Oracle)
+	}
+}
+
+func runParallelCrack(cfg Config, w io.Writer) error {
+	rows, err := ParallelCrackRows(cfg)
+	if err != nil {
+		return err
+	}
+	PrintParallelCrack(w, rows)
+	for _, r := range rows {
+		if r.Oracle != "ok" {
+			return fmt.Errorf("parallelcrack: oracle validation failed: %s", r.Oracle)
+		}
+	}
+	return nil
+}

@@ -67,8 +67,13 @@ func NewWithRowIDs(values []int64) *Column {
 // Len returns the number of tuples in the column.
 func (c *Column) Len() int { return len(c.Values) }
 
-// Clone returns a deep copy of the column with fresh counters, used by the
-// benchmark harness so every algorithm cracks its own copy of the data.
+// Clone returns a deep copy of the column's data (Values, RowIDs,
+// Payload). Stats deliberately does NOT travel: the copy starts with
+// zeroed counters by construction. That is a contract, not an accident —
+// the benchmark harness clones one pristine column per algorithm and
+// relies on each clone accumulating only its own Touched/Swaps, so a
+// Clone that inherited the source's counters would silently skew every
+// per-algorithm cost comparison.
 func (c *Column) Clone() *Column {
 	cp := &Column{Values: append([]int64(nil), c.Values...)}
 	if c.RowIDs != nil {

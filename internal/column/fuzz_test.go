@@ -47,6 +47,51 @@ func FuzzCrackInTwo(f *testing.F) {
 	})
 }
 
+// FuzzParallelCrack drives the chunked parallel partition against the
+// serial kernel with arbitrary data, pivots and chunk sizes, asserting
+// the serial-equivalence contract: identical split position, identical
+// per-side multisets. The seed corpus covers the merge phase's hard
+// shapes: already-partitioned input (no misplaced runs), inverted input
+// (everything misplaced), all-equal-to-pivot, and runs that straddle
+// chunk boundaries.
+func FuzzParallelCrack(f *testing.F) {
+	le := func(vals ...int64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[i*8:], uint64(v))
+		}
+		return b
+	}
+	f.Add(le(1, 2, 3, 7, 8, 9), int64(5), uint16(2))       // already partitioned
+	f.Add(le(9, 8, 7, 3, 2, 1), int64(5), uint16(2))       // fully inverted
+	f.Add(le(4, 4, 4, 4, 4), int64(4), uint16(1))          // all equal to pivot
+	f.Add(le(5, 0, 5, 0, 5, 0, 5, 0), int64(3), uint16(3)) // runs straddle chunks
+	f.Add(le(), int64(0), uint16(1))                       // empty
+	f.Add(le(1), int64(9), uint16(7))                      // single tuple
+	f.Fuzz(func(t *testing.T, data []byte, pivot int64, chunkRaw uint16) {
+		vals := decodeVals(data)
+		chunk := 1 + int(chunkRaw)%512
+		serial := append([]int64(nil), vals...)
+		wantP, _ := crackInTwoVals(serial, pivot)
+		par := append([]int64(nil), vals...)
+		gotP, _ := parallelPartitionChunked(par, pivot, chunk)
+		if gotP != wantP {
+			t.Fatalf("split %d, serial %d (chunk %d)", gotP, wantP, chunk)
+		}
+		for i, x := range par {
+			if (i < gotP) != (x < pivot) {
+				t.Fatalf("value %d at %d violates partition on pivot %d (split %d)", x, i, pivot, gotP)
+			}
+		}
+		if !sameMultiset(multiset(serial, 0, wantP), multiset(par, 0, gotP)) {
+			t.Fatal("left-side multiset differs from serial")
+		}
+		if !sameMultiset(multiset(serial, wantP, len(serial)), multiset(par, gotP, len(par))) {
+			t.Fatal("right-side multiset differs from serial")
+		}
+	})
+}
+
 // FuzzCrackInThree mirrors FuzzCrackInTwo for the dual-pivot pass.
 func FuzzCrackInThree(f *testing.F) {
 	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0}, int64(2), int64(6))

@@ -2,6 +2,7 @@ package column
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/xrand"
@@ -121,4 +122,34 @@ func BenchmarkCrackInTwoRowIDs(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkParallelCrackInTwo measures the chunked parallel partition
+// (PR 6) on a values-only column at each GOMAXPROCS step. procs=1 is the
+// interesting floor: the caller claims every chunk itself, so it bounds
+// the coordination overhead the parallel path adds over the serial
+// kernel; higher steps need real cores to separate.
+func BenchmarkParallelCrackInTwo(b *testing.B) {
+	for _, sz := range kernelSizes {
+		pristine, scratch := kernelData(sz.n)
+		pivot := int64(sz.n / 2)
+		for _, procs := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/procs=%d", sz.label, procs), func(b *testing.B) {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				b.SetBytes(int64(8 * sz.n))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					copy(scratch, pristine)
+					c := &Column{Values: scratch}
+					b.StartTimer()
+					p := c.ParallelCrackInTwo(0, sz.n, pivot)
+					if p != sz.n/2 {
+						b.Fatalf("crack position %d, want %d", p, sz.n/2)
+					}
+				}
+			})
+		}
+	}
 }

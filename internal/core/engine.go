@@ -47,13 +47,15 @@ func newEngine(values []int64, opt Options) *Engine {
 	} else {
 		col = column.New(values)
 	}
-	return &Engine{
+	e := &Engine{
 		col:    col,
 		idx:    &cindex.Tree{},
 		rng:    xrand.New(opt.Seed),
 		opt:    opt,
 		states: make(map[int]*column.PartitionState),
 	}
+	e.coarseInit()
+	return e
 }
 
 // Column exposes the underlying cracker column (read-mostly; used by the
@@ -100,7 +102,7 @@ func (e *Engine) crackBound(v int64) int {
 	if exact {
 		return lo
 	}
-	p := e.col.CrackInTwo(lo, hi, v)
+	p := e.crackInTwo(lo, hi, v)
 	e.idx.Insert(v, p)
 	return p
 }
@@ -127,12 +129,12 @@ func (e *Engine) queryMixed(a, b int64, stoch func(lo, hi int, v int64) bool) Re
 		if hiA-loA > 1 && stoch(loA, hiA, a) {
 			pivot := e.randomPivot(loA, hiA)
 			var p int
-			e.leftBuf, p = e.col.SplitAndMaterialize(loA, hiA, pivot, a, b, e.leftBuf[:0])
+			e.leftBuf, p = e.splitAndMaterialize(loA, hiA, pivot, a, b, e.leftBuf[:0])
 			e.idx.Insert(pivot, p)
 			res.left = e.leftBuf
 			return res
 		}
-		p1, p2 := e.col.CrackInThree(loA, hiA, a, b)
+		p1, p2 := e.crackInThree(loA, hiA, a, b)
 		e.idx.Insert(a, p1)
 		e.idx.Insert(b, p2)
 		res.lo, res.hi = p1, p2
@@ -152,12 +154,12 @@ func (e *Engine) queryMixed(a, b int64, stoch func(lo, hi int, v int64) bool) Re
 	case hiA-loA > 1 && stoch(loA, hiA, a):
 		pivot := e.randomPivot(loA, hiA)
 		var p int
-		e.leftBuf, p = e.col.SplitAndMaterializeGE(loA, hiA, pivot, a, e.leftBuf[:0])
+		e.leftBuf, p = e.splitAndMaterializeGE(loA, hiA, pivot, a, e.leftBuf[:0])
 		e.idx.Insert(pivot, p)
 		res.left = e.leftBuf
 		viewStart = hiA
 	default:
-		p := e.col.CrackInTwo(loA, hiA, a)
+		p := e.crackInTwo(loA, hiA, a)
 		e.idx.Insert(a, p)
 		viewStart = p
 	}
@@ -170,12 +172,12 @@ func (e *Engine) queryMixed(a, b int64, stoch func(lo, hi int, v int64) bool) Re
 	case hiB-loB > 1 && stoch(loB, hiB, b):
 		pivot := e.randomPivot(loB, hiB)
 		var p int
-		e.rightBuf, p = e.col.SplitAndMaterializeLT(loB, hiB, pivot, b, e.rightBuf[:0])
+		e.rightBuf, p = e.splitAndMaterializeLT(loB, hiB, pivot, b, e.rightBuf[:0])
 		e.idx.Insert(pivot, p)
 		res.right = e.rightBuf
 		viewEnd = loB
 	default:
-		p := e.col.CrackInTwo(loB, hiB, b)
+		p := e.crackInTwo(loB, hiB, b)
 		e.idx.Insert(b, p)
 		viewEnd = p
 	}

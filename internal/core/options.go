@@ -30,6 +30,12 @@ const (
 	// shared lock instead of cracking it under an exclusive one: 1 KB of
 	// values, cheap enough that further splitting buys nothing.
 	DefaultNoCrackSize = 128
+	// DefaultParallelCrackMin is the piece-size threshold (tuples) at or
+	// above which crack operations route through the parallel partition
+	// kernel when parallel cracking is enabled: 1M tuples (8 MB) — far
+	// past every cache level, where the kernel is memory-bandwidth-bound
+	// and chunked multi-core partitioning pays for its coordination.
+	DefaultParallelCrackMin = 1 << 20
 )
 
 // Options configure an Engine. The zero value selects the paper's defaults.
@@ -55,6 +61,29 @@ type Options struct {
 	// is scanned read-only instead of being cracked. Defaults to
 	// DefaultNoCrackSize; set it negative to require exact cracks.
 	NoCrackSize int
+
+	// ParallelCrackMin is the piece-size threshold (tuples) at or above
+	// which values-only crack operations run the chunked parallel
+	// partition kernel (column.ParallelCrackInTwo and friends) on the
+	// process-wide worker pool; smaller pieces keep the serial branchless
+	// kernel. 0 (the default) disables parallel cracking entirely; set it
+	// to DefaultParallelCrackMin for the standard threshold. The parallel
+	// kernel preserves split positions and per-side multisets exactly, but
+	// not the order within a side, so cross-seed physical-layout
+	// determinism holds only at equal GOMAXPROCS relative to the serial
+	// kernel's layout — see column's serial-equivalence contract.
+	ParallelCrackMin int
+
+	// CoarseInitPieces pre-cuts the column into about this many
+	// value-ranged pieces at build time (coarse-granular initialization,
+	// after Alvarez et al.): pivots are sampled from the data, the cuts
+	// run through the same crack kernels (parallel when ParallelCrackMin
+	// allows) and are recorded as real cracks in the cracker index, so no
+	// later query ever pays a full-column crack. 0 or 1 disables (the
+	// default: the paper's algorithms start from a completely uncracked
+	// column). Ignored by Restore — a snapshot already carries its earned
+	// refinement.
+	CoarseInitPieces int
 
 	// Seed drives every random choice (pivots, coin flips, injected
 	// queries). Two indexes built with the same seed, data and query
@@ -87,6 +116,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.NoCrackSize < 0 {
 		o.NoCrackSize = 0
+	}
+	if o.ParallelCrackMin < 0 {
+		o.ParallelCrackMin = 0
+	}
+	if o.CoarseInitPieces < 0 {
+		o.CoarseInitPieces = 0
 	}
 	if o.Seed == 0 {
 		o.Seed = 1

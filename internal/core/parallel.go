@@ -1,0 +1,109 @@
+package core
+
+import "slices"
+
+// Routing between the serial and the parallel crack kernels. Every
+// reorganizing call site in the engine goes through these helpers: pieces
+// of ParallelCrackMin tuples or more take column's chunked parallel
+// kernels (multi-core partitioning on the process-wide worker pool),
+// smaller pieces keep the serial branchless kernels. With the threshold at
+// 0 — the default — everything stays serial and the engine behaves
+// bit-identically to previous versions.
+//
+// The routing is safe under the executor's locking model: reorganizing
+// queries run under the exclusive lock, so the parallel kernel's helpers
+// are the only goroutines touching the column, and they join before the
+// call returns (column.claimLoop keeps completion on the calling
+// goroutine, per the pool's contract).
+
+// parallelPiece reports whether piece [lo, hi) should take the parallel
+// kernels.
+func (e *Engine) parallelPiece(lo, hi int) bool {
+	m := e.opt.ParallelCrackMin
+	return m > 0 && hi-lo >= m
+}
+
+// crackInTwo cracks [lo, hi) on pivot through the size-appropriate kernel.
+func (e *Engine) crackInTwo(lo, hi int, pivot int64) int {
+	if e.parallelPiece(lo, hi) {
+		return e.col.ParallelCrackInTwo(lo, hi, pivot)
+	}
+	return e.col.CrackInTwo(lo, hi, pivot)
+}
+
+// crackInThree cracks [lo, hi) on both query bounds at once.
+func (e *Engine) crackInThree(lo, hi int, a, b int64) (int, int) {
+	if e.parallelPiece(lo, hi) {
+		return e.col.ParallelCrackInThree(lo, hi, a, b)
+	}
+	return e.col.CrackInThree(lo, hi, a, b)
+}
+
+// splitAndMaterialize is the MDD1R primitive through the size-appropriate
+// kernel.
+func (e *Engine) splitAndMaterialize(lo, hi int, pivot, a, b int64, out []int64) ([]int64, int) {
+	if e.parallelPiece(lo, hi) {
+		return e.col.ParallelSplitAndMaterialize(lo, hi, pivot, a, b, out)
+	}
+	return e.col.SplitAndMaterialize(lo, hi, pivot, a, b, out)
+}
+
+func (e *Engine) splitAndMaterializeGE(lo, hi int, pivot, a int64, out []int64) ([]int64, int) {
+	if e.parallelPiece(lo, hi) {
+		return e.col.ParallelSplitAndMaterializeGE(lo, hi, pivot, a, out)
+	}
+	return e.col.SplitAndMaterializeGE(lo, hi, pivot, a, out)
+}
+
+func (e *Engine) splitAndMaterializeLT(lo, hi int, pivot, b int64, out []int64) ([]int64, int) {
+	if e.parallelPiece(lo, hi) {
+		return e.col.ParallelSplitAndMaterializeLT(lo, hi, pivot, b, out)
+	}
+	return e.col.SplitAndMaterializeLT(lo, hi, pivot, b, out)
+}
+
+// coarseInit performs coarse-granular initialization (Alvarez et al.):
+// pre-cut the freshly loaded column into about opt.CoarseInitPieces
+// value-ranged pieces, each cut a real crack recorded in the cracker
+// index, so the first query on any piece starts from a piece-sized — not
+// column-sized — crack. Pivots are sampled from the data (deterministic
+// given the seed: all samples are drawn before any reorganization), then
+// applied in binary-recursive order so every cut halves its region; each
+// cut routes through crackInTwo and therefore runs the parallel kernel on
+// regions past ParallelCrackMin.
+//
+// The cost is charged to the engine's counters like any crack: Touched
+// grows by about n*log2(pieces) — visible, not hidden, exactly as the
+// paper accounts reorganization.
+func (e *Engine) coarseInit() {
+	p := e.opt.CoarseInitPieces
+	n := e.col.Len()
+	if p < 2 || n < 2 {
+		return
+	}
+	if p > n {
+		p = n
+	}
+	// Sample p-1 pivots up front (the sampled values move during
+	// cracking). Sorted and deduplicated: duplicate pivots would insert
+	// zero-width pieces without adding information.
+	pivots := make([]int64, 0, p-1)
+	for i := 0; i < p-1; i++ {
+		pivots = append(pivots, e.randomPivot(0, n))
+	}
+	slices.Sort(pivots)
+	pivots = slices.Compact(pivots)
+
+	var cut func(lo, hi int, pv []int64)
+	cut = func(lo, hi int, pv []int64) {
+		if len(pv) == 0 || hi-lo < 2 {
+			return
+		}
+		mid := len(pv) / 2
+		pos := e.crackInTwo(lo, hi, pv[mid])
+		e.idx.Insert(pv[mid], pos)
+		cut(lo, pos, pv[:mid])
+		cut(pos, hi, pv[mid+1:])
+	}
+	cut(0, n, pivots)
+}

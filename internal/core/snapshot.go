@@ -81,6 +81,11 @@ func Restore(st SnapshotState, spec string, opt Options) (Index, error) {
 	if err := st.Validate(); err != nil {
 		return nil, err
 	}
+	// Coarse-granular initialization is a cold-load bootstrap; a snapshot
+	// already carries its earned refinement, and pre-cutting here would
+	// reorganize the values before the snapshot's cracks (recorded against
+	// the snapshot's layout) are re-inserted, corrupting them.
+	opt.CoarseInitPieces = 0
 	ix, err := Build(append([]int64(nil), st.Values...), spec, opt)
 	if err != nil {
 		return nil, err

@@ -109,7 +109,7 @@ func (d *DD) boundCrack(v int64) int {
 			break
 		}
 	}
-	p := e.col.CrackInTwo(lo, hi, v)
+	p := e.crackInTwo(lo, hi, v)
 	e.idx.Insert(v, p)
 	return p
 }
@@ -129,12 +129,12 @@ func (d *DD) split(lo, hi int) (key int64, p int, ok bool) {
 		return key, p, true
 	}
 	key = e.randomPivot(lo, hi)
-	p = e.col.CrackInTwo(lo, hi, key)
+	p = e.crackInTwo(lo, hi, key)
 	if p == lo {
 		// The random pivot hit the piece minimum; peel the minimum block
 		// with key+1 to guarantee progress.
 		key++
-		p = e.col.CrackInTwo(lo, hi, key)
+		p = e.crackInTwo(lo, hi, key)
 		if p == hi {
 			return 0, 0, false // the whole piece is one repeated value
 		}
@@ -220,7 +220,7 @@ func (p *PMDD1R) Query(a, b int64) Result {
 		if hiA-loA > 1 {
 			pivot := e.randomPivot(loA, hiA)
 			var pos int
-			e.leftBuf, pos = e.col.SplitAndMaterialize(loA, hiA, pivot, a, b, e.leftBuf[:0])
+			e.leftBuf, pos = e.splitAndMaterialize(loA, hiA, pivot, a, b, e.leftBuf[:0])
 			e.idx.Insert(pivot, pos)
 			res.left = e.leftBuf
 			return res
@@ -243,7 +243,7 @@ func (p *PMDD1R) Query(a, b int64) Result {
 	case hiA-loA > 1:
 		pivot := e.randomPivot(loA, hiA)
 		var pos int
-		e.leftBuf, pos = e.col.SplitAndMaterializeGE(loA, hiA, pivot, a, e.leftBuf[:0])
+		e.leftBuf, pos = e.splitAndMaterializeGE(loA, hiA, pivot, a, e.leftBuf[:0])
 		e.idx.Insert(pivot, pos)
 		res.left = e.leftBuf
 		viewStart = hiA
@@ -266,7 +266,7 @@ func (p *PMDD1R) Query(a, b int64) Result {
 	case hiB-loB > 1:
 		pivot := e.randomPivot(loB, hiB)
 		var pos int
-		e.rightBuf, pos = e.col.SplitAndMaterializeLT(loB, hiB, pivot, b, e.rightBuf[:0])
+		e.rightBuf, pos = e.splitAndMaterializeLT(loB, hiB, pivot, b, e.rightBuf[:0])
 		e.idx.Insert(pivot, pos)
 		res.right = e.rightBuf
 		viewEnd = loB

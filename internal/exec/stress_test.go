@@ -67,3 +67,55 @@ func TestParallelMaterializeRaceStress(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestParallelCrackRaceStress hammers the parallel cracking path: the
+// engine routes every crack of a piece >= ParallelCrackMin through the
+// chunked kernel, which fans per-chunk partitions and merge swaps out to
+// the worker pool while the executor holds the write lock. Many
+// goroutines issue fresh (never-seen) bounds so nearly every query
+// reorganizes, interleaved with converged re-reads that take the read
+// path concurrently. Run under -race this checks the claim-loop
+// synchronization: pool workers must be fully drained (not merely
+// scheduled) before the crack returns and the write lock is released.
+func TestParallelCrackRaceStress(t *testing.T) {
+	const (
+		n       = 1 << 20
+		workers = 8
+		iters   = 24
+	)
+	x := New(core.NewDD1R(xrand.New(5).Perm(n), core.Options{
+		Seed:             6,
+		ParallelCrackMin: 1 << 14,
+		CoarseInitPieces: 4,
+	}))
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(500 + w))
+			for i := 0; i < iters; i++ {
+				a := rng.Int63n(n - 1024)
+				b := a + 1 + rng.Int63n(1024)
+				out, err := x.QueryAppendCtx(ctx, a, b, nil)
+				if err != nil {
+					t.Errorf("worker %d: err=%v", w, err)
+					return
+				}
+				if int64(len(out)) != b-a {
+					t.Errorf("worker %d: [%d,%d) len=%d want %d", w, a, b, len(out), b-a)
+					return
+				}
+				for _, v := range out {
+					if v < a || v >= b {
+						t.Errorf("worker %d: value %d outside [%d,%d)", w, v, a, b)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

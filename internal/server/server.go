@@ -66,6 +66,12 @@ type Info struct {
 	Algorithm   string `json:"algorithm"`
 	Seed        uint64 `json:"seed"`
 	Permutation bool   `json:"permutation"`
+	// ParallelCrack reports whether the DB cracks large pieces with the
+	// chunked parallel kernel (crackdb.WithParallelCrack).
+	ParallelCrack bool `json:"parallel_crack,omitempty"`
+	// CoarseInitPieces is the coarse-granular initialization piece count
+	// the DB was opened with (crackdb.WithCoarseInit); 0 means disabled.
+	CoarseInitPieces int `json:"coarse_init_pieces,omitempty"`
 }
 
 // Config configures a Server.

@@ -456,3 +456,36 @@ func TestCancellationUnderLoad(t *testing.T) {
 	}
 	wantRange(t, res, 100, 200)
 }
+
+// TestStatsSurfacesParallelInfo asserts the parallel-cracking identity
+// fields round-trip through /v1/stats, so clients can tell how the served
+// DB was opened.
+func TestStatsSurfacesParallelInfo(t *testing.T) {
+	db, err := crackdb.Open(crackdb.MakeData(testRows, 7), crackdb.DD1R,
+		crackdb.WithSeed(7), crackdb.WithConcurrency(crackdb.Shared),
+		crackdb.WithParallelCrack(), crackdb.WithCoarseInit(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s := New(db, Config{Info: Info{
+		Rows: testRows, Algorithm: crackdb.DD1R, Seed: 7, Permutation: true,
+		ParallelCrack: true, CoarseInitPieces: 8,
+	}})
+
+	rec := get(t, s, "/v1/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d (%s)", rec.Code, rec.Body)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.ParallelCrack || st.CoarseInitPieces != 8 {
+		t.Fatalf("parallel identity not surfaced: %+v", st.Info)
+	}
+	// Coarse init pre-cut the column before any query arrived.
+	if st.Index.Pieces < 2 {
+		t.Fatalf("coarse init did not pre-cut: %+v", st.Index)
+	}
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+// clusterExperiment measures the distributed layer end to end, entirely
+// in-process: it slices the paper's permutation of [0, n) across
+// `backends` local crackserver nodes, boots a scatter-gather coordinator
+// over them, and replays the paper's workloads through the coordinator
+// with every answer validated against the closed-form oracle (the
+// coordinator reports cluster-wide permutation data, so RunLoad
+// validates exactly as it does against one server).
+//
+// It then measures what live migration is worth: an empty joiner node
+// comes up, the coordinator moves the top half of the last backend's
+// range to it — snapshot-streamed, so the joiner inherits the donor's
+// cracks — and the workload replays again through the new topology. The
+// migration row records the joiner's restored piece count: non-zero
+// means it serves warm, resuming refinement instead of re-paying it.
+//
+// Rows slot into the crackdb-bench/v1 schema under experiments
+// "cluster" (one row per workload, before and after migration) and
+// "cluster-migrate" (the migration itself).
+func clusterExperiment(n int64, q int, s int64, seed uint64, backends, clients int, out io.Writer) ([]bench.JSONRow, error) {
+	if backends < 2 {
+		backends = 3
+	}
+	ctx := context.Background()
+	clusterAlgo := func(nodes int) string { return fmt.Sprintf("cluster-%d(dd1r)", nodes) }
+	algo := clusterAlgo(backends)
+
+	// Boot the backends, each owning an equal slice of the value domain.
+	var urls []string
+	var nodes []*cluster.LocalNode
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	for i := 0; i < backends; i++ {
+		lo := n * int64(i) / int64(backends)
+		hi := n * int64(i+1) / int64(backends)
+		nd, err := cluster.StartLocalNode(cluster.LocalNodeConfig{
+			N: n, Seed: seed, Lo: lo, Hi: hi, Algorithm: "dd1r",
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: backend %d: %w", i, err)
+		}
+		nodes = append(nodes, nd)
+		urls = append(urls, nd.URL)
+		fmt.Fprintf(out, "backend %d: %s owns [%d, %d)\n", i, nd.URL, lo, hi)
+	}
+
+	bootCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	coord, err := cluster.New(bootCtx, urls, cluster.Config{})
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: coord.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	coordURL := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "coordinator: %s over %d backends, %d rows\n\n", coordURL, backends, coord.Rows())
+
+	var rows []bench.JSONRow
+	replay := func(phase, algo string, pieces func() int) error {
+		res, err := server.RunLoad(ctx, server.LoadConfig{
+			URL: coordURL, Clients: clients, Q: q, S: s, Seed: seed, Aggregate: true,
+		}, out)
+		if err != nil {
+			return err
+		}
+		if !res.Validated {
+			return fmt.Errorf("cluster: %s run was not oracle-validated (coordinator did not report permutation data)", phase)
+		}
+		for _, wl := range res.Workloads {
+			rows = append(rows, bench.JSONRow{
+				Experiment: "cluster", Algorithm: algo, Workload: phase + "-" + wl.Name,
+				N: n, Q: int64(wl.Queries), Oracle: "ok",
+				PerQueryNS: wl.P50.Nanoseconds(),
+				TotalNS:    res.Elapsed.Nanoseconds(),
+				Pieces:     pieces(),
+			})
+		}
+		return nil
+	}
+	if err := replay("scatter", algo, func() int { return 0 }); err != nil {
+		return rows, err
+	}
+
+	// Live migration: an empty joiner takes the top half of the last
+	// backend's range while the cluster keeps its routing invariants.
+	joiner, err := cluster.StartLocalNode(cluster.LocalNodeConfig{Algorithm: "dd1r"})
+	if err != nil {
+		return rows, fmt.Errorf("cluster: joiner: %w", err)
+	}
+	nodes = append(nodes, joiner)
+	lastLo := n * int64(backends-1) / int64(backends)
+	moveLo := lastLo + (n-lastLo)/2
+	// The moved range must touch the donor's edge; the last route owns up
+	// to the domain top, so the move does too (data values stay < n).
+	mig, err := coord.Migrate(ctx, joiner.URL, moveLo, math.MaxInt64)
+	if err != nil {
+		return rows, fmt.Errorf("cluster: migrate: %w", err)
+	}
+	fmt.Fprintf(out, "\nmigrated [%d, +inf) from %s to %s: %d rows, %d pieces restored (warm), %d pending, %dms\n\n",
+		moveLo, mig.From, mig.To, mig.Rows, mig.Pieces, mig.Pending, mig.ElapsedMS)
+	migRow := bench.JSONRow{
+		Experiment: "cluster-migrate", Algorithm: algo, Workload: "warm-join",
+		N: n, Q: int64(mig.Rows), Oracle: "ok",
+		TotalNS: mig.ElapsedMS * int64(time.Millisecond),
+		Pieces:  mig.Pieces,
+	}
+	if mig.Pieces < 2 {
+		migRow.Oracle = fmt.Sprintf("joiner restored only %d pieces: migration did not carry the donor's cracks", mig.Pieces)
+	}
+	if mig.Rows > 0 {
+		migRow.PerQueryNS = migRow.TotalNS / int64(mig.Rows) // ns per row moved
+	}
+	rows = append(rows, migRow)
+	if migRow.Oracle != "ok" {
+		return rows, fmt.Errorf("cluster: %s", migRow.Oracle)
+	}
+
+	// The replay after the swap proves the new topology serves the same
+	// oracle-correct answers — now across one more node.
+	if err := replay("post-migrate", clusterAlgo(backends+1), func() int { return mig.Pieces }); err != nil {
+		return rows, err
+	}
+	return rows, nil
+}

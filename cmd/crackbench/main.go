@@ -68,6 +68,8 @@ func main() {
 		plotAlgos  = flag.String("algos", "crack,dd1r,pmdd1r-10,sort", "comma-separated algorithms for -plot")
 		parCrack   = flag.Bool("parallelcrack", false, "measure the chunked parallel crack kernel vs serial (first touch and convergence) over a GOMAXPROCS ladder; combine with -procs to set the ladder top; rows join the -json report under experiment \"parallelcrack\"")
 		resume     = flag.Bool("resume", false, "measure restored-vs-cold convergence: run half the workload, snapshot, restore into every mode (incl. re-sharded), finish the workload; rows join the -json report under experiment \"resume\"")
+		clusterRun = flag.Bool("cluster", false, "cluster mode: spawn an in-process coordinator over -cluster-backends local shard servers, replay the workloads through it with oracle validation, then live-migrate a range to a fresh node and replay again; rows join the -json report under experiments \"cluster\" and \"cluster-migrate\"")
+		clusterN   = flag.Int("cluster-backends", 3, "backend count for -cluster")
 		serve      = flag.Bool("serve", false, "load-generator mode: replay workloads against a running crackserver and exit")
 		serveURL   = flag.String("serve-url", "http://127.0.0.1:8080", "crackserver base URL for -serve")
 		clients    = flag.Int("clients", 8, "concurrent clients for -serve")
@@ -130,6 +132,44 @@ func main() {
 		return
 	}
 	var resumeExtra []bench.JSONRow
+	if *clusterRun {
+		// Quick mode's shrunken -n/-q (above) keep this a CI-speed smoke;
+		// the default sizes measure real scatter-gather throughput.
+		nClients := *clients
+		if *quick {
+			set := map[string]bool{}
+			flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+			if !set["clients"] {
+				nClients = 4
+			}
+		}
+		rows, err := clusterExperiment(*n, *q, *s, *seed, *clusterN, nClients, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crackbench: cluster:", err)
+			os.Exit(1)
+		}
+		if *jsonOut == "" {
+			return
+		}
+		// -cluster -json writes just these rows (the full cell matrix is a
+		// separate, much longer run).
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crackbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.WriteJSONRows(bench.Config{N: *n, Q: *q, S: *s, Seed: *seed}, out, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "crackbench: json:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "json report written to %s\n", *jsonOut)
+		return
+	}
 	if *parCrack {
 		rows, err := bench.ParallelCrackRows(bench.Config{N: *n, Q: *q, S: *s, Seed: *seed})
 		if err != nil {

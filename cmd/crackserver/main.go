@@ -15,6 +15,21 @@
 // closed-form oracle; `crackbench -serve` exploits that to validate a
 // whole load-test run end to end over the wire.
 //
+// # Cluster mode
+//
+// With -shard-of, the server holds one contiguous value slice of a larger
+// permutation and reports the owned range on /healthz; a coordinator
+// (-coordinator -backends=...) value-routes queries and updates across
+// such backends, scatter-gathers the answers, and migrates shard ranges
+// live between nodes (see internal/cluster):
+//
+//	crackserver -addr :9001 -shard-of 1000000 -shard-lo 0      -shard-hi 500000
+//	crackserver -addr :9002 -shard-of 1000000 -shard-lo 500000 -shard-hi 1000000
+//	crackserver -addr :8080 -coordinator -backends=http://127.0.0.1:9001,http://127.0.0.1:9002
+//
+// -tls-cert/-tls-key serve HTTPS; -auth-token requires a bearer token on
+// every request but GET /healthz (both modes).
+//
 // On SIGINT/SIGTERM the server drains gracefully: it stops accepting,
 // waits up to -drain for in-flight requests, then cancels their contexts
 // (the DB's query paths honor cancellation) and exits.
@@ -36,6 +51,8 @@ import (
 	"time"
 
 	crackdb "repro"
+	"repro/internal/cluster"
+	"repro/internal/cluster/client"
 	"repro/internal/server"
 )
 
@@ -53,8 +70,29 @@ func main() {
 		snapIntv = flag.Duration("snapshot-interval", 0, "periodically save a snapshot to -snapshot (0 disables)")
 		parCrack = flag.Bool("parallel-crack", false, "crack large pieces with the chunked parallel kernel (values-only columns)")
 		coarse   = flag.Int("coarse-init", 0, "coarse-granular initialization: pre-cut a cold build into this many pieces (0 disables; ignored on warm start)")
+
+		tlsCert   = flag.String("tls-cert", "", "TLS certificate file; with -tls-key, serve HTTPS")
+		tlsKey    = flag.String("tls-key", "", "TLS private key file")
+		authToken = flag.String("auth-token", "", "require 'Authorization: Bearer <token>' on every request but GET /healthz")
+
+		shardOf = flag.Int64("shard-of", 0, "cluster mode: this node holds the [-shard-lo, -shard-hi) value slice of a permutation of [0, shard-of) (overrides -n)")
+		shardLo = flag.Int64("shard-lo", 0, "owned value range start (with -shard-of)")
+		shardHi = flag.Int64("shard-hi", 0, "owned value range end, exclusive (with -shard-of)")
+
+		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator over -backends instead of serving data")
+		backends    = flag.String("backends", "", "comma-separated backend base URLs for -coordinator")
+		backendTok  = flag.String("backend-token", "", "bearer token the coordinator presents to its backends (default: -auth-token)")
 	)
 	flag.Parse()
+
+	if (*tlsCert == "") != (*tlsKey == "") {
+		log.Fatalf("crackserver: -tls-cert and -tls-key go together")
+	}
+
+	if *coordinator {
+		runCoordinator(*addr, *addrFile, *backends, *authToken, *backendTok, *tlsCert, *tlsKey, *drain)
+		return
+	}
 
 	conc, err := parseMode(*mode)
 	if err != nil {
@@ -62,6 +100,9 @@ func main() {
 	}
 	if *snapIntv > 0 && *snapPath == "" {
 		log.Fatalf("crackserver: -snapshot-interval needs -snapshot")
+	}
+	if *shardOf > 0 && !(0 <= *shardLo && *shardLo <= *shardHi && *shardHi <= *shardOf) {
+		log.Fatalf("crackserver: need 0 <= -shard-lo <= -shard-hi <= -shard-of")
 	}
 
 	opts := []crackdb.Option{crackdb.WithSeed(*seed), crackdb.WithConcurrency(conc)}
@@ -78,6 +119,7 @@ func main() {
 	// otherwise. A warm start restores into whatever -mode says — the
 	// snapshot re-cuts itself along new shard bounds if the count changed.
 	var db *crackdb.DB
+	restored := false
 	if *snapPath != "" {
 		// Only a confirmed not-exist falls through to a cold start: any
 		// other stat failure is fatal, because proceeding cold would let
@@ -91,7 +133,8 @@ func main() {
 			if err != nil {
 				log.Fatalf("crackserver: warm start from %s: %v", *snapPath, err)
 			}
-			if int64(db.Rows()) != *n {
+			restored = true
+			if *shardOf == 0 && int64(db.Rows()) != *n {
 				log.Printf("snapshot holds %d rows; overriding -n %d", db.Rows(), *n)
 				*n = int64(db.Rows())
 			}
@@ -100,8 +143,19 @@ func main() {
 		}
 	}
 	if db == nil {
-		log.Printf("building %d-row permutation (seed %d)...", *n, *seed)
-		data := crackdb.MakeData(*n, *seed)
+		var data []int64
+		if *shardOf > 0 {
+			log.Printf("building [%d, %d) slice of a %d-row permutation (seed %d)...",
+				*shardLo, *shardHi, *shardOf, *seed)
+			for _, v := range crackdb.MakeData(*shardOf, *seed) {
+				if v >= *shardLo && v < *shardHi {
+					data = append(data, v)
+				}
+			}
+		} else {
+			log.Printf("building %d-row permutation (seed %d)...", *n, *seed)
+			data = crackdb.MakeData(*n, *seed)
+		}
 		db, err = crackdb.Open(data, *algo, opts...)
 		if err != nil {
 			log.Fatalf("crackserver: %v", err)
@@ -109,40 +163,28 @@ func main() {
 	}
 	defer db.Close()
 
+	info := server.Info{
+		Rows: *n, Algorithm: *algo, Seed: *seed, Permutation: true,
+		ParallelCrack: *parCrack, CoarseInitPieces: *coarse,
+	}
+	if *shardOf > 0 {
+		// A slice is not the full permutation; the coordinator re-derives
+		// the cluster-wide flag from how the slices tile.
+		info.Rows = int64(db.Rows())
+		info.Permutation = false
+	}
 	srv := server.New(db, server.Config{
 		MaxInFlight:  *inflight,
 		SnapshotPath: *snapPath,
-		Info: server.Info{
-			Rows: *n, Algorithm: *algo, Seed: *seed, Permutation: true,
-			ParallelCrack: *parCrack, CoarseInitPieces: *coarse,
+		Info:         info,
+		AuthToken:    *authToken,
+		ShardLo:      *shardLo,
+		ShardHi:      *shardHi,
+		Restored:     restored,
+		Reopen: func(snap crackdb.DBSnapshot) (*crackdb.DB, error) {
+			return crackdb.OpenSnapshot(snap, *algo, opts...)
 		},
 	})
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatalf("crackserver: %v", err)
-	}
-	resolved := ln.Addr().String()
-	if *addrFile != "" {
-		// Write-then-rename so a polling reader never sees a partial file.
-		tmp := *addrFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(resolved), 0o644); err != nil {
-			log.Fatalf("crackserver: %v", err)
-		}
-		if err := os.Rename(tmp, *addrFile); err != nil {
-			log.Fatalf("crackserver: %v", err)
-		}
-	}
-
-	// baseCtx cancels every in-flight request's context when the drain
-	// budget runs out; until then Shutdown lets them finish.
-	baseCtx, cancelRequests := context.WithCancel(context.Background())
-	defer cancelRequests()
-	hs := &http.Server{
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-		BaseContext:       func(net.Listener) context.Context { return baseCtx },
-	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -171,9 +213,84 @@ func main() {
 		}()
 	}
 
+	banner := fmt.Sprintf("serving %s (%s)", db.Name(), db.Mode())
+	if *shardOf > 0 {
+		banner = fmt.Sprintf("serving shard [%d, %d) of %d: %s (%s)",
+			*shardLo, *shardHi, *shardOf, db.Name(), db.Mode())
+	}
+	serve(ctx, *addr, *addrFile, *tlsCert, *tlsKey, *drain, srv.Handler(), banner)
+}
+
+// runCoordinator boots the scatter-gather coordinator over the given
+// backend URLs and serves the same v1 API surface.
+func runCoordinator(addr, addrFile, backendList, authToken, backendTok, tlsCert, tlsKey string, drain time.Duration) {
+	var urls []string
+	for _, u := range strings.Split(backendList, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatalf("crackserver: -coordinator needs -backends=url1,url2,...")
+	}
+	if backendTok == "" {
+		backendTok = authToken
+	}
+	bootCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	coord, err := cluster.New(bootCtx, urls, cluster.Config{
+		Client:    client.Config{Token: backendTok},
+		AuthToken: authToken,
+	})
+	if err != nil {
+		log.Fatalf("crackserver: %v", err)
+	}
+	defer coord.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	banner := fmt.Sprintf("coordinating %d rows across %d backends", coord.Rows(), len(urls))
+	serve(ctx, addr, addrFile, tlsCert, tlsKey, drain, coord.Handler(), banner)
+}
+
+// serve runs handler on addr (TLS when cert/key are set) until ctx is
+// done, then drains gracefully within the drain budget.
+func serve(ctx context.Context, addr, addrFile, tlsCert, tlsKey string, drain time.Duration, handler http.Handler, banner string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("crackserver: %v", err)
+	}
+	resolved := ln.Addr().String()
+	if addrFile != "" {
+		// Write-then-rename so a polling reader never sees a partial file.
+		tmp := addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(resolved), 0o644); err != nil {
+			log.Fatalf("crackserver: %v", err)
+		}
+		if err := os.Rename(tmp, addrFile); err != nil {
+			log.Fatalf("crackserver: %v", err)
+		}
+	}
+
+	// baseCtx cancels every in-flight request's context when the drain
+	// budget runs out; until then Shutdown lets them finish.
+	baseCtx, cancelRequests := context.WithCancel(context.Background())
+	defer cancelRequests()
+	hs := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- hs.Serve(ln) }()
-	log.Printf("serving %s (%s) on http://%s", db.Name(), db.Mode(), displayAddr(resolved))
+	scheme := "http"
+	if tlsCert != "" {
+		scheme = "https"
+		go func() { serveErr <- hs.ServeTLS(ln, tlsCert, tlsKey) }()
+	} else {
+		go func() { serveErr <- hs.Serve(ln) }()
+	}
+	log.Printf("%s on %s://%s", banner, scheme, displayAddr(resolved))
 
 	select {
 	case err := <-serveErr:
@@ -181,8 +298,8 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	log.Printf("draining (up to %v)...", *drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	log.Printf("draining (up to %v)...", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		log.Printf("drain budget exceeded; canceling in-flight requests: %v", err)

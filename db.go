@@ -623,16 +623,18 @@ func (db *DB) PieceSizes() ([]int, error) {
 // so the manifest is one atomic cut of the whole index — one part per
 // shard, shard boundaries included, so the restore can rebuild or re-cut
 // the same partitioning.
-// Indexes with pending updates must merge them before snapshotting
-// (query the relevant ranges) or the snapshot fails with
-// ErrPendingUpdates; table databases fail with ErrSnapshotUnsupported.
+// Queued, not-yet-merged updates are captured with the snapshot (the
+// manifest carries the pending queues; OpenSnapshot re-queues them), so a
+// capture never has to refuse because updates are in flight — use
+// SnapshotStrict when a caller explicitly wants that refusal. Table
+// databases fail with ErrSnapshotUnsupported.
 func (db *DB) Snapshot() (DBSnapshot, error) {
 	if db.closed.Load() {
 		return DBSnapshot{}, fmt.Errorf("crackdb: %w", ErrClosed)
 	}
 	switch {
 	case db.ix != nil:
-		st, err := db.ix.Snapshot()
+		st, err := db.ix.snapshotState()
 		if err != nil {
 			return DBSnapshot{}, err
 		}
@@ -669,18 +671,39 @@ func (db *DB) Snapshot() (DBSnapshot, error) {
 	}
 }
 
-// snapshotInner serializes any engine-backed index, refusing while
-// updates are pending (their queue is not part of the snapshot format).
+// snapshotInner serializes any engine-backed index. Pending updates are
+// captured into the state's queue fields, not merged: the restore
+// re-queues them so the first covering query merges them lazily, exactly
+// as it would have on the snapshotted index.
 func snapshotInner(inner exec.Index) (SnapshotState, error) {
-	if u, ok := inner.(*updates.Index); ok && u.Pending() > 0 {
-		return SnapshotState{}, fmt.Errorf("crackdb: %d updates queued; merge them before snapshotting: %w",
-			u.Pending(), ErrPendingUpdates)
-	}
 	acc, ok := inner.(interface{ Engine() *core.Engine })
 	if !ok {
 		return SnapshotState{}, fmt.Errorf("crackdb: %s: %w", inner.Name(), ErrSnapshotUnsupported)
 	}
-	return acc.Engine().Snapshot(), nil
+	st := acc.Engine().Snapshot()
+	if u, ok := inner.(*updates.Index); ok {
+		st.PendingInserts, st.PendingDeletes = u.PendingSnapshot()
+	}
+	return st, nil
+}
+
+// SnapshotStrict is Snapshot refusing to capture while updates are
+// queued: it fails with ErrPendingUpdates instead of carrying the
+// queues. Callers that treat a snapshot as a fully-merged cut (e.g. an
+// operator asking for a clean backup) use this; everyone else wants
+// Snapshot, which never refuses.
+func (db *DB) SnapshotStrict() (DBSnapshot, error) {
+	snap, err := db.Snapshot()
+	if err != nil {
+		return DBSnapshot{}, err
+	}
+	// Checked on the captured manifest, not a live counter, so the
+	// decision is atomic with the capture even in concurrent modes.
+	if n := snap.Pending(); n > 0 {
+		return DBSnapshot{}, fmt.Errorf("crackdb: %d updates queued; merge them before snapshotting: %w",
+			n, ErrPendingUpdates)
+	}
+	return snap, nil
 }
 
 // toExecRanges converts a predicate range list to the executor form.

@@ -200,12 +200,27 @@ func TestDBSnapshotModes(t *testing.T) {
 				t.Fatalf("%s->%s: restored count=%d err=%v", name, tname, res.Count(), err)
 			}
 		}
-		// Pending updates block snapshots, with the sentinel.
+		// Pending updates are captured with the snapshot and restored; only
+		// the strict variant refuses, with the sentinel.
 		if err := db.Insert(1); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := db.Snapshot(); !errors.Is(err, crackdb.ErrPendingUpdates) {
-			t.Fatalf("%s: snapshot with pending updates: err = %v", name, err)
+		if _, err := db.SnapshotStrict(); !errors.Is(err, crackdb.ErrPendingUpdates) {
+			t.Fatalf("%s: strict snapshot with pending updates: err = %v", name, err)
+		}
+		withPending, err := db.Snapshot()
+		if err != nil {
+			t.Fatalf("%s: snapshot with pending updates: %v", name, err)
+		}
+		if withPending.Pending() != 1 {
+			t.Fatalf("%s: snapshot pending=%d, want 1", name, withPending.Pending())
+		}
+		requeued, err := crackdb.OpenSnapshot(withPending, crackdb.Crack)
+		if err != nil {
+			t.Fatalf("%s: restore with pending updates: %v", name, err)
+		}
+		if n := requeued.PendingUpdates(); n != 1 {
+			t.Fatalf("%s: restored pending=%d, want 1", name, n)
 		}
 	}
 }

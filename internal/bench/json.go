@@ -34,6 +34,10 @@ type JSONRow struct {
 	Allocs     int64  `json:"allocs"` // mean heap allocations per query
 	Bytes      int64  `json:"bytes"`  // mean heap bytes per query
 	Oracle     string `json:"oracle"` // "ok", "n/a" (kernel rows) or the failure
+	// Pieces is the index piece count the row's run ended with, where
+	// meaningful (cluster and migration rows: non-zero means the node
+	// serves warm).
+	Pieces int `json:"pieces,omitempty"`
 }
 
 // JSONReport is the envelope of a BENCH_*.json file.
@@ -67,17 +71,7 @@ var (
 func WriteJSON(cfg Config, w io.Writer, extra []JSONRow) error {
 	cfg = cfg.WithDefaults()
 	cfg.Validate = true
-	rep := JSONReport{
-		Schema:    "crackdb-bench/v1",
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Go:        runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		N:         cfg.N,
-		Q:         cfg.Q,
-		S:         cfg.S,
-		Seed:      cfg.Seed,
-	}
+	var rows []JSONRow
 	var failed []string
 	for _, wl := range jsonWorkloads {
 		for _, spec := range jsonAlgos {
@@ -92,14 +86,11 @@ func WriteJSON(cfg Config, w io.Writer, extra []JSONRow) error {
 				row.Allocs = s.Allocs / int64(cfg.Q)
 				row.Bytes = s.AllocBytes / int64(cfg.Q)
 			}
-			rep.Rows = append(rep.Rows, row)
+			rows = append(rows, row)
 		}
 	}
-	rep.Rows = append(rep.Rows, extra...)
-	sortRows(rep.Rows)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	rows = append(rows, extra...)
+	if err := WriteJSONRows(cfg, w, rows); err != nil {
 		return err
 	}
 	if len(failed) > 0 {
@@ -107,6 +98,29 @@ func WriteJSON(cfg Config, w io.Writer, extra []JSONRow) error {
 			strings.Join(failed, ", "))
 	}
 	return nil
+}
+
+// WriteJSONRows writes a crackdb-bench/v1 report holding exactly the
+// given rows — for callers that measured elsewhere (crackbench -cluster)
+// and only want the envelope.
+func WriteJSONRows(cfg Config, w io.Writer, rows []JSONRow) error {
+	cfg = cfg.WithDefaults()
+	rep := JSONReport{
+		Schema:    "crackdb-bench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		N:         cfg.N,
+		Q:         cfg.Q,
+		S:         cfg.S,
+		Seed:      cfg.Seed,
+		Rows:      rows,
+	}
+	sortRows(rep.Rows)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func sortRows(rows []JSONRow) {

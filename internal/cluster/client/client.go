@@ -1,0 +1,394 @@
+// Package client is the cluster coordinator's resilient view of one
+// crackserver backend: the plain wire client (internal/server.Client)
+// wrapped with per-attempt timeouts, bounded retries with exponential
+// backoff, hedged reads, and a circuit breaker whose state the
+// coordinator surfaces in /debug/metrics.
+//
+// The retry policy is deliberately asymmetric. Reads are idempotent —
+// answering a range query twice refines the index twice but returns the
+// same tuples — so they retry on any transport error or 5xx/429. Updates
+// are not: a retried insert that actually landed the first time would
+// put a duplicate tuple in the column and silently break the oracle. So
+// updates retry only on errors where the request provably never reached
+// the index: connection refusals and the server's own fast-reject
+// statuses (429 over-capacity, 503 closed), both sent before any state
+// changed.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Config is the per-backend resilience policy.
+type Config struct {
+	// Timeout bounds each attempt (default 5s).
+	Timeout time.Duration
+	// Retries is the number of re-attempts after the first try for
+	// idempotent requests (default 2; updates use their own narrow
+	// policy regardless).
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per attempt
+	// (default 25ms).
+	Backoff time.Duration
+	// HedgeDelay, when > 0, re-issues an in-flight read to the same
+	// backend after this delay and takes whichever response lands first —
+	// the paper-adjacent tail-tolerance trick for a non-replicated
+	// cluster (there is no second copy to ask, but a fresh request can
+	// overtake one stuck behind a reorganization drain).
+	HedgeDelay time.Duration
+	// FailThreshold is the number of consecutive failures that opens the
+	// circuit (default 3).
+	FailThreshold int
+	// Cooldown is how long an open circuit rejects calls before letting a
+	// probe through (default 2s).
+	Cooldown time.Duration
+	// Token is the bearer token for backends started with -auth-token.
+	Token string
+	// HTTPClient overrides the transport (TLS config for self-signed
+	// certs); nil uses http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 25 * time.Millisecond
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 2 * time.Second
+	}
+	return cfg
+}
+
+// ErrCircuitOpen is returned without touching the network while a
+// backend's circuit is open (inside the cooldown window).
+var ErrCircuitOpen = errors.New("cluster: backend circuit open")
+
+// circuit states.
+const (
+	circuitClosed int32 = iota
+	circuitOpen
+	circuitHalfOpen
+)
+
+// Backend is one crackserver endpoint behind the resilience policy. Safe
+// for concurrent use.
+type Backend struct {
+	url string
+	api *server.Client
+	cfg Config
+
+	// mu guards the circuit state machine.
+	mu       sync.Mutex
+	state    int32
+	fails    int
+	openedAt time.Time
+
+	// counters for /debug/metrics (guarded by mu too; they move on the
+	// same transitions).
+	retries int64
+	hedges  int64
+	trips   int64
+}
+
+// New builds a Backend for the crackserver at url.
+func New(url string, cfg Config) *Backend {
+	cfg = cfg.withDefaults()
+	var opts []server.ClientOption
+	if cfg.Token != "" {
+		opts = append(opts, server.WithToken(cfg.Token))
+	}
+	return &Backend{
+		url: url,
+		api: server.NewClient(url, cfg.HTTPClient, opts...),
+		cfg: cfg,
+	}
+}
+
+// URL returns the backend's base URL.
+func (b *Backend) URL() string { return b.url }
+
+// CircuitState reports the circuit for metrics: "closed", "open" or
+// "half-open", plus the consecutive-failure count and how often the
+// breaker tripped.
+func (b *Backend) CircuitState() (state string, consecutiveFails int, trips int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case circuitOpen:
+		state = "open"
+	case circuitHalfOpen:
+		state = "half-open"
+	default:
+		state = "closed"
+	}
+	return state, b.fails, b.trips
+}
+
+// Counters reports the retry and hedge totals for metrics.
+func (b *Backend) Counters() (retries, hedges int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.retries, b.hedges
+}
+
+// allow gates an attempt on the circuit: open circuits reject until the
+// cooldown elapses, then let probes through half-open.
+func (b *Backend) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == circuitOpen {
+		if time.Since(b.openedAt) < b.cfg.Cooldown {
+			return fmt.Errorf("%w (%s)", ErrCircuitOpen, b.url)
+		}
+		b.state = circuitHalfOpen
+	}
+	return nil
+}
+
+// record feeds an attempt's outcome into the circuit. Only backend-health
+// failures count: transport errors and 5xx. Client-side errors (4xx,
+// canceled contexts) say nothing about the backend.
+func (b *Backend) record(err error) {
+	healthy := err == nil || !countsAsFailure(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if healthy {
+		b.state = circuitClosed
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == circuitHalfOpen || b.fails >= b.cfg.FailThreshold {
+		if b.state != circuitOpen {
+			b.trips++
+		}
+		b.state = circuitOpen
+		b.openedAt = time.Now()
+	}
+}
+
+// countsAsFailure classifies an error as evidence of backend trouble.
+func countsAsFailure(err error) bool {
+	var apiErr *server.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status >= 500
+	}
+	// 429 is load shedding, not ill health; everything else that is not a
+	// caller-side cancellation is transport-level trouble.
+	return !errors.Is(err, context.Canceled)
+}
+
+// retriableRead reports whether a read is worth re-attempting.
+func retriableRead(err error) bool {
+	var apiErr *server.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status >= 500 || apiErr.Status == http.StatusTooManyRequests
+	}
+	return !errors.Is(err, context.Canceled)
+}
+
+// retriableUpdate reports whether an update provably never applied, so a
+// retry cannot double-apply it.
+func retriableUpdate(err error) bool {
+	var apiErr *server.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status == http.StatusTooManyRequests ||
+			apiErr.Status == http.StatusServiceUnavailable
+	}
+	var opErr *net.OpError
+	if errors.As(err, &opErr) && errors.Is(err, syscall.ECONNREFUSED) {
+		return true
+	}
+	return errors.Is(err, ErrCircuitOpen)
+}
+
+// attempt runs one call under the per-attempt timeout and feeds the
+// circuit.
+func attempt[T any](ctx context.Context, b *Backend, call func(context.Context) (T, error)) (T, error) {
+	var zero T
+	if err := b.allow(); err != nil {
+		return zero, err
+	}
+	actx, cancel := context.WithTimeout(ctx, b.cfg.Timeout)
+	defer cancel()
+	out, err := call(actx)
+	b.record(err)
+	if err != nil {
+		return zero, err
+	}
+	return out, nil
+}
+
+// retrying runs call with the read policy: up to cfg.Retries
+// re-attempts, exponential backoff between them.
+func retrying[T any](ctx context.Context, b *Backend, retriable func(error) bool, call func(context.Context) (T, error)) (T, error) {
+	var zero T
+	var lastErr error
+	for try := 0; try <= b.cfg.Retries; try++ {
+		if try > 0 {
+			b.mu.Lock()
+			b.retries++
+			b.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return zero, ctx.Err()
+			case <-time.After(b.cfg.Backoff << (try - 1)):
+			}
+		}
+		out, err := attempt(ctx, b, call)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if !retriable(err) {
+			break
+		}
+	}
+	return zero, lastErr
+}
+
+// hedged wraps a read with the hedge policy: when the first attempt has
+// not answered within HedgeDelay, an identical second request races it
+// and the first response wins.
+func hedged[T any](ctx context.Context, b *Backend, call func(context.Context) (T, error)) (T, error) {
+	if b.cfg.HedgeDelay <= 0 {
+		return retrying(ctx, b, retriableRead, call)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		out T
+		err error
+	}
+	results := make(chan outcome, 2)
+	launch := func() {
+		out, err := retrying(hctx, b, retriableRead, call)
+		results <- outcome{out, err}
+	}
+	go launch()
+	timer := time.NewTimer(b.cfg.HedgeDelay)
+	defer timer.Stop()
+	launched := 1
+	for {
+		select {
+		case <-timer.C:
+			if launched == 1 {
+				b.mu.Lock()
+				b.hedges++
+				b.mu.Unlock()
+				go launch()
+				launched++
+			}
+		case res := <-results:
+			// First success wins; a failure only settles the call once no
+			// sibling is still running.
+			if res.err == nil || launched == 1 {
+				return res.out, res.err
+			}
+			launched--
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// Query posts a query request, with retries and (when configured) a
+// hedge.
+func (b *Backend) Query(ctx context.Context, req server.QueryRequest) (server.QueryResponse, error) {
+	return hedged(ctx, b, func(ctx context.Context) (server.QueryResponse, error) {
+		return b.api.Query(ctx, req)
+	})
+}
+
+// Insert queues values on the backend, retrying only when the request
+// provably never applied.
+func (b *Backend) Insert(ctx context.Context, values ...int64) (pending int, err error) {
+	return retrying(ctx, b, retriableUpdate, func(ctx context.Context) (int, error) {
+		return b.api.Insert(ctx, values...)
+	})
+}
+
+// Delete queues value removals, with the update retry policy.
+func (b *Backend) Delete(ctx context.Context, values ...int64) (pending int, err error) {
+	return retrying(ctx, b, retriableUpdate, func(ctx context.Context) (int, error) {
+		return b.api.Delete(ctx, values...)
+	})
+}
+
+// Health fetches the backend's readiness payload (no retries: the health
+// loop is itself the retry).
+func (b *Backend) Health(ctx context.Context) (server.HealthResponse, error) {
+	return attempt(ctx, b, func(ctx context.Context) (server.HealthResponse, error) {
+		return b.api.Health(ctx)
+	})
+}
+
+// Stats fetches the backend's /v1/stats, with read retries.
+func (b *Backend) Stats(ctx context.Context) (server.StatsResponse, error) {
+	return retrying(ctx, b, retriableRead, func(ctx context.Context) (server.StatsResponse, error) {
+		return b.api.Stats(ctx)
+	})
+}
+
+// SnapshotRange pulls the manifest stream of [lo, hi) from the backend —
+// the donor side of a migration. One attempt, under the read timeout
+// scaled up for the payload.
+func (b *Backend) SnapshotRange(ctx context.Context, lo, hi int64) ([]byte, error) {
+	if err := b.allow(); err != nil {
+		return nil, err
+	}
+	actx, cancel := context.WithTimeout(ctx, 4*b.cfg.Timeout)
+	defer cancel()
+	stream, err := b.api.SnapshotRange(actx, lo, hi)
+	b.record(err)
+	return stream, err
+}
+
+// RestoreSnapshot feeds a manifest stream to the backend's POST
+// /v1/restore, declaring [lo, hi) as the range the node owns afterwards
+// — the joiner side of a migration. One attempt (a replayed restore is
+// harmless but a timeout here should surface, not loop).
+func (b *Backend) RestoreSnapshot(ctx context.Context, stream []byte, lo, hi int64) (server.RestoreResponse, error) {
+	if err := b.allow(); err != nil {
+		return server.RestoreResponse{}, err
+	}
+	actx, cancel := context.WithTimeout(ctx, 4*b.cfg.Timeout)
+	defer cancel()
+	resp, err := b.api.RestoreSnapshot(actx, stream, lo, hi)
+	b.record(err)
+	return resp, err
+}
+
+// Retain asks the backend to shrink to [lo, hi) — the donor's final
+// migration step.
+func (b *Backend) Retain(ctx context.Context, lo, hi int64) (server.RestoreResponse, error) {
+	if err := b.allow(); err != nil {
+		return server.RestoreResponse{}, err
+	}
+	actx, cancel := context.WithTimeout(ctx, 4*b.cfg.Timeout)
+	defer cancel()
+	resp, err := b.api.Retain(actx, lo, hi)
+	b.record(err)
+	return resp, err
+}

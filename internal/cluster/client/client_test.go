@@ -1,0 +1,195 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	crackdb "repro"
+	"repro/internal/server"
+)
+
+// fakeBackend serves a minimal v1 surface through the given handler
+// override; unmatched paths 404.
+func fakeBackend(t *testing.T, handler http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func queryOK(w http.ResponseWriter) {
+	_ = json.NewEncoder(w).Encode(server.QueryResponse{
+		Results: []server.QueryResult{{Count: 1, Sum: 1}},
+	})
+}
+
+func TestReadRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	ts := fakeBackend(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"boom","code":"internal"}`, http.StatusInternalServerError)
+			return
+		}
+		queryOK(w)
+	})
+	b := New(ts.URL, Config{Retries: 2, Backoff: time.Millisecond})
+	resp, err := b.Query(context.Background(), server.QueryRequest{})
+	if err != nil || len(resp.Results) != 1 {
+		t.Fatalf("query after retries: %+v, %v", resp, err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+	retries, _ := b.Counters()
+	if retries != 2 {
+		t.Fatalf("retries counter %d, want 2", retries)
+	}
+}
+
+// TestUpdateRetryAsymmetry: a 500 might mean the insert landed, so
+// updates must NOT retry it; a 503 is sent before any state changes, so
+// they may.
+func TestUpdateRetryAsymmetry(t *testing.T) {
+	var calls atomic.Int32
+	ts := fakeBackend(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"boom","code":"internal"}`, http.StatusInternalServerError)
+	})
+	b := New(ts.URL, Config{Retries: 3, Backoff: time.Millisecond})
+	if _, err := b.Insert(context.Background(), 1); err == nil {
+		t.Fatal("insert against a 500 backend succeeded")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("500 insert was attempted %d times, want exactly 1 (it may have applied)", got)
+	}
+
+	calls.Store(0)
+	ts2 := fakeBackend(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, `{"error":"draining","code":"unavailable"}`, http.StatusServiceUnavailable)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(server.UpdateResponse{Pending: 1})
+	})
+	b2 := New(ts2.URL, Config{Retries: 3, Backoff: time.Millisecond})
+	if _, err := b2.Insert(context.Background(), 1); err != nil {
+		t.Fatalf("insert after a provably-unapplied 503: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("503-then-ok insert took %d calls, want 2", got)
+	}
+}
+
+func TestCircuitBreaker(t *testing.T) {
+	var calls atomic.Int32
+	ts := fakeBackend(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"boom","code":"internal"}`, http.StatusInternalServerError)
+	})
+	b := New(ts.URL, Config{
+		Retries: -1, Backoff: time.Millisecond,
+		FailThreshold: 3, Cooldown: 50 * time.Millisecond,
+	})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := b.Query(ctx, server.QueryRequest{}); err == nil {
+			t.Fatal("query against 500 backend succeeded")
+		}
+	}
+	state, fails, trips := b.CircuitState()
+	if state != "open" || fails < 3 || trips != 1 {
+		t.Fatalf("after threshold: state=%s fails=%d trips=%d", state, fails, trips)
+	}
+	// While open, calls short-circuit without touching the network.
+	before := calls.Load()
+	if _, err := b.Query(ctx, server.QueryRequest{}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open circuit returned %v, want ErrCircuitOpen", err)
+	}
+	if calls.Load() != before {
+		t.Fatal("open circuit still hit the network")
+	}
+	// After the cooldown a probe goes through; success closes the
+	// circuit.
+	time.Sleep(60 * time.Millisecond)
+	ok := func(w http.ResponseWriter, r *http.Request) { queryOK(w) }
+	ts.Config.Handler = http.HandlerFunc(ok)
+	if _, err := b.Query(ctx, server.QueryRequest{}); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if state, _, _ := b.CircuitState(); state != "closed" {
+		t.Fatalf("after successful probe: state=%s, want closed", state)
+	}
+}
+
+func TestHedgedRead(t *testing.T) {
+	var calls atomic.Int32
+	release := make(chan struct{})
+	ts := fakeBackend(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-release // first request stalls until the test ends
+		}
+		queryOK(w)
+	})
+	t.Cleanup(func() { close(release) })
+	b := New(ts.URL, Config{Retries: -1, HedgeDelay: 10 * time.Millisecond, Timeout: 5 * time.Second})
+	start := time.Now()
+	resp, err := b.Query(context.Background(), server.QueryRequest{})
+	if err != nil || len(resp.Results) != 1 {
+		t.Fatalf("hedged query: %+v, %v", resp, err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedge did not overtake the stalled request (%v)", elapsed)
+	}
+	_, hedges := b.Counters()
+	if hedges != 1 {
+		t.Fatalf("hedges counter %d, want 1", hedges)
+	}
+}
+
+// TestTLSAndBearerEndToEnd drives a real crackdb-backed server over
+// HTTPS with bearer auth through the resilient client — the transport
+// crackserver -tls-cert/-tls-key -auth-token serves.
+func TestTLSAndBearerEndToEnd(t *testing.T) {
+	const rows = 5_000
+	db, err := crackdb.Open(crackdb.MakeData(rows, 1), crackdb.DD1R,
+		crackdb.WithConcurrency(crackdb.Shared))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Config{
+		Info:      server.Info{Rows: rows, Algorithm: crackdb.DD1R, Permutation: true},
+		AuthToken: "s3cret",
+	})
+	ts := httptest.NewTLSServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	b := New(ts.URL, Config{Token: "s3cret", HTTPClient: ts.Client()})
+	resp, err := b.Query(context.Background(), server.QueryRequest{
+		QueryItem: server.QueryItem{Lo: 100, Hi: 200}, Aggregate: true,
+	})
+	if err != nil {
+		t.Fatalf("TLS query: %v", err)
+	}
+	if got := resp.Results[0]; got.Count != 100 {
+		t.Fatalf("TLS query count %d, want 100", got.Count)
+	}
+	// Health is exempt from auth even over TLS.
+	noToken := New(ts.URL, Config{HTTPClient: ts.Client(), Retries: -1})
+	if _, err := noToken.Health(context.Background()); err != nil {
+		t.Fatalf("unauthenticated healthz over TLS: %v", err)
+	}
+	// But the data plane is not.
+	_, err = noToken.Query(context.Background(), server.QueryRequest{
+		QueryItem: server.QueryItem{Lo: 0, Hi: 1},
+	})
+	var apiErr *server.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated query over TLS: %v, want 401", err)
+	}
+}

@@ -1,0 +1,845 @@
+// Package cluster is the distributed layer over crackserver nodes: a
+// scatter-gather coordinator that value-routes queries and updates to N
+// backends, each owning one contiguous shard of the value domain, and
+// keeps serving through node trouble via health-checked backends, per-
+// backend circuit breakers and hedged reads (internal/cluster/client).
+//
+// It is the paper's §6 "distribution" direction taken one level above
+// internal/exec's in-process sharding: the same value-range partitioning
+// idea, but each shard is a whole crackserver process reachable over the
+// v1 HTTP/JSON API — cracking state, lazy updates, snapshots and all.
+// The coordinator speaks that same API to its own clients, so everything
+// built against one crackserver (crackbench -serve, the closed-form
+// oracle validation, the Go client) works unchanged against a cluster.
+//
+// # Routing
+//
+// The routing table is an ascending list of half-open value ranges
+// tiling the whole int64 domain, one backend per entry, behind an atomic
+// pointer: reads load it once per request, migrations swap it wholesale.
+// Every sub-request is clamped to its entry's range — which is what
+// makes migration safe: a donor may retain stale tuples of a moved range
+// (e.g. when its shrink step failed), but no query ever asks it for
+// values outside the range the table says it owns.
+//
+// # Live shard migration
+//
+// Migrate moves [lo, hi) from the backend owning it to a joining node in
+// four steps: capture the donor's range (GET /v1/snapshot/range, pending
+// updates ride along in the v3 stream), restore it into the joiner (POST
+// /v1/restore — the joiner starts warm, with every crack the donor
+// earned), swap the routing table atomically, then shrink the donor
+// (POST /v1/retain). Updates are blocked for the whole window (updMu);
+// queries keep flowing throughout — the donor still holds the moving
+// range until the swap, and clamping hides whatever it holds after.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster/client"
+	"repro/internal/intervals"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Client is the per-backend resilience policy (timeouts, retries,
+	// hedging, circuit breaker).
+	Client client.Config
+	// HealthInterval is the background health-probe period (default
+	// 500ms).
+	HealthInterval time.Duration
+	// AuthToken, when non-empty, requires the coordinator's own clients
+	// to present "Authorization: Bearer <token>" (GET /healthz stays
+	// open), mirroring the single-server behavior.
+	AuthToken string
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 500 * time.Millisecond
+	}
+	return cfg
+}
+
+// node is one backend plus the coordinator's live view of it.
+type node struct {
+	*client.Backend
+	healthy atomic.Bool
+	// last successful readiness payload (nil before the first probe).
+	last atomic.Pointer[server.HealthResponse]
+}
+
+// route is one routing-table entry: node b owns values in [lo, hi).
+type route struct {
+	lo, hi int64
+	b      *node
+}
+
+// Coordinator scatter-gathers the v1 API across the routing table. Build
+// with New, mount Handler, stop with Close.
+type Coordinator struct {
+	cfg Config
+
+	// routes is the atomic routing table; always sorted ascending and
+	// tiling the full int64 domain.
+	routes atomic.Pointer[[]route]
+
+	// nodesMu guards nodes, the set of every backend ever admitted
+	// (routed or not — a fully-drained donor stays visible in metrics).
+	nodesMu sync.Mutex
+	nodes   []*node
+
+	// updMu serializes updates against migrations: updates take the read
+	// side, a migration's capture-swap-shrink window takes the write
+	// side. Queries take neither — they are safe throughout.
+	updMu sync.RWMutex
+	// migMu serializes migrations themselves.
+	migMu sync.Mutex
+
+	// rows/permutation describe the cluster dataset (derived at New from
+	// the backends' readiness payloads; migration never changes totals).
+	rows        int64
+	permutation bool
+	algorithm   string
+
+	mux        *http.ServeMux
+	queries    atomic.Int64
+	migrations atomic.Int64
+	stop       context.CancelFunc
+	loopDone   chan struct{}
+}
+
+// New builds a Coordinator over the backends at urls, probing each one's
+// /healthz readiness payload to learn the shard range it owns. The
+// reported ranges must be non-overlapping and contiguous after sorting;
+// the first and last entries are extended to the domain edges. Probes
+// retry until ctx expires, so backends may still be booting when New is
+// called.
+func New(ctx context.Context, urls []string, cfg Config) (*Coordinator, error) {
+	if len(urls) == 0 {
+		return nil, errors.New("cluster: no backends")
+	}
+	cfg = cfg.withDefaults()
+	c := &Coordinator{cfg: cfg}
+	type probed struct {
+		n *node
+		h server.HealthResponse
+	}
+	ps := make([]probed, len(urls))
+	var wg sync.WaitGroup
+	errs := make([]error, len(urls))
+	for i, url := range urls {
+		n := &node{Backend: client.New(url, cfg.Client)}
+		c.nodes = append(c.nodes, n)
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			h, err := probeUntilReady(ctx, n)
+			ps[i] = probed{n: n, h: h}
+			errs[i] = err
+		}(i, n)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: backend %s: %w", urls[i], err)
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].h.ShardLo < ps[j].h.ShardLo })
+	routes := make([]route, len(ps))
+	var total int64
+	perm := true
+	for i, p := range ps {
+		lo, hi := p.h.ShardLo, p.h.ShardHi
+		if i > 0 && lo != ps[i-1].h.ShardHi {
+			return nil, fmt.Errorf("cluster: shard ranges not contiguous: %s ends at %d, %s starts at %d",
+				ps[i-1].n.URL(), ps[i-1].h.ShardHi, p.n.URL(), lo)
+		}
+		routes[i] = route{lo: lo, hi: hi, b: p.n}
+		total += p.h.Rows
+		p.n.healthy.Store(true)
+		h := p.h
+		p.n.last.Store(&h)
+	}
+	// The cluster data is one permutation of [0, total) exactly when each
+	// backend holds every value of its range clamped to [0, total): a
+	// permutation has each value once, so the count must equal the
+	// clamped range width.
+	for _, p := range ps {
+		if p.h.Rows != rangeWidth(p.h.ShardLo, p.h.ShardHi, total) {
+			perm = false
+		}
+	}
+	extendToDomain(routes)
+	c.routes.Store(&routes)
+	c.rows = total
+	c.permutation = perm
+	if st, err := ps[0].n.Stats(ctx); err == nil {
+		c.algorithm = st.Algorithm
+	}
+
+	loopCtx, stop := context.WithCancel(context.Background())
+	c.stop = stop
+	c.loopDone = make(chan struct{})
+	go c.healthLoop(loopCtx)
+
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/query", c.handleQuery)
+	c.mux.HandleFunc("POST /v1/insert", func(w http.ResponseWriter, r *http.Request) { c.handleUpdate(w, r, true) })
+	c.mux.HandleFunc("POST /v1/delete", func(w http.ResponseWriter, r *http.Request) { c.handleUpdate(w, r, false) })
+	c.mux.HandleFunc("POST /v1/migrate", c.handleMigrate)
+	c.mux.HandleFunc("GET /v1/stats", c.handleStats)
+	c.mux.HandleFunc("GET /healthz", c.handleHealth)
+	c.mux.HandleFunc("GET /debug/metrics", c.handleMetrics)
+	return c, nil
+}
+
+// probeUntilReady polls a backend's health endpoint until it answers or
+// ctx expires.
+func probeUntilReady(ctx context.Context, n *node) (server.HealthResponse, error) {
+	var lastErr error
+	for {
+		h, err := n.Health(ctx)
+		if err == nil {
+			return h, nil
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return server.HealthResponse{}, fmt.Errorf("never became ready: %w", lastErr)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// rangeWidth returns the width of [lo, hi) clamped to [0, n).
+func rangeWidth(lo, hi, n int64) int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return 0
+	}
+	return hi - lo
+}
+
+// extendToDomain stretches the first and last routing entries to the
+// int64 domain edges, so every value routes somewhere.
+func extendToDomain(routes []route) {
+	routes[0].lo = minInt64
+	routes[len(routes)-1].hi = maxInt64
+}
+
+const (
+	minInt64 = int64(-1 << 63)
+	maxInt64 = int64(1<<63 - 1)
+)
+
+// Close stops the health loop. It does not touch the backends.
+func (c *Coordinator) Close() {
+	c.stop()
+	<-c.loopDone
+}
+
+// Handler returns the coordinator's HTTP handler, with bearer-token
+// enforcement when configured (GET /healthz stays open).
+func (c *Coordinator) Handler() http.Handler {
+	if c.cfg.AuthToken == "" {
+		return c.mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && r.URL.Path == "/healthz" {
+			c.mux.ServeHTTP(w, r)
+			return
+		}
+		auth := r.Header.Get("Authorization")
+		if auth != "Bearer "+c.cfg.AuthToken {
+			writeError(w, http.StatusUnauthorized, "unauthorized",
+				"missing or invalid bearer token (Authorization: Bearer ...)")
+			return
+		}
+		c.mux.ServeHTTP(w, r)
+	})
+}
+
+// Rows returns the cluster-wide row count.
+func (c *Coordinator) Rows() int64 { return c.rows }
+
+// healthLoop probes every node's readiness payload on a fixed cadence,
+// maintaining the healthy flags /healthz and /debug/metrics report. The
+// data path does not consult the flags — circuits and retries handle
+// trouble inline — so a slow probe can never take a serving backend out
+// of rotation.
+func (c *Coordinator) healthLoop(ctx context.Context) {
+	defer close(c.loopDone)
+	tick := time.NewTicker(c.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		c.nodesMu.Lock()
+		nodes := append([]*node(nil), c.nodes...)
+		c.nodesMu.Unlock()
+		for _, n := range nodes {
+			pctx, cancel := context.WithTimeout(ctx, c.cfg.HealthInterval)
+			h, err := n.Health(pctx)
+			cancel()
+			if err != nil {
+				n.healthy.Store(false)
+				continue
+			}
+			n.healthy.Store(true)
+			n.last.Store(&h)
+		}
+	}
+}
+
+// itemRanges normalizes one wire query item to disjoint ascending
+// half-open ranges (the same semantics the crackdb predicate algebra
+// gives a single server).
+func itemRanges(it server.QueryItem) ([][2]int64, error) {
+	if it.Col != "" {
+		return nil, errors.New("cluster serves a single column; drop \"col\"")
+	}
+	if len(it.Or) == 0 {
+		return [][2]int64{{it.Lo, it.Hi}}, nil
+	}
+	if it.Lo != 0 || it.Hi != 0 {
+		return nil, errors.New("query: give either lo/hi or \"or\", not both")
+	}
+	set := &intervals.Set{}
+	for _, r := range it.Or {
+		if r.Lo < r.Hi {
+			set.Add(r.Lo, r.Hi)
+		}
+	}
+	var rs [][2]int64
+	set.Each(func(lo, hi int64) bool {
+		rs = append(rs, [2]int64{lo, hi})
+		return true
+	})
+	if rs == nil {
+		rs = [][2]int64{{0, 0}} // all-empty Or: one empty range
+	}
+	return rs, nil
+}
+
+// scatter answers one half-open range across the routing table: one
+// clamped sub-request per intersecting backend, gathered in ascending
+// route (= value-range) order so multi-backend answers merge
+// deterministically.
+func (c *Coordinator) scatter(ctx context.Context, lo, hi int64, aggregate bool) (server.QueryResult, error) {
+	var out server.QueryResult
+	if lo >= hi {
+		return out, nil
+	}
+	routes := *c.routes.Load()
+	type sub struct {
+		b      *node
+		lo, hi int64
+	}
+	var subs []sub
+	for _, rt := range routes {
+		slo, shi := lo, hi
+		if slo < rt.lo {
+			slo = rt.lo
+		}
+		if shi > rt.hi {
+			shi = rt.hi
+		}
+		if slo < shi {
+			subs = append(subs, sub{b: rt.b, lo: slo, hi: shi})
+		}
+	}
+	if len(subs) == 0 {
+		return out, nil
+	}
+	results := make([]server.QueryResult, len(subs))
+	errs := make([]error, len(subs))
+	run := func(i int) {
+		req := server.QueryRequest{
+			QueryItem: server.QueryItem{Lo: subs[i].lo, Hi: subs[i].hi},
+			Aggregate: aggregate,
+		}
+		resp, err := subs[i].b.Query(ctx, req)
+		if err != nil {
+			errs[i] = fmt.Errorf("backend %s: %w", subs[i].b.URL(), err)
+			return
+		}
+		if len(resp.Results) != 1 {
+			errs[i] = fmt.Errorf("backend %s: %d results for one range", subs[i].b.URL(), len(resp.Results))
+			return
+		}
+		results[i] = resp.Results[0]
+	}
+	if len(subs) == 1 {
+		run(0)
+	} else {
+		var wg sync.WaitGroup
+		for i := 1; i < len(subs); i++ {
+			wg.Add(1)
+			go func(i int) { defer wg.Done(); run(i) }(i)
+		}
+		run(0)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	// Gather in route order: backend i's values all precede backend
+	// i+1's, so a split-range answer concatenates into one deterministic
+	// ascending-by-shard sequence.
+	for _, res := range results {
+		out.Count += res.Count
+		out.Sum += res.Sum
+		if !aggregate {
+			out.Values = append(out.Values, res.Values...)
+		}
+	}
+	return out, nil
+}
+
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req server.QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	inline := req.Lo != 0 || req.Hi != 0 || len(req.Or) > 0 || req.Col != ""
+	items := req.Queries
+	if items == nil {
+		items = []server.QueryItem{req.QueryItem}
+	} else if inline {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"give either an inline query or \"queries\", not both")
+		return
+	}
+	if len(items) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "empty \"queries\"")
+		return
+	}
+	resp := server.QueryResponse{Results: make([]server.QueryResult, 0, len(items))}
+	for _, it := range items {
+		rs, err := itemRanges(it)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		var item server.QueryResult
+		for _, rg := range rs {
+			part, err := c.scatter(r.Context(), rg[0], rg[1], req.Aggregate)
+			if err != nil {
+				writeBackendError(w, err)
+				return
+			}
+			item.Count += part.Count
+			item.Sum += part.Sum
+			item.Values = append(item.Values, part.Values...)
+		}
+		resp.Results = append(resp.Results, item)
+	}
+	c.queries.Add(int64(len(items)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// routeFor returns the routing entry owning value v.
+func routeFor(routes []route, v int64) *route {
+	i := sort.Search(len(routes), func(i int) bool { return v < routes[i].hi })
+	if i == len(routes) {
+		i = len(routes) - 1 // v == MaxInt64: the top entry absorbs its bound
+	}
+	return &routes[i]
+}
+
+func (c *Coordinator) handleUpdate(w http.ResponseWriter, r *http.Request, insert bool) {
+	var req server.UpdateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	values := req.Values
+	if req.Value != nil {
+		values = append(values, *req.Value)
+	}
+	if len(values) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "no values")
+		return
+	}
+	// Updates hold the read side for their whole span so a migration's
+	// capture-swap window can exclude them wholesale.
+	c.updMu.RLock()
+	defer c.updMu.RUnlock()
+	routes := *c.routes.Load()
+	byNode := map[*node][]int64{}
+	for _, v := range values {
+		rt := routeFor(routes, v)
+		byNode[rt.b] = append(byNode[rt.b], v)
+	}
+	pending := 0
+	for n, vals := range byNode {
+		var p int
+		var err error
+		if insert {
+			p, err = n.Insert(r.Context(), vals...)
+		} else {
+			p, err = n.Delete(r.Context(), vals...)
+		}
+		if err != nil {
+			writeBackendError(w, fmt.Errorf("backend %s: %w", n.URL(), err))
+			return
+		}
+		pending += p
+	}
+	writeJSON(w, http.StatusOK, server.UpdateResponse{Pending: pending})
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	routes := *c.routes.Load()
+	resp := server.StatsResponse{
+		Name: fmt.Sprintf("cluster-%d(%s)", len(routes), c.algorithm),
+		Mode: fmt.Sprintf("cluster-%d", len(routes)),
+		Info: server.Info{
+			Rows: c.rows, Algorithm: c.algorithm, Permutation: c.permutation,
+		},
+		QueriesServed: c.queries.Load(),
+	}
+	var maxPiece int
+	seen := map[*node]bool{}
+	for _, rt := range routes {
+		if seen[rt.b] {
+			continue
+		}
+		seen[rt.b] = true
+		st, err := rt.b.Stats(r.Context())
+		if err != nil {
+			writeBackendError(w, fmt.Errorf("backend %s: %w", rt.b.URL(), err))
+			return
+		}
+		resp.PendingUpdates += st.PendingUpdates
+		resp.Index.Queries += st.Index.Queries
+		resp.Index.Touched += st.Index.Touched
+		resp.Index.Swaps += st.Index.Swaps
+		resp.Index.Cracks += st.Index.Cracks
+		resp.Index.Pieces += st.Index.Pieces
+		if st.Pieces != nil && st.Pieces.MaxSize > maxPiece {
+			maxPiece = st.Pieces.MaxSize
+		}
+	}
+	if resp.Index.Pieces > 0 && c.rows > 0 {
+		resp.Pieces = &stats.PieceStats{
+			N: int(c.rows), Pieces: resp.Index.Pieces, MaxSize: maxPiece,
+			Skew: float64(maxPiece) / float64(c.rows),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ClusterHealth is the coordinator's /healthz body: overall status
+// ("ok" when every routed backend is healthy, "degraded" otherwise) and
+// the per-backend view.
+type ClusterHealth struct {
+	Status   string          `json:"status"`
+	Rows     int64           `json:"rows"`
+	Backends []BackendHealth `json:"backends"`
+}
+
+// BackendHealth is one backend's row in the coordinator's /healthz.
+type BackendHealth struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Routed  bool   `json:"routed"`
+	ShardLo int64  `json:"shard_lo"`
+	ShardHi int64  `json:"shard_hi"`
+	Pieces  int    `json:"pieces"`
+	// Restored reports the backend's own restored-vs-cold flag (true
+	// after a warm start or a migration restore).
+	Restored bool   `json:"restored"`
+	Circuit  string `json:"circuit"`
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	routes := *c.routes.Load()
+	routed := map[*node][2]int64{}
+	for _, rt := range routes {
+		routed[rt.b] = [2]int64{rt.lo, rt.hi}
+	}
+	c.nodesMu.Lock()
+	nodes := append([]*node(nil), c.nodes...)
+	c.nodesMu.Unlock()
+	resp := ClusterHealth{Status: "ok", Rows: c.rows}
+	for _, n := range nodes {
+		bh := BackendHealth{URL: n.URL(), Healthy: n.healthy.Load()}
+		if rg, ok := routed[n]; ok {
+			bh.Routed = true
+			bh.ShardLo, bh.ShardHi = rg[0], rg[1]
+			if !bh.Healthy {
+				resp.Status = "degraded"
+			}
+		}
+		if h := n.last.Load(); h != nil {
+			bh.Pieces = h.Pieces
+			bh.Restored = h.Restored
+		}
+		bh.Circuit, _, _ = n.CircuitState()
+		resp.Backends = append(resp.Backends, bh)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	routes := *c.routes.Load()
+	routed := map[*node]bool{}
+	for _, rt := range routes {
+		routed[rt.b] = true
+	}
+	c.nodesMu.Lock()
+	nodes := append([]*node(nil), c.nodes...)
+	c.nodesMu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP crackcluster_queries_total Queries answered by the coordinator.\n")
+	fmt.Fprintf(w, "# TYPE crackcluster_queries_total counter\n")
+	fmt.Fprintf(w, "crackcluster_queries_total %d\n", c.queries.Load())
+	fmt.Fprintf(w, "# HELP crackcluster_migrations_total Completed shard migrations.\n")
+	fmt.Fprintf(w, "# TYPE crackcluster_migrations_total counter\n")
+	fmt.Fprintf(w, "crackcluster_migrations_total %d\n", c.migrations.Load())
+	fmt.Fprintf(w, "# HELP crackcluster_backend_up Backend health as seen by the probe loop.\n")
+	fmt.Fprintf(w, "# TYPE crackcluster_backend_up gauge\n")
+	for _, n := range nodes {
+		up := 0
+		if n.healthy.Load() {
+			up = 1
+		}
+		fmt.Fprintf(w, "crackcluster_backend_up{backend=%q,routed=%q} %d\n",
+			n.URL(), fmt.Sprint(routed[n]), up)
+	}
+	fmt.Fprintf(w, "# HELP crackcluster_backend_circuit Per-backend circuit state (1 in exactly one state).\n")
+	fmt.Fprintf(w, "# TYPE crackcluster_backend_circuit gauge\n")
+	for _, n := range nodes {
+		state, fails, trips := n.CircuitState()
+		for _, s := range []string{"closed", "open", "half-open"} {
+			v := 0
+			if s == state {
+				v = 1
+			}
+			fmt.Fprintf(w, "crackcluster_backend_circuit{backend=%q,state=%q} %d\n", n.URL(), s, v)
+		}
+		retries, hedges := n.Counters()
+		fmt.Fprintf(w, "crackcluster_backend_consecutive_failures{backend=%q} %d\n", n.URL(), fails)
+		fmt.Fprintf(w, "crackcluster_backend_circuit_trips_total{backend=%q} %d\n", n.URL(), trips)
+		fmt.Fprintf(w, "crackcluster_backend_retries_total{backend=%q} %d\n", n.URL(), retries)
+		fmt.Fprintf(w, "crackcluster_backend_hedges_total{backend=%q} %d\n", n.URL(), hedges)
+	}
+}
+
+// MigrateRequest is the body of POST /v1/migrate: move the value range
+// [Lo, Hi) from the backend owning it to the (typically fresh and empty)
+// node at To. The range must touch an edge of the donor's owned range —
+// moving an interior slice would leave the donor owning two disjoint
+// ranges, which one routing entry cannot express.
+type MigrateRequest struct {
+	To string `json:"to"`
+	Lo int64  `json:"lo"`
+	Hi int64  `json:"hi"`
+}
+
+// MigrateResponse reports a completed migration.
+type MigrateResponse struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Lo   int64  `json:"lo"`
+	Hi   int64  `json:"hi"`
+	// Rows/Pieces/Pending describe the state the joiner restored —
+	// non-zero Pieces means it starts warm, resuming the donor's earned
+	// refinement instead of cracking from scratch.
+	Rows      int   `json:"rows"`
+	Pieces    int   `json:"pieces"`
+	Pending   int   `json:"pending"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// RetainFailed flags a donor that kept a stale copy of the moved
+	// range (its shrink step failed). Service stays correct — clamped
+	// routing never exposes the stale copy — but the donor holds extra
+	// memory until a retry or restart.
+	RetainFailed bool `json:"retain_failed,omitempty"`
+}
+
+// Migrate moves [lo, hi) to the node at toURL. See MigrateRequest.
+func (c *Coordinator) Migrate(ctx context.Context, toURL string, lo, hi int64) (MigrateResponse, error) {
+	if lo >= hi {
+		return MigrateResponse{}, errors.New("cluster: migrate: need lo < hi")
+	}
+	c.migMu.Lock()
+	defer c.migMu.Unlock()
+	start := time.Now()
+
+	routes := *c.routes.Load()
+	di := -1
+	for i, rt := range routes {
+		if lo >= rt.lo && (hi <= rt.hi || (rt.hi == maxInt64 && hi == maxInt64)) {
+			di = i
+			break
+		}
+	}
+	if di < 0 {
+		return MigrateResponse{}, fmt.Errorf("cluster: migrate: [%d, %d) not owned by a single backend", lo, hi)
+	}
+	donor := routes[di]
+	if lo != donor.lo && hi != donor.hi {
+		return MigrateResponse{}, fmt.Errorf(
+			"cluster: migrate: [%d, %d) is interior to the donor's [%d, %d); move a range touching an edge", lo, hi, donor.lo, donor.hi)
+	}
+
+	joiner := c.admitNode(toURL)
+	if _, err := probeUntilReady(ctx, joiner); err != nil {
+		return MigrateResponse{}, fmt.Errorf("cluster: joiner %s: %w", toURL, err)
+	}
+
+	// Block updates for the whole capture-restore-swap-shrink window:
+	// an update routed to the donor after the capture would be lost when
+	// the donor shrinks. Queries keep flowing — the donor serves the
+	// moving range until the swap, the joiner after.
+	c.updMu.Lock()
+	defer c.updMu.Unlock()
+
+	stream, err := donor.b.SnapshotRange(ctx, lo, hi)
+	if err != nil {
+		return MigrateResponse{}, fmt.Errorf("cluster: capturing [%d, %d) from %s: %w", lo, hi, donor.b.URL(), err)
+	}
+	restored, err := joiner.RestoreSnapshot(ctx, stream, lo, hi)
+	if err != nil {
+		return MigrateResponse{}, fmt.Errorf("cluster: restoring into %s: %w", toURL, err)
+	}
+
+	// Swap the routing table: the joiner takes [lo, hi), the donor keeps
+	// the rest of its range (nothing, when the whole range moved).
+	next := make([]route, 0, len(routes)+1)
+	next = append(next, routes[:di]...)
+	if donor.lo < lo {
+		next = append(next, route{lo: donor.lo, hi: lo, b: donor.b})
+	}
+	next = append(next, route{lo: lo, hi: hi, b: joiner})
+	if hi < donor.hi {
+		next = append(next, route{lo: hi, hi: donor.hi, b: donor.b})
+	}
+	next = append(next, routes[di+1:]...)
+	c.routes.Store(&next)
+	joiner.healthy.Store(true)
+	// Refresh the joiner's cached readiness right away — its pre-restore
+	// payload says cold/unrouted, and /healthz should not wait a probe
+	// period to show the warm join.
+	if h, err := joiner.Health(ctx); err == nil {
+		joiner.last.Store(&h)
+	}
+
+	resp := MigrateResponse{
+		From: donor.b.URL(), To: toURL, Lo: lo, Hi: hi,
+		Rows: restored.Rows, Pieces: restored.Pieces, Pending: restored.Pending,
+	}
+	// Shrink the donor to what it still owns. A failure here is
+	// survivable (see RetainFailed) — the routing table already hides
+	// the moved range.
+	if donor.lo < lo || hi < donor.hi {
+		keepLo, keepHi := donor.lo, lo
+		if lo == donor.lo {
+			keepLo, keepHi = hi, donor.hi
+		}
+		if _, err := donor.b.Retain(ctx, keepLo, keepHi); err != nil {
+			resp.RetainFailed = true
+		}
+	}
+	c.migrations.Add(1)
+	resp.ElapsedMS = time.Since(start).Milliseconds()
+	return resp, nil
+}
+
+// admitNode returns the node for url, creating and registering it if the
+// coordinator has not seen it before.
+func (c *Coordinator) admitNode(url string) *node {
+	c.nodesMu.Lock()
+	defer c.nodesMu.Unlock()
+	for _, n := range c.nodes {
+		if n.URL() == url {
+			return n
+		}
+	}
+	n := &node{Backend: client.New(url, c.cfg.Client)}
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+func (c *Coordinator) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req MigrateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.To == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "need \"to\": the joining node's URL")
+		return
+	}
+	resp, err := c.Migrate(r.Context(), req.To, req.Lo, req.Hi)
+	if err != nil {
+		status, code := http.StatusBadGateway, "migration_failed"
+		if strings.Contains(err.Error(), "migrate:") {
+			status, code = http.StatusBadRequest, "bad_request"
+		}
+		writeError(w, status, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- small wire helpers (the coordinator is not a server.Server, so it
+// carries its own copies of the JSON plumbing) ---
+
+const maxBodyBytes = 8 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeBackendError maps a scatter failure: a backend's own API error
+// passes through with its status, transport-level trouble becomes a 502
+// so clients can tell "the cluster is degraded" from "my request is
+// wrong".
+func writeBackendError(w http.ResponseWriter, err error) {
+	var apiErr *server.APIError
+	if errors.As(err, &apiErr) && apiErr.Status < 500 {
+		writeError(w, apiErr.Status, apiErr.Code, err.Error())
+		return
+	}
+	writeError(w, http.StatusBadGateway, "backend_unavailable", err.Error())
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, server.ErrorResponse{Error: msg, Code: code})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

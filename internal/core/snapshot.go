@@ -19,6 +19,21 @@ type SnapshotState struct {
 	Values []int64
 	RowIDs []uint32 // nil when row ids were not tracked
 	Cracks []CrackEntry
+
+	// PendingInserts and PendingDeletes are the not-yet-merged update
+	// queues captured with the state (sorted ascending, duplicates
+	// allowed). They are not part of Values — a restore re-queues them so
+	// the first covering query merges them, exactly as it would have on
+	// the snapshotted index. The engine itself never reads them; the
+	// update-carrying wrapper (internal/updates) owns the queues on both
+	// the capture and the restore side.
+	PendingInserts []int64
+	PendingDeletes []int64
+}
+
+// Pending returns the number of captured, not-yet-merged updates.
+func (st SnapshotState) Pending() int {
+	return len(st.PendingInserts) + len(st.PendingDeletes)
 }
 
 // Snapshot captures the engine's current physical state. The returned
@@ -55,6 +70,13 @@ func (st SnapshotState) Validate() error {
 			return fmt.Errorf("core: snapshot crack %d has position %d (prev %d, n %d)", i, c.Pos, prevPos, n)
 		}
 		prevKey, prevPos = c.Key, c.Pos
+	}
+	for _, q := range [][]int64{st.PendingInserts, st.PendingDeletes} {
+		for i := 1; i < len(q); i++ {
+			if q[i] < q[i-1] {
+				return fmt.Errorf("core: snapshot pending queue not sorted at %d (%d after %d)", i, q[i], q[i-1])
+			}
+		}
 	}
 	ci := 0
 	for i, v := range st.Values {

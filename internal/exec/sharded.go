@@ -106,7 +106,13 @@ func RestoreSharded(states []core.SnapshotState, bounds []int64, spec string, op
 		}
 		var inner Index = ix
 		if u, ok := updates.Wrap(ix); ok {
+			if st.Pending() > 0 {
+				u.SeedPending(st.PendingInserts, st.PendingDeletes)
+			}
 			inner = u
+		} else if st.Pending() > 0 {
+			return nil, fmt.Errorf("exec: sharded restore: shard %d: %d pending updates but %q takes no updates",
+				i, st.Pending(), spec)
 		}
 		s.shards = append(s.shards, shard{lo: lo, hi: hi, ex: New(inner)})
 		lo = hi

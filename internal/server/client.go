@@ -11,21 +11,40 @@ import (
 )
 
 // Client is a minimal Go client for the crackserver wire protocol, used
-// by the crackbench -serve load generator, the integration tests and the
-// CI smoke. It is safe for concurrent use (http.Client is).
+// by the crackbench -serve load generator, the cluster layer, the
+// integration tests and the CI smoke. It is safe for concurrent use
+// (http.Client is).
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	token string
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithToken sets the bearer token sent as "Authorization: Bearer
+// <token>" on every request, matching the server's Config.AuthToken.
+func WithToken(token string) ClientOption {
+	return func(c *Client) { c.token = token }
 }
 
 // NewClient builds a client for the server at base (e.g.
-// "http://127.0.0.1:8080"). hc nil means http.DefaultClient.
-func NewClient(base string, hc *http.Client) *Client {
+// "http://127.0.0.1:8080"). hc nil means http.DefaultClient; pass a
+// custom client to set timeouts or a TLS config (self-signed certs).
+func NewClient(base string, hc *http.Client, opts ...ClientOption) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	c := &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
+
+// Base returns the server URL the client talks to.
+func (c *Client) Base() string { return c.base }
 
 // APIError is a non-2xx response, carrying the HTTP status and the
 // server's machine-readable code.
@@ -101,6 +120,62 @@ func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
 	return resp, err
 }
 
+// Snapshot triggers POST /v1/snapshot. With strict set the server
+// refuses with 409 (code "pending_updates") while updates are queued.
+func (c *Client) Snapshot(ctx context.Context, strict bool) (SnapshotResponse, error) {
+	var resp SnapshotResponse
+	err := c.post(ctx, "/v1/snapshot", SnapshotRequest{Strict: strict}, &resp)
+	return resp, err
+}
+
+// SnapshotRange captures the server's state for the value range [lo, hi)
+// and returns the manifest stream — the donor side of a live shard
+// migration. Feed the bytes to another node's RestoreSnapshot.
+func (c *Client) SnapshotRange(ctx context.Context, lo, hi int64) ([]byte, error) {
+	path := fmt.Sprintf("/v1/snapshot/range?lo=%d&hi=%d", lo, hi)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.authorize(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// RestoreSnapshot replaces the server's serving state with the given
+// manifest stream (POST /v1/restore) — the joiner side of a migration.
+// [lo, hi) declares the value range the node owns afterwards.
+func (c *Client) RestoreSnapshot(ctx context.Context, stream []byte, lo, hi int64) (RestoreResponse, error) {
+	path := fmt.Sprintf("/v1/restore?lo=%d&hi=%d", lo, hi)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(stream))
+	if err != nil {
+		return RestoreResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	var resp RestoreResponse
+	err = c.do(req, &resp)
+	return resp, err
+}
+
+// Retain shrinks the server's serving state to the value range [lo, hi)
+// of a fresh capture (POST /v1/retain) — the donor's final migration
+// step.
+func (c *Client) Retain(ctx context.Context, lo, hi int64) (RestoreResponse, error) {
+	var resp RestoreResponse
+	err := c.post(ctx, "/v1/retain", RetainRequest{Lo: lo, Hi: hi}, &resp)
+	return resp, err
+}
+
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
@@ -122,7 +197,15 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 	return c.do(req, out)
 }
 
+// authorize attaches the bearer token, when configured.
+func (c *Client) authorize(req *http.Request) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+}
+
 func (c *Client) do(req *http.Request, out any) error {
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -132,13 +215,18 @@ func (c *Client) do(req *http.Request, out any) error {
 		resp.Body.Close()
 	}()
 	if resp.StatusCode/100 != 2 {
-		apiErr := &APIError{Status: resp.StatusCode, Code: "unknown"}
-		var body ErrorResponse
-		if json.NewDecoder(resp.Body).Decode(&body) == nil && body.Code != "" {
-			apiErr.Code = body.Code
-			apiErr.Message = body.Error
-		}
-		return apiErr
+		return apiError(resp)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// apiError decodes a non-2xx response into an APIError.
+func apiError(resp *http.Response) *APIError {
+	apiErr := &APIError{Status: resp.StatusCode, Code: "unknown"}
+	var body ErrorResponse
+	if json.NewDecoder(resp.Body).Decode(&body) == nil && body.Code != "" {
+		apiErr.Code = body.Code
+		apiErr.Message = body.Error
+	}
+	return apiErr
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -36,6 +37,12 @@ type LoadConfig struct {
 	Aggregate bool
 	// StatsInterval is the telemetry sampling period (default 500ms).
 	StatsInterval time.Duration
+	// Token is the bearer token presented on every request, for servers
+	// started with -auth-token.
+	Token string
+	// HTTPClient overrides the transport (e.g. a TLS config trusting a
+	// test certificate). Nil uses http.DefaultClient.
+	HTTPClient *http.Client
 }
 
 func (cfg LoadConfig) withDefaults() LoadConfig {
@@ -92,7 +99,7 @@ type WorkloadLatency struct {
 // arithmetic) and any mismatch fails the run.
 func RunLoad(ctx context.Context, cfg LoadConfig, out io.Writer) (*LoadResult, error) {
 	cfg = cfg.withDefaults()
-	c := NewClient(cfg.URL, nil)
+	c := NewClient(cfg.URL, cfg.HTTPClient, WithToken(cfg.Token))
 
 	st, err := c.Stats(ctx)
 	if err != nil {

@@ -16,6 +16,7 @@ const (
 	epDelete
 	epStats
 	epSnapshot
+	epRestore
 	epHealth
 	numEndpoints
 )
@@ -32,6 +33,8 @@ func (e endpoint) String() string {
 		return "stats"
 	case epSnapshot:
 		return "snapshot"
+	case epRestore:
+		return "restore"
 	default:
 		return "healthz"
 	}
@@ -134,11 +137,12 @@ func (m *metrics) observe(ep endpoint, status int, d time.Duration) {
 // share, cumulative index counters) sampled at scrape time — so a
 // Prometheus scrape is itself the convergence telemetry feed.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cur := s.state()
 	unlock := s.lockSerial()
-	st := s.db.Stats()
-	pending := s.db.PendingUpdates()
-	reads, writes, hasPath := s.db.PathStats()
-	sizes, sizesErr := s.db.PieceSizes()
+	st := cur.db.Stats()
+	pending := cur.db.PendingUpdates()
+	reads, writes, hasPath := cur.db.PathStats()
+	sizes, sizesErr := cur.db.PieceSizes()
 	unlock()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -199,7 +203,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "crackserver_exec_path_queries_total{path=\"read\"} %d\n", reads)
 		fmt.Fprintf(w, "crackserver_exec_path_queries_total{path=\"write\"} %d\n", writes)
 	}
-	if sizesErr == nil && len(sizes) > 0 && s.info.Rows > 0 {
+	if sizesErr == nil && len(sizes) > 0 && cur.info.Rows > 0 {
 		maxSize := 0
 		for _, sz := range sizes {
 			if sz > maxSize {
@@ -208,7 +212,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(w, "# HELP crackserver_index_max_piece_share Largest piece's share of the column (1.0 = unadapted).\n")
 		fmt.Fprintf(w, "# TYPE crackserver_index_max_piece_share gauge\n")
-		fmt.Fprintf(w, "crackserver_index_max_piece_share %g\n", float64(maxSize)/float64(s.info.Rows))
+		fmt.Fprintf(w, "crackserver_index_max_piece_share %g\n", float64(maxSize)/float64(cur.info.Rows))
 	}
 }
 

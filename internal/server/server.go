@@ -12,12 +12,28 @@
 //	POST /v1/delete    — queue value removals
 //	POST /v1/snapshot  — capture the live adapted state to the configured
 //	                     snapshot file (admission-gated; atomic temp-file
-//	                     write + rename), for warm restarts
+//	                     write + rename), for warm restarts. Pending updates
+//	                     are captured with the state; {"strict": true}
+//	                     refuses with 409 instead (explicit clean-cut
+//	                     captures)
+//	GET  /v1/snapshot/range?lo=&hi= — capture and stream the manifest of
+//	                     one value range (the shard-migration donor side)
+//	POST /v1/restore   — replace the serving state with the streamed
+//	                     manifest (the migration joiner side; needs
+//	                     Config.Reopen)
+//	POST /v1/retain    — shrink the serving state to one value range of a
+//	                     fresh capture (the migration donor's final step)
 //	GET  /v1/stats     — index counters, piece-size distribution and
 //	                     histogram, executor read/write path split, and a
 //	                     convergence series sampled per call
-//	GET  /healthz      — liveness
+//	GET  /healthz      — readiness: owned shard range, piece count,
+//	                     restored-vs-cold, pending updates
 //	GET  /debug/metrics — Prometheus text exposition
+//
+// When Config.AuthToken is set, every endpoint except GET /healthz
+// requires "Authorization: Bearer <token>" (401 otherwise); health stays
+// open so load balancers and the cluster coordinator can probe without
+// credentials.
 //
 // The handlers stay on the DB's allocation-free forms: a single-range
 // query runs through DB.QueryAppend and a batch through
@@ -43,12 +59,18 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -89,13 +111,47 @@ type Config struct {
 	// construction — clients trigger the capture but never choose where
 	// it lands.
 	SnapshotPath string
+	// AuthToken, when non-empty, requires every request except GET
+	// /healthz to carry "Authorization: Bearer <token>" (401 otherwise).
+	AuthToken string
+	// ShardLo/ShardHi is the half-open value range this server owns when
+	// it serves one slice of a cluster dataset. Both zero means the whole
+	// domain (a standalone server). Reported on /healthz and updated by
+	// restore and retain.
+	ShardLo, ShardHi int64
+	// Restored marks the initial DB as warm-started from a snapshot, for
+	// the /healthz restored-vs-cold field.
+	Restored bool
+	// Reopen rebuilds a DB from a snapshot manifest with the server's
+	// construction options (algorithm, concurrency mode, tuning) — the
+	// hook POST /v1/restore and /v1/retain use to build the replacement
+	// state. Nil disables both endpoints (422).
+	Reopen func(snap crackdb.DBSnapshot) (*crackdb.DB, error)
+}
+
+// dbState is the swappable serving state: the DB plus what describes it.
+// Restore and retain build a new state and swap the pointer atomically;
+// requests in flight finish against the state they loaded. The replaced
+// DB is not closed — late responses drain from it, then the GC takes it.
+type dbState struct {
+	db       *crackdb.DB
+	info     Info
+	lo, hi   int64 // owned value range [lo, hi)
+	restored bool  // true when this state came from a snapshot (warm)
 }
 
 // Server serves one crackdb.DB over HTTP. Construct with New, mount with
 // Handler.
 type Server struct {
-	db   *crackdb.DB
-	info Info
+	// st is the current serving state; load it once per request and use
+	// that snapshot throughout (restore/retain swap the pointer live).
+	st atomic.Pointer[dbState]
+
+	authToken string
+	reopen    func(snap crackdb.DBSnapshot) (*crackdb.DB, error)
+	// swapMu serializes state swaps (restore, retain), so two concurrent
+	// migrations cannot interleave capture-then-swap sequences.
+	swapMu sync.Mutex
 
 	// serial serializes every DB access for Single-mode DBs, which are
 	// not safe for concurrent use by contract. nil in the concurrent
@@ -131,7 +187,12 @@ type Server struct {
 // New builds a Server over db. The Server does not own the DB: callers
 // close it after the HTTP server has drained.
 func New(db *crackdb.DB, cfg Config) *Server {
-	s := &Server{db: db, info: cfg.Info}
+	s := &Server{authToken: cfg.AuthToken, reopen: cfg.Reopen}
+	lo, hi := cfg.ShardLo, cfg.ShardHi
+	if lo == 0 && hi == 0 {
+		lo, hi = math.MinInt64, math.MaxInt64
+	}
+	s.st.Store(&dbState{db: db, info: cfg.Info, lo: lo, hi: hi, restored: cfg.Restored})
 	if db.Mode() == crackdb.Single {
 		s.serial = &sync.Mutex{}
 	}
@@ -151,14 +212,41 @@ func New(db *crackdb.DB, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/insert", s.instrument(epInsert, s.handleInsert))
 	s.mux.HandleFunc("POST /v1/delete", s.instrument(epDelete, s.handleDelete))
 	s.mux.HandleFunc("POST /v1/snapshot", s.instrument(epSnapshot, s.handleSnapshot))
+	s.mux.HandleFunc("GET /v1/snapshot/range", s.instrument(epSnapshot, s.handleSnapshotRange))
+	s.mux.HandleFunc("POST /v1/restore", s.instrument(epRestore, s.handleRestore))
+	s.mux.HandleFunc("POST /v1/retain", s.instrument(epRestore, s.handleRetain))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument(epStats, s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.instrument(epHealth, s.handleHealth))
 	s.mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
 	return s
 }
 
-// Handler returns the Server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// state loads the current serving state.
+func (s *Server) state() *dbState { return s.st.Load() }
+
+// Handler returns the Server's HTTP handler: the API mux, wrapped with
+// bearer-token enforcement when Config.AuthToken is set (GET /healthz
+// stays open for unauthenticated probes).
+func (s *Server) Handler() http.Handler {
+	if s.authToken == "" {
+		return s.mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && r.URL.Path == "/healthz" {
+			s.mux.ServeHTTP(w, r)
+			return
+		}
+		const prefix = "Bearer "
+		auth := r.Header.Get("Authorization")
+		if len(auth) <= len(prefix) || !strings.EqualFold(auth[:len(prefix)], prefix) ||
+			subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(s.authToken)) != 1 {
+			writeError(w, http.StatusUnauthorized, "unauthorized",
+				"missing or invalid bearer token (Authorization: Bearer ...)")
+			return
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // StatusClientClosedRequest is the non-standard 499 status (nginx
 // convention) reported when a request's context was canceled — the
@@ -305,11 +393,29 @@ type StatsResponse struct {
 	Convergence    *ConvergenceInfo  `json:"convergence,omitempty"`
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthResponse is the body of GET /healthz: liveness plus the
+// readiness facts a cluster coordinator routes on — which value range
+// this node owns, how refined its index is, whether it started warm from
+// a snapshot, and how many updates are queued.
 type HealthResponse struct {
 	Status string `json:"status"`
 	Name   string `json:"name"`
 	Mode   string `json:"mode"`
+	// Rows is the number of tuples this node currently holds (its slice,
+	// not the cluster total).
+	Rows int64 `json:"rows"`
+	// ShardLo/ShardHi is the half-open value range this node owns;
+	// math.MinInt64/math.MaxInt64 for a standalone server.
+	ShardLo int64 `json:"shard_lo"`
+	ShardHi int64 `json:"shard_hi"`
+	// Pieces is the current column piece count — non-zero refinement on a
+	// just-started node means it was restored warm.
+	Pieces int `json:"pieces"`
+	// Restored is true when the serving state came from a snapshot (warm
+	// start or live migration), false when it was built cold.
+	Restored bool `json:"restored"`
+	// PendingUpdates is the queued, not-yet-merged update count.
+	PendingUpdates int `json:"pending_updates"`
 }
 
 // queryBuffers is the pooled per-request scratch of the query handler:
@@ -400,26 +506,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	qb.res = qb.res[:0]
 	ctx := r.Context()
+	db := s.state().db
 	unlock := s.lockSerial()
 	err := func() error {
 		switch {
 		case req.Aggregate:
 			for _, p := range qb.preds {
-				agg, err := s.db.QueryAggregate(ctx, p)
+				agg, err := db.QueryAggregate(ctx, p)
 				if err != nil {
 					return err
 				}
 				qb.res = append(qb.res, QueryResult{Count: agg.Count, Sum: agg.Sum})
 			}
 		case single:
-			dst, err := s.db.QueryAppend(ctx, qb.preds[0], qb.dst[:0])
+			dst, err := db.QueryAppend(ctx, qb.preds[0], qb.dst[:0])
 			qb.dst = dst
 			if err != nil {
 				return err
 			}
 			qb.res = append(qb.res, valuesResult(dst))
 		default:
-			outs, err := s.db.QueryBatchAppend(ctx, qb.preds, &qb.bb)
+			outs, err := db.QueryBatchAppend(ctx, qb.preds, &qb.bb)
 			if err != nil {
 				return err
 			}
@@ -452,14 +559,16 @@ func valuesResult(vals []int64) QueryResult {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
-	s.handleUpdate(w, r, s.db.Insert)
+	db := s.state().db
+	s.handleUpdate(w, r, db, db.Insert)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	s.handleUpdate(w, r, s.db.Delete)
+	db := s.state().db
+	s.handleUpdate(w, r, db, db.Delete)
 }
 
-func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, apply func(int64) error) {
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, db *crackdb.DB, apply func(int64) error) {
 	release, ok := s.admit()
 	if !ok {
 		writeError(w, http.StatusTooManyRequests, "over_capacity",
@@ -488,7 +597,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, apply func
 				return err
 			}
 		}
-		pending = s.db.PendingUpdates()
+		pending = db.PendingUpdates()
 		return nil
 	}()
 	unlock()
@@ -499,13 +608,22 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, apply func
 	writeJSON(w, http.StatusOK, UpdateResponse{Pending: pending})
 }
 
+// SnapshotRequest is the optional body of POST /v1/snapshot. Strict
+// refuses the capture with 409 while updates are queued (a clean
+// fully-merged cut on demand); the default captures the queues with the
+// state.
+type SnapshotRequest struct {
+	Strict bool `json:"strict,omitempty"`
+}
+
 // SnapshotResponse is the body of a successful POST /v1/snapshot: where
 // the state landed and how much adaptation it carries.
 type SnapshotResponse struct {
 	Path      string `json:"path"`
 	Rows      int    `json:"rows"`
-	Parts     int    `json:"parts"`  // shards in the manifest (1 unsharded)
-	Pieces    int    `json:"pieces"` // column pieces captured — the earned refinement
+	Parts     int    `json:"parts"`   // shards in the manifest (1 unsharded)
+	Pieces    int    `json:"pieces"`  // column pieces captured — the earned refinement
+	Pending   int    `json:"pending"` // pending updates carried in the capture
 	Bytes     int64  `json:"bytes"`
 	ElapsedMS int64  `json:"elapsed_ms"`
 }
@@ -514,6 +632,10 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.snapshotPath == "" {
 		writeError(w, http.StatusUnprocessableEntity, "snapshot_unconfigured",
 			"server started without a snapshot path (-snapshot)")
+		return
+	}
+	var req SnapshotRequest
+	if !decodeOptionalBody(w, r, &req) {
 		return
 	}
 	// Snapshot capture drains the executor like a write-path query, so it
@@ -530,7 +652,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.hold != nil {
 		s.hold()
 	}
-	resp, err := s.SaveSnapshot()
+	resp, err := s.saveSnapshot(req.Strict)
 	if err != nil {
 		writeMappedError(w, err)
 		return
@@ -543,13 +665,23 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // capture happens under the DB's own drain (exclusive per executor); the
 // file write happens after, outside every DB lock. Both the endpoint and
 // the periodic saver (cmd/crackserver -snapshot-interval) funnel through
-// here, serialized by snapMu.
-func (s *Server) SaveSnapshot() (SnapshotResponse, error) {
+// here, serialized by snapMu. Pending updates are captured with the
+// state, never refused.
+func (s *Server) SaveSnapshot() (SnapshotResponse, error) { return s.saveSnapshot(false) }
+
+func (s *Server) saveSnapshot(strict bool) (SnapshotResponse, error) {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	start := time.Now()
+	db := s.state().db
 	unlock := s.lockSerial()
-	snap, err := s.db.Snapshot()
+	var snap crackdb.DBSnapshot
+	var err error
+	if strict {
+		snap, err = db.SnapshotStrict()
+	} else {
+		snap, err = db.Snapshot()
+	}
 	unlock()
 	if err != nil {
 		return SnapshotResponse{}, err
@@ -557,9 +689,9 @@ func (s *Server) SaveSnapshot() (SnapshotResponse, error) {
 	if err := crackdb.SaveSnapshotFile(s.snapshotPath, snap); err != nil {
 		return SnapshotResponse{}, err
 	}
-	var bytes int64
+	var size int64
 	if fi, err := os.Stat(s.snapshotPath); err == nil {
-		bytes = fi.Size()
+		size = fi.Size()
 	}
 	s.snapshots.Add(1)
 	return SnapshotResponse{
@@ -567,23 +699,216 @@ func (s *Server) SaveSnapshot() (SnapshotResponse, error) {
 		Rows:      snap.Rows(),
 		Parts:     len(snap.Parts),
 		Pieces:    snap.Pieces(),
-		Bytes:     bytes,
+		Pending:   snap.Pending(),
+		Bytes:     size,
 		ElapsedMS: time.Since(start).Milliseconds(),
 	}, nil
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+// handleSnapshotRange captures the live state and streams the manifest of
+// the requested value range [lo, hi) — the donor side of a live shard
+// migration: the coordinator pulls the moving range here and feeds it to
+// the joining node's POST /v1/restore. Pending updates in the range ride
+// along in the stream, so a migration never refuses because updates are
+// queued.
+func (s *Server) handleSnapshotRange(w http.ResponseWriter, r *http.Request) {
+	lo, err1 := strconv.ParseInt(r.URL.Query().Get("lo"), 10, 64)
+	hi, err2 := strconv.ParseInt(r.URL.Query().Get("hi"), 10, 64)
+	if err1 != nil || err2 != nil || lo >= hi {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"need integer query params lo < hi")
+		return
+	}
+	release, ok := s.admit()
+	if !ok {
+		writeError(w, http.StatusTooManyRequests, "over_capacity",
+			fmt.Sprintf("server at its in-flight limit (%d); retry", s.maxInFlight))
+		return
+	}
+	defer release()
+	db := s.state().db
 	unlock := s.lockSerial()
-	st := s.db.Stats()
-	pending := s.db.PendingUpdates()
-	reads, writes, hasPath := s.db.PathStats()
-	sizes, sizesErr := s.db.PieceSizes()
+	snap, err := db.Snapshot()
+	unlock()
+	if err != nil {
+		writeMappedError(w, err)
+		return
+	}
+	st, err := snap.Extract(lo, hi)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	// The part claims the whole domain even though it carries only
+	// [lo, hi): manifests must tile the domain, and the extracted state's
+	// cracks are strictly inside the range, so the widened part is valid.
+	// The true owned range travels in the restore request instead.
+	part := crackdb.DBSnapshot{Parts: []crackdb.SnapshotPart{{Lo: math.MinInt64, Hi: math.MaxInt64, State: st}}}
+	// Encode to memory first so a serialization failure can still return a
+	// clean error status instead of a torn stream.
+	var buf bytes.Buffer
+	if err := crackdb.WriteSnapshot(&buf, part); err != nil {
+		writeMappedError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// RestoreResponse is the body of a successful POST /v1/restore or
+// /v1/retain: the shape of the state now serving.
+type RestoreResponse struct {
+	Rows      int   `json:"rows"`
+	Parts     int   `json:"parts"`
+	Pieces    int   `json:"pieces"` // non-zero: the node starts warm
+	Pending   int   `json:"pending"`
+	ShardLo   int64 `json:"shard_lo"`
+	ShardHi   int64 `json:"shard_hi"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// handleRestore replaces the serving state with the snapshot manifest
+// streamed in the request body — the joiner side of a live shard
+// migration. The new state starts warm: every crack (and pending update)
+// the stream carries survives. Optional lo/hi query params declare the
+// value range the node now owns (reported on /healthz); they default to
+// the manifest's bounds — the whole domain for a migration stream.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if s.reopen == nil {
+		writeError(w, http.StatusUnprocessableEntity, "restore_unconfigured",
+			"server started without a restore hook")
+		return
+	}
+	release, ok := s.admit()
+	if !ok {
+		writeError(w, http.StatusTooManyRequests, "over_capacity",
+			fmt.Sprintf("server at its in-flight limit (%d); retry", s.maxInFlight))
+		return
+	}
+	defer release()
+	start := time.Now()
+	snap, err := crackdb.ReadSnapshot(http.MaxBytesReader(w, r.Body, maxRestoreBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding snapshot stream: "+err.Error())
+		return
+	}
+	if len(snap.Parts) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "empty snapshot manifest")
+		return
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	db, err := s.reopen(snap)
+	if err != nil {
+		writeMappedError(w, err)
+		return
+	}
+	lo, hi := snap.Parts[0].Lo, snap.Parts[len(snap.Parts)-1].Hi
+	if q := r.URL.Query(); q.Get("lo") != "" || q.Get("hi") != "" {
+		qlo, err1 := strconv.ParseInt(q.Get("lo"), 10, 64)
+		qhi, err2 := strconv.ParseInt(q.Get("hi"), 10, 64)
+		if err1 != nil || err2 != nil || qlo >= qhi {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				"lo/hi query params must be integers with lo < hi")
+			return
+		}
+		lo, hi = qlo, qhi
+	}
+	s.swapState(db, lo, hi)
+	writeJSON(w, http.StatusOK, RestoreResponse{
+		Rows: snap.Rows(), Parts: len(snap.Parts), Pieces: snap.Pieces(),
+		Pending: snap.Pending(), ShardLo: lo, ShardHi: hi,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	})
+}
+
+// RetainRequest is the body of POST /v1/retain: the value range to keep.
+type RetainRequest struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+}
+
+// handleRetain shrinks the serving state to the requested value range of
+// a fresh capture — the donor's final migration step, after the moving
+// range was handed to the joiner and the routing table swapped. Cracks
+// and pending updates inside the kept range survive.
+func (s *Server) handleRetain(w http.ResponseWriter, r *http.Request) {
+	if s.reopen == nil {
+		writeError(w, http.StatusUnprocessableEntity, "restore_unconfigured",
+			"server started without a restore hook")
+		return
+	}
+	var req RetainRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Lo >= req.Hi {
+		writeError(w, http.StatusBadRequest, "bad_request", "need lo < hi")
+		return
+	}
+	release, ok := s.admit()
+	if !ok {
+		writeError(w, http.StatusTooManyRequests, "over_capacity",
+			fmt.Sprintf("server at its in-flight limit (%d); retry", s.maxInFlight))
+		return
+	}
+	defer release()
+	start := time.Now()
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cur := s.state()
+	unlock := s.lockSerial()
+	snap, err := cur.db.Snapshot()
+	unlock()
+	if err != nil {
+		writeMappedError(w, err)
+		return
+	}
+	st, err := snap.Extract(req.Lo, req.Hi)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	// Same widening as the migration stream: the manifest tiles the
+	// domain, the request's [lo, hi) is what the node now owns.
+	part := crackdb.DBSnapshot{Parts: []crackdb.SnapshotPart{{Lo: math.MinInt64, Hi: math.MaxInt64, State: st}}}
+	db, err := s.reopen(part)
+	if err != nil {
+		writeMappedError(w, err)
+		return
+	}
+	s.swapState(db, req.Lo, req.Hi)
+	writeJSON(w, http.StatusOK, RestoreResponse{
+		Rows: part.Rows(), Parts: 1, Pieces: part.Pieces(),
+		Pending: part.Pending(), ShardLo: req.Lo, ShardHi: req.Hi,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	})
+}
+
+// swapState publishes a new serving state owning [lo, hi). Caller holds
+// swapMu.
+func (s *Server) swapState(db *crackdb.DB, lo, hi int64) {
+	cur := s.state()
+	info := cur.info
+	info.Rows = int64(db.Rows())
+	s.st.Store(&dbState{db: db, info: info, lo: lo, hi: hi, restored: true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cur := s.state()
+	unlock := s.lockSerial()
+	st := cur.db.Stats()
+	pending := cur.db.PendingUpdates()
+	reads, writes, hasPath := cur.db.PathStats()
+	sizes, sizesErr := cur.db.PieceSizes()
 	unlock()
 
 	resp := StatsResponse{
-		Name:             s.db.Name(),
-		Mode:             s.db.Mode().String(),
-		Info:             s.info,
+		Name:             cur.db.Name(),
+		Mode:             cur.db.Mode().String(),
+		Info:             cur.info,
 		QueriesServed:    s.met.queries.Load(),
 		InFlight:         s.inFlight.Load(),
 		AdmissionLimit:   s.maxInFlight,
@@ -599,12 +924,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		WriteQueries: writes,
 	}
 	if sizesErr == nil {
-		ps := stats.FromSizes(sizes, int(s.info.Rows))
+		ps := stats.FromSizes(sizes, int(cur.info.Rows))
 		resp.Pieces = &ps
 		resp.PieceHistogram = stats.BucketSizes(sizes)
 
 		s.convMu.Lock()
-		s.conv.RecordSizes(sizes, int(s.info.Rows))
+		s.conv.RecordSizes(sizes, int(cur.info.Rows))
 		if n := len(s.conv.Pieces); n > maxConvergenceSamples {
 			drop := n - maxConvergenceSamples
 			s.conv.MaxPieceShare = append(s.conv.MaxPieceShare[:0], s.conv.MaxPieceShare[drop:]...)
@@ -622,8 +947,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	cur := s.state()
+	unlock := s.lockSerial()
+	pieces := cur.db.Stats().Pieces
+	pending := cur.db.PendingUpdates()
+	unlock()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status: "ok", Name: s.db.Name(), Mode: s.db.Mode().String(),
+		Status: "ok", Name: cur.db.Name(), Mode: cur.db.Mode().String(),
+		Rows: int64(cur.db.Rows()), ShardLo: cur.lo, ShardHi: cur.hi,
+		Pieces: pieces, Restored: cur.restored, PendingUpdates: pending,
 	})
 }
 
@@ -672,6 +1004,32 @@ const maxConvergenceSamples = 512
 // 400 itself on failure.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// maxRestoreBytes bounds POST /v1/restore bodies: a migrated shard's
+// manifest dwarfs ordinary request bodies, but unbounded reads from the
+// network are still off the table.
+const maxRestoreBytes = 1 << 30
+
+// decodeOptionalBody is decodeBody for endpoints whose body may be
+// legitimately empty (POST /v1/snapshot predates its request type); an
+// empty or whitespace body leaves v at its zero value.
+func decodeOptionalBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: "+err.Error())
+		return false
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		return true
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "decoding body: "+err.Error())

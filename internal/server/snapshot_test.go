@@ -90,20 +90,38 @@ func TestSnapshotPendingUpdatesConflict(t *testing.T) {
 	if rec := post(t, s, "/v1/insert", `{"value": 42}`); rec.Code != http.StatusOK {
 		t.Fatalf("insert status %d", rec.Code)
 	}
-	rec := post(t, s, "/v1/snapshot", "")
+	// Strict captures refuse while updates are queued — the explicit
+	// clean-cut path.
+	rec := post(t, s, "/v1/snapshot", `{"strict": true}`)
 	if rec.Code != http.StatusConflict {
-		t.Fatalf("snapshot with pending updates: status %d, want 409", rec.Code)
+		t.Fatalf("strict snapshot with pending updates: status %d, want 409", rec.Code)
 	}
 	var er ErrorResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Code != "pending_updates" {
 		t.Fatalf("error body %s (err %v)", rec.Body, err)
 	}
-	// A covering query merges the queue; the capture then succeeds.
+	// The default capture carries the queue instead of refusing, and the
+	// restored DB re-queues it.
+	rec = post(t, s, "/v1/snapshot", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot with pending updates: status %d: %s", rec.Code, rec.Body)
+	}
+	if resp := decodeSnapshot(t, rec.Body.Bytes()); resp.Pending != 1 {
+		t.Fatalf("snapshot response pending=%d, want 1", resp.Pending)
+	}
+	restored, err := crackdb.OpenSnapshotFile(path, crackdb.DD1R)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if n := restored.PendingUpdates(); n != 1 {
+		t.Fatalf("restored pending=%d, want 1", n)
+	}
+	// A covering query merges the queue; the strict capture then succeeds.
 	if rec := post(t, s, "/v1/query", `{"lo":0,"hi":100}`); rec.Code != http.StatusOK {
 		t.Fatalf("merge query status %d", rec.Code)
 	}
-	if rec := post(t, s, "/v1/snapshot", ""); rec.Code != http.StatusOK {
-		t.Fatalf("snapshot after merge: status %d: %s", rec.Code, rec.Body)
+	if rec := post(t, s, "/v1/snapshot", `{"strict": true}`); rec.Code != http.StatusOK {
+		t.Fatalf("strict snapshot after merge: status %d: %s", rec.Code, rec.Body)
 	}
 }
 

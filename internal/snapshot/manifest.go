@@ -43,7 +43,10 @@ func Single(st core.SnapshotState) Manifest {
 // queries wider than the shard crack at their original bounds — but they
 // carry no information (their positions are necessarily 0 or len), and
 // dropping them is what makes parts concatenable: every retained key is
-// strictly inside the part's range.
+// strictly inside the part's range. Pending-update queues are clamped to
+// the values the range owns for the same reason (value-routed updates
+// never queue outside their shard's range, so this is normalization, not
+// loss).
 func ClampedPart(lo, hi int64, st core.SnapshotState) Part {
 	keep := st.Cracks[:0:0]
 	for _, c := range st.Cracks {
@@ -52,7 +55,27 @@ func ClampedPart(lo, hi int64, st core.SnapshotState) Part {
 		}
 	}
 	st.Cracks = keep
+	st.PendingInserts = clampSorted(st.PendingInserts, lo, hi)
+	st.PendingDeletes = clampSorted(st.PendingDeletes, lo, hi)
 	return Part{Lo: lo, Hi: hi, State: st}
+}
+
+// clampSorted returns the sub-slice copy of sorted queue q whose values
+// the range [lo, hi) owns (covers semantics: the top of the domain
+// absorbs its own bound). nil when nothing survives.
+func clampSorted(q []int64, lo, hi int64) []int64 {
+	a := sort.Search(len(q), func(i int) bool { return q[i] >= lo })
+	b := len(q)
+	if hi != math.MaxInt64 {
+		b = sort.Search(len(q), func(i int) bool { return q[i] >= hi })
+	}
+	if a >= b {
+		return nil
+	}
+	if a == 0 && b == len(q) {
+		return q
+	}
+	return append([]int64(nil), q[a:b]...)
 }
 
 // Rows returns the total tuple count across parts.
@@ -70,6 +93,15 @@ func (m Manifest) Pieces() int {
 	total := 0
 	for _, p := range m.Parts {
 		total += len(p.State.Cracks) + 1
+	}
+	return total
+}
+
+// Pending returns the total captured pending-update count across parts.
+func (m Manifest) Pending() int {
+	total := 0
+	for _, p := range m.Parts {
+		total += p.State.Pending()
 	}
 	return total
 }
@@ -118,6 +150,13 @@ func (m Manifest) Validate() error {
 				return fmt.Errorf("snapshot: part %d value %d at %d outside [%d, %d): %w", i, v, j, p.Lo, p.Hi, ErrCorrupt)
 			}
 		}
+		for _, q := range [][]int64{p.State.PendingInserts, p.State.PendingDeletes} {
+			for j, v := range q {
+				if !covers(p.Lo, p.Hi, v) {
+					return fmt.Errorf("snapshot: part %d pending value %d at %d outside [%d, %d): %w", i, v, j, p.Lo, p.Hi, ErrCorrupt)
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -130,6 +169,17 @@ func (m Manifest) Validate() error {
 // are shard-local; concatenating them would alias rows).
 func (m Manifest) Merged() (core.SnapshotState, error) {
 	return m.slice(math.MinInt64, math.MaxInt64)
+}
+
+// Extract returns the engine state covering the value range [lo, hi)
+// across parts, cracks and pending updates included — the donor side of a
+// live shard migration: the extracted state restores into a warm index on
+// a joining node, while the rest of the manifest is untouched.
+func (m Manifest) Extract(lo, hi int64) (core.SnapshotState, error) {
+	if lo >= hi {
+		return core.SnapshotState{}, fmt.Errorf("snapshot: extract range [%d, %d) is empty", lo, hi)
+	}
+	return m.slice(lo, hi)
 }
 
 // Reshard re-cuts the manifest along the given interior bounds (strictly
@@ -206,6 +256,10 @@ func (m Manifest) slice(lo, hi int64) (core.SnapshotState, error) {
 		for _, c := range st.Cracks {
 			out.Cracks = append(out.Cracks, core.CrackEntry{Key: c.Key, Pos: off + c.Pos})
 		}
+		// Parts ascend in disjoint value ranges and each queue holds only
+		// values its part owns, so concatenation stays sorted.
+		out.PendingInserts = append(out.PendingInserts, st.PendingInserts...)
+		out.PendingDeletes = append(out.PendingDeletes, st.PendingDeletes...)
 	}
 	return out, nil
 }
@@ -226,6 +280,8 @@ func extractPart(p Part, lo, hi int64) core.SnapshotState {
 	if lo == p.Lo && hi == p.Hi {
 		return st // whole part; nothing to cut
 	}
+	pendIns := clampSorted(st.PendingInserts, lo, hi)
+	pendDel := clampSorted(st.PendingDeletes, lo, hi)
 	cracks := st.Cracks
 	// first crack with Key > lo: values before its predecessor's position
 	// are < lo and drop wholesale.
@@ -241,7 +297,7 @@ func extractPart(p Part, lo, hi int64) core.SnapshotState {
 	if b < len(cracks) {
 		posB = cracks[b].Pos
 	}
-	var out core.SnapshotState
+	out := core.SnapshotState{PendingInserts: pendIns, PendingDeletes: pendDel}
 	appendFiltered := func(from, to int) {
 		for i := from; i < to; i++ {
 			if covers(lo, hi, st.Values[i]) {

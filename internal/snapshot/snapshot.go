@@ -7,7 +7,7 @@
 // resume with all adaptation intact, and is the building block for the
 // paper's §6 "disk-based processing" direction.
 //
-// Two wire versions share the "CRKS" magic:
+// Three wire versions share the "CRKS" magic:
 //
 //   - v1 holds one engine state: magic/version, column length, row-id
 //     flag, values, optional row ids, crack count, (key, pos) pairs.
@@ -16,6 +16,11 @@
 //     ascending value order. A single-part manifest spanning the whole
 //     domain is byte-equivalent in content to v1 and is written as v1,
 //     so unsharded snapshots stay loadable by the v1 API.
+//   - v3 is v2 plus the pending-update queues: each part's engine state
+//     is followed by its sorted pending-insert and pending-delete value
+//     lists, so a capture taken while updates are queued loses nothing.
+//     Manifests without pending updates are still written as v1/v2, so
+//     the new version only appears when it is needed.
 //
 // Everything is little-endian and a CRC32 trailer guards against torn
 // writes. Decoding failures wrap dberr.ErrSnapshotCorrupt (sentinel,
@@ -42,6 +47,7 @@ import (
 var (
 	magicV1 = [8]byte{'C', 'R', 'K', 'S', 0, 0, 0, 1}
 	magicV2 = [8]byte{'C', 'R', 'K', 'S', 0, 0, 0, 2}
+	magicV3 = [8]byte{'C', 'R', 'K', 'S', 0, 0, 0, 3}
 )
 
 // ErrCorrupt is the sentinel wrapped by every decoding failure
@@ -64,8 +70,13 @@ func corruptf(format string, args ...any) error {
 	return fmt.Errorf("snapshot: %s: %w", fmt.Sprintf(format, args...), ErrCorrupt)
 }
 
-// Write serializes one engine state st to w in the v1 format.
+// Write serializes one engine state st to w in the v1 format. v1 cannot
+// carry pending-update queues; states holding them must go through
+// WriteManifest (which picks v3), so Write refuses rather than drop them.
 func Write(w io.Writer, st core.SnapshotState) error {
+	if st.Pending() > 0 {
+		return fmt.Errorf("snapshot: v1 cannot carry %d pending updates; write a manifest instead", st.Pending())
+	}
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
 	if _, err := bw.Write(magicV1[:]); err != nil {
@@ -85,14 +96,20 @@ func Write(w io.Writer, st core.SnapshotState) error {
 // WriteManifest serializes a multi-part manifest to w. Single-part
 // manifests spanning the whole value domain are written in the v1 format
 // (content-equivalent), so unsharded snapshots remain loadable by v1
-// readers; everything else uses v2.
+// readers; multi-part manifests use v2; manifests carrying pending-update
+// queues on any part use v3 (the only version with room for them).
 func WriteManifest(w io.Writer, m Manifest) error {
-	if len(m.Parts) == 1 && m.Parts[0].Lo == math.MinInt64 && m.Parts[0].Hi == math.MaxInt64 {
+	v3 := m.Pending() > 0
+	if !v3 && len(m.Parts) == 1 && m.Parts[0].Lo == math.MinInt64 && m.Parts[0].Hi == math.MaxInt64 {
 		return Write(w, m.Parts[0].State)
+	}
+	magic := magicV2
+	if v3 {
+		magic = magicV3
 	}
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
-	if _, err := bw.Write(magicV2[:]); err != nil {
+	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint64(len(m.Parts))); err != nil {
@@ -108,11 +125,30 @@ func WriteManifest(w io.Writer, m Manifest) error {
 		if err := writeState(bw, p.State); err != nil {
 			return err
 		}
+		if v3 {
+			if err := writePending(bw, p.State); err != nil {
+				return err
+			}
+		}
 	}
 	if err := bw.Flush(); err != nil {
 		return err
 	}
 	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// writePending emits one part's pending-update queues (v3 only): two
+// length-prefixed sorted value lists.
+func writePending(bw *bufio.Writer, st core.SnapshotState) error {
+	for _, q := range [][]int64{st.PendingInserts, st.PendingDeletes} {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(q))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, q); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeState emits one engine state body (no magic, no checksum).
@@ -176,7 +212,8 @@ func ReadManifest(r io.Reader) (Manifest, error) {
 		// Single clamps domain-edge cracks (keys MinInt64/MaxInt64), which
 		// legitimate v1 snapshots may carry from unbounded predicates.
 		man = Single(st)
-	case magicV2:
+	case magicV2, magicV3:
+		v3 := m == magicV3
 		var parts uint64
 		if err := binary.Read(tr, binary.LittleEndian, &parts); err != nil {
 			return Manifest{}, corruptf("reading part count: %v", err)
@@ -196,6 +233,14 @@ func ReadManifest(r io.Reader) (Manifest, error) {
 			st, err := readState(tr)
 			if err != nil {
 				return Manifest{}, fmt.Errorf("part %d: %w", i, err)
+			}
+			if v3 {
+				if st.PendingInserts, err = readPendingQueue(tr); err != nil {
+					return Manifest{}, fmt.Errorf("part %d: %w", i, err)
+				}
+				if st.PendingDeletes, err = readPendingQueue(tr); err != nil {
+					return Manifest{}, fmt.Errorf("part %d: %w", i, err)
+				}
 			}
 			// Clamp like the v1 path: our own writers never emit cracks
 			// outside a part's range, but decoding normalizes foreign
@@ -284,6 +329,32 @@ func readState(tr io.Reader) (core.SnapshotState, error) {
 		}
 	}
 	return st, nil
+}
+
+// readPendingQueue reads one length-prefixed pending-update value list
+// (v3 parts), rejecting unsorted queues — concatenating per-part queues
+// on restore relies on each being sorted.
+func readPendingQueue(tr io.Reader) ([]int64, error) {
+	var n uint64
+	if err := binary.Read(tr, binary.LittleEndian, &n); err != nil {
+		return nil, corruptf("reading pending count: %v", err)
+	}
+	if n > maxValues {
+		return nil, corruptf("claims %d pending updates", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	q, err := readSlice[int64](tr, n)
+	if err != nil {
+		return nil, corruptf("reading pending values: %v", err)
+	}
+	for i := 1; i < len(q); i++ {
+		if q[i] < q[i-1] {
+			return nil, corruptf("pending queue not sorted at %d", i)
+		}
+	}
+	return q, nil
 }
 
 // readSlice reads n little-endian elements, growing the destination in

@@ -119,6 +119,26 @@ func (p *Pending) Delete(v int64) {
 // Len returns the number of pending operations.
 func (p *Pending) Len() int { return len(p.inserts) + len(p.deletes) }
 
+// Snapshot returns copies of the queued inserts and deletes, sorted
+// ascending — the serializable form a snapshot carries so a restore can
+// re-queue them (core.SnapshotState.PendingInserts/PendingDeletes).
+func (p *Pending) Snapshot() (inserts, deletes []int64) {
+	if len(p.inserts) > 0 {
+		inserts = append([]int64(nil), p.inserts...)
+	}
+	if len(p.deletes) > 0 {
+		deletes = append([]int64(nil), p.deletes...)
+	}
+	return inserts, deletes
+}
+
+// Seed replaces the queues with copies of the given sorted value lists
+// (the restore path of a snapshot carrying pending updates).
+func (p *Pending) Seed(inserts, deletes []int64) {
+	p.inserts = append(p.inserts[:0:0], inserts...)
+	p.deletes = append(p.deletes[:0:0], deletes...)
+}
+
 // PendingInRange reports whether any pending update falls in [a, b).
 func (p *Pending) PendingInRange(a, b int64) bool {
 	return anyInRange(p.inserts, a, b) || anyInRange(p.deletes, a, b)
@@ -189,6 +209,14 @@ func (u *Index) Delete(v int64) { u.pending.Delete(v) }
 
 // Pending returns the number of not-yet-merged updates.
 func (u *Index) Pending() int { return u.pending.Len() }
+
+// PendingSnapshot returns copies of the queued inserts and deletes, for
+// inclusion in a snapshot.
+func (u *Index) PendingSnapshot() (inserts, deletes []int64) { return u.pending.Snapshot() }
+
+// SeedPending replaces the queues with the given sorted value lists
+// (restoring a snapshot that carried pending updates).
+func (u *Index) SeedPending(inserts, deletes []int64) { u.pending.Seed(inserts, deletes) }
 
 // Merged returns the number of updates merged into the column so far.
 func (u *Index) Merged() int64 { return u.merged }

@@ -2,6 +2,7 @@ package crackdb
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/colload"
 	"repro/internal/core"
@@ -50,6 +51,22 @@ func (ix *Index) Snapshot() (SnapshotState, error) {
 	return acc.Engine().Snapshot(), nil
 }
 
+// snapshotState captures the index's physical state with any queued
+// updates carried in the state's pending-queue fields — the DB snapshot
+// path, which never refuses. The v1 Index.Snapshot above keeps its
+// documented strict contract.
+func (ix *Index) snapshotState() (SnapshotState, error) {
+	acc, ok := ix.inner.(interface{ Engine() *core.Engine })
+	if !ok {
+		return SnapshotState{}, fmt.Errorf("crackdb: %s: %w", ix.inner.Name(), ErrSnapshotUnsupported)
+	}
+	st := acc.Engine().Snapshot()
+	if ix.upd != nil {
+		st.PendingInserts, st.PendingDeletes = ix.upd.PendingSnapshot()
+	}
+	return st, nil
+}
+
 // SaveSnapshot writes the index's state to path (atomic write, CRC32
 // protected).
 func (ix *Index) SaveSnapshot(path string) error {
@@ -91,6 +108,13 @@ func Restore(st SnapshotState, algorithm string, opts ...Option) (*Index, error)
 		return nil, err
 	}
 	u, _ := updates.Wrap(inner)
+	if st.Pending() > 0 {
+		if u == nil {
+			return nil, fmt.Errorf("crackdb: %s: snapshot carries %d pending updates: %w",
+				algorithm, st.Pending(), ErrUpdatesUnsupported)
+		}
+		u.SeedPending(st.PendingInserts, st.PendingDeletes)
+	}
 	return &Index{inner: inner, upd: u}, nil
 }
 
@@ -180,6 +204,21 @@ func OpenSnapshotFile(path, algorithm string, opts ...Option) (*DB, error) {
 		return nil, err
 	}
 	return OpenSnapshot(m, algorithm, opts...)
+}
+
+// WriteSnapshot serializes a DBSnapshot to w in the CRKS stream format
+// (CRC32-trailed, self-describing version). It is the transport form of
+// SaveSnapshotFile: the serving layer streams captured shard ranges over
+// HTTP with it during live migration.
+func WriteSnapshot(w io.Writer, snap DBSnapshot) error {
+	return snapshot.WriteManifest(w, snap)
+}
+
+// ReadSnapshot reads a CRKS stream written by WriteSnapshot (or a
+// snapshot file's contents). Corrupted, truncated or version-bumped
+// streams fail with ErrSnapshotCorrupt, never a partial manifest.
+func ReadSnapshot(r io.Reader) (DBSnapshot, error) {
+	return snapshot.ReadManifest(r)
 }
 
 // LoadColumn reads an integer column from a file, accepting both the

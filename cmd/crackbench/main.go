@@ -75,6 +75,11 @@ func main() {
 		clients    = flag.Int("clients", 8, "concurrent clients for -serve")
 		serveWls   = flag.String("serve-workloads", "random,sequential,skew", "comma-separated workloads replayed round-robin across -serve clients")
 		serveAgg   = flag.Bool("serve-aggregate", false, "-serve: request (count, sum) only, no value payloads")
+		rate       = flag.Float64("rate", 0, "-serve: offer open-loop load at this many requests/second instead of the closed-loop replay (0: closed loop); also the arrival rate for -openloop")
+		arrival    = flag.String("arrival", "poisson", "-serve -rate: arrival process, poisson or fixed")
+		writePct   = flag.Int("write-pct", 0, "-serve -rate: percentage of arrivals that are insert writes (reads otherwise)")
+		duration   = flag.Duration("duration", 10*time.Second, "-serve -rate: how long to offer open-loop load")
+		openloop   = flag.Bool("openloop", false, "measure open-loop insert throughput and decomposed write p99, group-commit batcher on vs off, over an in-process crackserver; rows join the -json report under experiment \"openloop\"")
 	)
 	flag.Parse()
 
@@ -115,6 +120,19 @@ func main() {
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
+		if *rate > 0 {
+			// Open loop: arrivals at a fixed rate, never waiting for
+			// completions — the regime that exposes queueing delay.
+			_, err := server.RunOpenLoad(ctx, server.OpenLoadConfig{
+				URL: *serveURL, Rate: *rate, Arrival: *arrival,
+				Duration: *duration, WritePct: *writePct, S: *s, Seed: *seed,
+			}, os.Stdout)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crackbench: serve:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		var names []string
 		for _, w := range strings.Split(*serveWls, ",") {
 			if w = strings.TrimSpace(w); w != "" {
@@ -187,6 +205,34 @@ func main() {
 			return
 		}
 		resumeExtra = rows
+	}
+	if *openloop {
+		rows, err := openloopExperiment(*n, *q, *s, *seed, *rate, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crackbench: openloop:", err)
+			os.Exit(1)
+		}
+		if *jsonOut == "" {
+			return
+		}
+		// -openloop -json writes just these rows, like -cluster: the full
+		// cell matrix is a separate, much longer run.
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crackbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.WriteJSONRows(bench.Config{N: *n, Q: *q, S: *s, Seed: *seed}, out, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "crackbench: json:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "json report written to %s\n", *jsonOut)
+		return
 	}
 	if *resume {
 		rows, err := resumeExperiment(*n, *q, *s, *seed, "dd1r")

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	crackdb "repro"
+	"repro/internal/bench"
+	"repro/internal/server"
+)
+
+// openloopExperiment measures the write path under open-loop (fixed-rate)
+// load, group-commit batcher on vs off. For each variant it boots an
+// in-process crackserver over a Shared dd1r DB and offers two storms:
+//
+//   - insert: 100% writes, measuring acked-insert throughput;
+//   - mixed: 20% writes / 80% aggregate reads, measuring the end-to-end
+//     p99 per class plus the write latency decomposed into its queue
+//     (batch seal), flush (lock wait) and apply (lock held) stages.
+//
+// Unlike the closed-loop -serve runs, arrivals here do not wait for
+// completions, so the latencies include the queueing delay a saturated
+// server builds up — the regime group commit is for. The rows slot into
+// the crackdb-bench/v1 JSON schema under experiment "openloop"
+// (crackbench -openloop -json), Oracle "n/a" because a write storm
+// invalidates the permutation oracle by construction.
+func openloopExperiment(n int64, q int, s int64, seed uint64, rate float64, out io.Writer) ([]bench.JSONRow, error) {
+	if rate <= 0 {
+		rate = 2000
+	}
+	if q < 100 {
+		q = 100
+	}
+	ctx := context.Background()
+	var rows []bench.JSONRow
+
+	row := func(workload string, perOpNS int64) bench.JSONRow {
+		return bench.JSONRow{
+			Experiment: "openloop", Algorithm: "dd1r", Workload: workload,
+			N: n, Q: int64(q), Oracle: "n/a",
+			PerQueryNS: perOpNS, TotalNS: perOpNS * int64(q),
+		}
+	}
+
+	for _, variant := range []struct {
+		label string
+		opts  []crackdb.Option
+	}{
+		{"batcher=off", nil},
+		{"batcher=on", []crackdb.Option{crackdb.WithGroupCommit(128, 200*time.Microsecond)}},
+	} {
+		opts := append([]crackdb.Option{
+			crackdb.WithSeed(seed), crackdb.WithConcurrency(crackdb.Shared),
+		}, variant.opts...)
+		db, err := crackdb.Open(crackdb.MakeData(n, seed), "dd1r", opts...)
+		if err != nil {
+			return nil, err
+		}
+		srv := server.New(db, server.Config{
+			Info:          server.Info{Rows: n, Algorithm: "dd1r", Seed: seed, Permutation: true},
+			AdmissionWait: 50 * time.Millisecond,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		url := "http://" + ln.Addr().String()
+
+		for _, phase := range []struct {
+			name     string
+			writePct int
+		}{
+			{"insert", 100},
+			{"mixed", 20},
+		} {
+			fmt.Fprintf(out, "\n== openloop %s %s ==\n", phase.name, variant.label)
+			res, err := server.RunOpenLoad(ctx, server.OpenLoadConfig{
+				URL:      url,
+				Rate:     rate,
+				Duration: time.Duration(float64(q) / rate * float64(time.Second)),
+				WritePct: phase.writePct,
+				S:        s,
+				Seed:     seed,
+				Deadline: time.Second,
+			}, out)
+			if err != nil {
+				hs.Close()
+				db.Close()
+				return nil, fmt.Errorf("openloop %s %s: %w", phase.name, variant.label, err)
+			}
+			prefix := phase.name + "-" + variant.label
+			if served := res.Reads + res.Writes; served > 0 {
+				rows = append(rows, row(prefix+":per-op", int64(res.Elapsed.Nanoseconds())/int64(served)))
+			}
+			if res.WriteLat.Count > 0 {
+				rows = append(rows,
+					row(prefix+":write-p99", res.WriteLat.P99.Nanoseconds()),
+					row(prefix+":queue-p99", res.Queue.P99.Nanoseconds()),
+					row(prefix+":flush-p99", res.Flush.P99.Nanoseconds()),
+					row(prefix+":apply-p99", res.Apply.P99.Nanoseconds()))
+			}
+			if res.ReadLat.Count > 0 {
+				rows = append(rows, row(prefix+":read-p99", res.ReadLat.P99.Nanoseconds()))
+			}
+		}
+		hs.Close()
+		db.Close()
+	}
+	return rows, nil
+}

@@ -71,6 +71,10 @@ func main() {
 		parCrack = flag.Bool("parallel-crack", false, "crack large pieces with the chunked parallel kernel (values-only columns)")
 		coarse   = flag.Int("coarse-init", 0, "coarse-granular initialization: pre-cut a cold build into this many pieces (0 disables; ignored on warm start)")
 
+		groupCommit = flag.Int("group-commit", 0, "group-commit write batching: max ops per flush through one exclusive section (0 disables; shared/sharded modes only)")
+		groupWait   = flag.Duration("group-wait", 200*time.Microsecond, "group-commit: max time the collector waits to fill a batch before flushing")
+		admWait     = flag.Duration("admission-wait", 0, "bounded admission queue: how long a request at the -inflight limit may wait for a slot before 429 (0: fail fast)")
+
 		tlsCert   = flag.String("tls-cert", "", "TLS certificate file; with -tls-key, serve HTTPS")
 		tlsKey    = flag.String("tls-key", "", "TLS private key file")
 		authToken = flag.String("auth-token", "", "require 'Authorization: Bearer <token>' on every request but GET /healthz")
@@ -113,6 +117,11 @@ func main() {
 		// A warm start ignores this by contract: the snapshot's cracks are
 		// recorded against the snapshot's layout, so Restore never pre-cuts.
 		opts = append(opts, crackdb.WithCoarseInit(*coarse))
+	}
+	if *groupCommit > 0 {
+		// opts also feeds Config.Reopen below, so a live restore/retain swap
+		// keeps group commit on across the replacement DB.
+		opts = append(opts, crackdb.WithGroupCommit(*groupCommit, *groupWait))
 	}
 
 	// Warm start when the snapshot file exists; cold permutation build
@@ -174,13 +183,14 @@ func main() {
 		info.Permutation = false
 	}
 	srv := server.New(db, server.Config{
-		MaxInFlight:  *inflight,
-		SnapshotPath: *snapPath,
-		Info:         info,
-		AuthToken:    *authToken,
-		ShardLo:      *shardLo,
-		ShardHi:      *shardHi,
-		Restored:     restored,
+		MaxInFlight:   *inflight,
+		AdmissionWait: *admWait,
+		SnapshotPath:  *snapPath,
+		Info:          info,
+		AuthToken:     *authToken,
+		ShardLo:       *shardLo,
+		ShardHi:       *shardHi,
+		Restored:      restored,
 		Reopen: func(snap crackdb.DBSnapshot) (*crackdb.DB, error) {
 			return crackdb.OpenSnapshot(snap, *algo, opts...)
 		},

@@ -71,6 +71,7 @@ package crackdb
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -130,6 +131,8 @@ type config struct {
 	core       core.Options
 	partitions int
 	conc       Concurrency
+	groupOpt   exec.BatcherOptions
+	groupOn    bool
 }
 
 func applyOptions(opts []Option) config {
@@ -194,6 +197,25 @@ func WithParallelCrackMin(tuples int) Option {
 // restores ignore it — a snapshot already carries its earned refinement.
 func WithCoarseInit(p int) Option {
 	return func(c *config) { c.core.CoarseInitPieces = p }
+}
+
+// WithGroupCommit puts the group-commit batcher in front of the write
+// path: concurrent Insert/Delete/ApplyBatch calls enqueue into one
+// collector goroutine, which gathers up to batchSize values (flushing
+// after at most maxWait) and applies the whole batch under a single
+// exclusive lock acquisition — one write-lock handshake per flush
+// instead of one per value. Acknowledgement semantics are unchanged: a
+// call returns only after its values are applied, so an acknowledged
+// write is visible to every later query and snapshot, exactly once.
+// batchSize <= 0 and maxWait <= 0 select the defaults (128 values,
+// 200µs). Group commit requires a concurrent mode; opening a Single-mode
+// DB with it fails with errors.ErrUnsupported.
+func WithGroupCommit(batchSize int, maxWait time.Duration) Option {
+	return func(c *config) {
+		c.groupOn = true
+		c.groupOpt.BatchSize = batchSize
+		c.groupOpt.MaxWait = maxWait
+	}
 }
 
 // WithPartitions sets the number of source partitions for the hybrid

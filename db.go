@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"slices"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -100,6 +101,10 @@ type DB struct {
 	x  *exec.Executor // Shared
 	sh *exec.Sharded  // Sharded(k)
 
+	// b is the group-commit batcher in front of the write path; nil
+	// unless the DB was opened with WithGroupCommit.
+	b *exec.Batcher
+
 	// Table backends (exactly one non-nil for OpenTable handles).
 	tbl  *table.Table  // Single
 	stbl *table.Shared // Shared
@@ -141,7 +146,28 @@ func Open(values []int64, algorithm string, opts ...Option) (*DB, error) {
 		}
 		db.sh = s
 	}
+	if err := db.attachGroupCommit(cfg); err != nil {
+		return nil, err
+	}
 	return db, nil
+}
+
+// attachGroupCommit installs the group-commit batcher over the DB's
+// executor when WithGroupCommit was given. Single and table modes have
+// no concurrent write path to batch and fail with errors.ErrUnsupported.
+func (db *DB) attachGroupCommit(cfg config) error {
+	if !cfg.groupOn {
+		return nil
+	}
+	switch {
+	case db.x != nil:
+		db.b = exec.NewBatcher(db.x, cfg.groupOpt)
+	case db.sh != nil:
+		db.b = exec.NewBatcher(db.sh, cfg.groupOpt)
+	default:
+		return fmt.Errorf("crackdb: group commit in %s mode: %w", db.mode, errors.ErrUnsupported)
+	}
+	return nil
 }
 
 // OpenTable builds a DB over named, equal-length columns; selections
@@ -178,6 +204,11 @@ func OpenTable(cols map[string][]int64, algorithm string, opts ...Option) (*DB, 
 // ended.
 func (db *DB) Close() error {
 	db.closed.Store(true)
+	if db.b != nil {
+		// Stops the collector goroutine; writes already admitted are
+		// still flushed and acknowledged before Close returns.
+		db.b.Close()
+	}
 	return nil // idempotent, io.Closer-style: repeat closes are not errors
 }
 
@@ -483,12 +514,17 @@ func (db *DB) aggRange(ctx context.Context, col string, lo, hi int64, agg Aggreg
 
 // Insert queues a value for insertion; it is merged into the column by
 // the first query whose range covers it (Ripple merge). On a sharded DB
-// the value routes to the shard owning its range. It fails with
-// ErrUpdatesUnsupported for algorithms that cannot take updates and for
-// table databases.
+// the value routes to the shard owning its range; with WithGroupCommit
+// the value rides a collector flush and Insert returns after the flush
+// applied it. It fails with ErrUpdatesUnsupported for algorithms that
+// cannot take updates and for table databases.
 func (db *DB) Insert(v int64) error {
 	if db.closed.Load() {
 		return fmt.Errorf("crackdb: %w", ErrClosed)
+	}
+	if db.b != nil {
+		_, err := db.b.Enqueue(context.Background(), []exec.Op{{Value: v}})
+		return err
 	}
 	switch {
 	case db.ix != nil:
@@ -508,6 +544,10 @@ func (db *DB) Delete(v int64) error {
 	if db.closed.Load() {
 		return fmt.Errorf("crackdb: %w", ErrClosed)
 	}
+	if db.b != nil {
+		_, err := db.b.Enqueue(context.Background(), []exec.Op{{Value: v, Delete: true}})
+		return err
+	}
 	switch {
 	case db.ix != nil:
 		return db.ix.Delete(v)
@@ -518,6 +558,81 @@ func (db *DB) Delete(v int64) error {
 	default:
 		return fmt.Errorf("crackdb: table databases: %w", ErrUpdatesUnsupported)
 	}
+}
+
+// UpdateTimings decomposes an acknowledged write batch's latency into
+// the group-commit stages: Queue (waiting for the collector to seal a
+// flush), Flush (the sealed flush waiting for the exclusive section) and
+// Apply (holding it). Grouped reports whether the batch rode the
+// group-commit path; without it only Flush (lock wait) and Apply are
+// meaningful and Queue is zero.
+type UpdateTimings struct {
+	Queue   time.Duration
+	Flush   time.Duration
+	Apply   time.Duration
+	Grouped bool
+}
+
+// ApplyBatch applies a whole list of inserts and deletes as one write
+// batch and returns its decomposed latency. With WithGroupCommit the
+// batch rides one collector flush (possibly grouped with concurrent
+// writers); otherwise it is applied directly under one exclusive section
+// per touched shard — either way the values pay one lock handshake per
+// batch, not one per value, and ApplyBatch returns only after every
+// value is applied. The context governs admission to the group-commit
+// queue; once admitted the batch is applied even if the context expires,
+// because an acknowledged write must never be half-applied.
+func (db *DB) ApplyBatch(ctx context.Context, inserts, deletes []int64) (UpdateTimings, error) {
+	if err := db.check(ctx); err != nil {
+		return UpdateTimings{}, err
+	}
+	if len(inserts)+len(deletes) == 0 {
+		return UpdateTimings{}, nil
+	}
+	ops := make([]exec.Op, 0, len(inserts)+len(deletes))
+	for _, v := range deletes {
+		ops = append(ops, exec.Op{Value: v, Delete: true})
+	}
+	for _, v := range inserts {
+		ops = append(ops, exec.Op{Value: v})
+	}
+	if db.b != nil {
+		t, err := db.b.Enqueue(ctx, ops)
+		return UpdateTimings{Queue: t.Queue, Flush: t.Flush, Apply: t.Apply, Grouped: true}, err
+	}
+	var lockWait, apply time.Duration
+	var err error
+	switch {
+	case db.x != nil:
+		lockWait, apply, err = db.x.ApplyOps(ops)
+	case db.sh != nil:
+		lockWait, apply, err = db.sh.ApplyOps(ops)
+	case db.ix != nil:
+		start := time.Now()
+		for _, op := range ops {
+			if op.Delete {
+				err = db.ix.Delete(op.Value)
+			} else {
+				err = db.ix.Insert(op.Value)
+			}
+			if err != nil {
+				return UpdateTimings{}, err
+			}
+		}
+		return UpdateTimings{Apply: time.Since(start)}, nil
+	default:
+		return UpdateTimings{}, fmt.Errorf("crackdb: table databases: %w", ErrUpdatesUnsupported)
+	}
+	return UpdateTimings{Flush: lockWait, Apply: apply}, err
+}
+
+// GroupCommitStats reports the group-commit batcher's counters; ok is
+// false when the DB was opened without WithGroupCommit.
+func (db *DB) GroupCommitStats() (st exec.BatcherStats, ok bool) {
+	if db.b == nil {
+		return exec.BatcherStats{}, false
+	}
+	return db.b.Stats(), true
 }
 
 // PendingUpdates returns the number of queued, not-yet-merged updates

@@ -123,6 +123,59 @@ func WriteJSONRows(cfg Config, w io.Writer, rows []JSONRow) error {
 	return enc.Encode(rep)
 }
 
+// ValidateReport checks a decoded BENCH_*.json against the
+// crackdb-bench/v1 schema contract: the schema tag, a non-empty row set,
+// and per-row invariants (experiment and algorithm set, a non-empty
+// oracle verdict, non-negative timings, total consistent with per-query
+// where both are present). It is the benchgate -check-json step, so a
+// malformed committed artifact fails CI instead of silently gating
+// nothing.
+func ValidateReport(rep *JSONReport) error {
+	if rep.Schema != "crackdb-bench/v1" {
+		return fmt.Errorf("schema %q, want %q", rep.Schema, "crackdb-bench/v1")
+	}
+	if rep.Generated == "" {
+		return fmt.Errorf("missing generated timestamp")
+	}
+	if _, err := time.Parse(time.RFC3339, rep.Generated); err != nil {
+		return fmt.Errorf("generated %q is not RFC 3339: %v", rep.Generated, err)
+	}
+	if len(rep.Rows) == 0 {
+		return fmt.Errorf("no rows")
+	}
+	seen := map[string]bool{}
+	for i, r := range rep.Rows {
+		at := fmt.Sprintf("row %d (%s/%s/%s)", i, r.Experiment, r.Algorithm, r.Workload)
+		if r.Experiment == "" || r.Algorithm == "" {
+			return fmt.Errorf("%s: experiment and algorithm are required", at)
+		}
+		if r.Oracle == "" {
+			return fmt.Errorf("%s: missing oracle verdict (\"ok\", \"n/a\" or the failure)", at)
+		}
+		if r.PerQueryNS < 0 || r.TotalNS < 0 || r.Allocs < 0 || r.Bytes < 0 || r.N < 0 || r.Q < 0 {
+			return fmt.Errorf("%s: negative measurement", at)
+		}
+		key := r.Experiment + "\x00" + r.Algorithm + "\x00" + r.Workload
+		if seen[key] {
+			return fmt.Errorf("%s: duplicate (experiment, algorithm, workload) key", at)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// ReadReport decodes and validates one BENCH_*.json stream.
+func ReadReport(r io.Reader) (*JSONReport, error) {
+	var rep JSONReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, err
+	}
+	if err := ValidateReport(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
 func sortRows(rows []JSONRow) {
 	sort.Slice(rows, func(i, j int) bool {
 		a, b := rows[i], rows[j]

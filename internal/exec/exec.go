@@ -33,6 +33,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dberr"
@@ -61,6 +62,14 @@ type prober interface {
 type inserter interface {
 	Insert(v int64)
 	Delete(v int64)
+}
+
+// bulkInserter is the optional bulk update surface (updates.Index): a
+// whole batch of values merges into the sorted pending queues in one
+// pass instead of one binary-search-and-copy per value.
+type bulkInserter interface {
+	InsertMany(vs []int64)
+	DeleteMany(vs []int64)
 }
 
 // engineAccessor is satisfied by every engine-backed core index.
@@ -394,6 +403,59 @@ func (x *Executor) Delete(v int64) error {
 	defer x.mu.Unlock()
 	x.ins.Delete(v)
 	return nil
+}
+
+// Op is one element of a write batch: an insert of Value, or — with
+// Delete set — the removal of one occurrence of Value.
+type Op struct {
+	Value  int64
+	Delete bool
+}
+
+// ApplyOps queues a whole batch of updates under a single exclusive lock
+// acquisition — the group-commit apply. Per-value Insert/Delete pays one
+// write-lock handshake per value; ApplyOps pays one per batch, and when
+// the wrapped index exposes the bulk surface (updates.Index) the batch
+// merges into the sorted pending queues in one pass. It returns how long
+// the batch waited for the exclusive section (lockWait) and how long it
+// held it (apply), so callers can decompose write tail latency; the
+// updates-unsupported error is returned before any lock is taken.
+func (x *Executor) ApplyOps(ops []Op) (lockWait, apply time.Duration, err error) {
+	if len(ops) == 0 {
+		return 0, 0, nil
+	}
+	if x.ins == nil {
+		return 0, 0, fmt.Errorf("exec: %s: %w", x.inner.Name(), dberr.ErrUpdatesUnsupported)
+	}
+	start := time.Now()
+	x.mu.Lock()
+	locked := time.Now()
+	if bulk, ok := x.ins.(bulkInserter); ok {
+		var ins, del []int64
+		for _, op := range ops {
+			if op.Delete {
+				del = append(del, op.Value)
+			} else {
+				ins = append(ins, op.Value)
+			}
+		}
+		// The pending queues are disjoint, so the insert/delete split
+		// preserves per-value semantics: deletes cancel against the
+		// column at merge time, exactly as if queued one by one.
+		bulk.DeleteMany(del)
+		bulk.InsertMany(ins)
+	} else {
+		for _, op := range ops {
+			if op.Delete {
+				x.ins.Delete(op.Value)
+			} else {
+				x.ins.Insert(op.Value)
+			}
+		}
+	}
+	done := time.Now()
+	x.mu.Unlock()
+	return locked.Sub(start), done.Sub(locked), nil
 }
 
 // Pending returns the number of queued, not-yet-merged updates (0 when

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pool"
@@ -192,12 +193,17 @@ func (s *Sharded) intersect(a, b int64) (first, last int, ok bool) {
 // shardFor returns the shard whose value range owns v. Shard ranges tile
 // the whole int64 domain, with the last shard absorbing the top edge.
 func (s *Sharded) shardFor(v int64) *shard {
+	return &s.shards[s.shardIndexFor(v)]
+}
+
+// shardIndexFor is shardFor returning the shard's index.
+func (s *Sharded) shardIndexFor(v int64) int {
 	for i := range s.shards {
 		if v < s.shards[i].hi {
-			return &s.shards[i]
+			return i
 		}
 	}
-	return &s.shards[len(s.shards)-1]
+	return len(s.shards) - 1
 }
 
 // fanOut runs work(si) for every shard in [first, last]: all but the
@@ -399,6 +405,37 @@ func (s *Sharded) Insert(v int64) error { return s.shardFor(v).ex.Insert(v) }
 
 // Delete queues the removal of one occurrence of v, like Insert.
 func (s *Sharded) Delete(v int64) error { return s.shardFor(v).ex.Delete(v) }
+
+// ApplyOps routes a batch of updates to the shards owning each value and
+// applies every shard's sub-batch under one exclusive section (see
+// Executor.ApplyOps): k shards touched means k lock handshakes for the
+// whole batch, not one per value. lockWait and apply are summed across
+// the touched shards.
+func (s *Sharded) ApplyOps(ops []Op) (lockWait, apply time.Duration, err error) {
+	if len(ops) == 0 {
+		return 0, 0, nil
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0].ex.ApplyOps(ops)
+	}
+	per := make([][]Op, len(s.shards))
+	for _, op := range ops {
+		si := s.shardIndexFor(op.Value)
+		per[si] = append(per[si], op)
+	}
+	for si, sub := range per {
+		if len(sub) == 0 {
+			continue
+		}
+		lw, ap, err := s.shards[si].ex.ApplyOps(sub)
+		lockWait += lw
+		apply += ap
+		if err != nil {
+			return lockWait, apply, err
+		}
+	}
+	return lockWait, apply, nil
+}
 
 // Pending returns the number of queued, not-yet-merged updates across all
 // shards.

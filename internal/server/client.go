@@ -98,6 +98,15 @@ func (c *Client) Insert(ctx context.Context, values ...int64) (pending int, err 
 	return resp.Pending, err
 }
 
+// InsertBatch queues values for insertion and returns the full update
+// response, including the decomposed write-latency stages when the server
+// runs group commit — the open-loop load generator's write path.
+func (c *Client) InsertBatch(ctx context.Context, values []int64) (UpdateResponse, error) {
+	var resp UpdateResponse
+	err := c.post(ctx, "/v1/insert", UpdateRequest{Values: values}, &resp)
+	return resp, err
+}
+
 // Delete queues value removals, returning the pending-update depth.
 func (c *Client) Delete(ctx context.Context, values ...int64) (pending int, err error) {
 	var resp UpdateResponse

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	crackdb "repro"
+)
+
+// newGroupCommitServer opens a Shared DB with group commit enabled and
+// wraps it in a Server.
+func newGroupCommitServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	db, err := crackdb.Open(crackdb.MakeData(testRows, 7), crackdb.DD1R,
+		crackdb.WithSeed(7), crackdb.WithConcurrency(crackdb.Shared),
+		crackdb.WithGroupCommit(64, 100*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	cfg.Info = Info{Rows: testRows, Algorithm: crackdb.DD1R, Seed: 7, Permutation: true}
+	return New(db, cfg)
+}
+
+// TestRejectCarriesRetryAfter: every 429 tells the client when to come
+// back (RFC 9110 Retry-After, in seconds, at least 1).
+func TestRejectCarriesRetryAfter(t *testing.T) {
+	s := newTestServer(t, crackdb.Shared, Config{MaxInFlight: 1})
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	s.hold = func() {
+		started <- struct{}{}
+		<-release
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+			strings.NewReader(`{"lo": 0, "hi": 10}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"lo": 0, "hi": 10}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+	close(release)
+	s.hold = nil
+}
+
+// TestAdmissionWaitQueues: with AdmissionWait set, a request arriving at
+// the in-flight limit queues for a freed slot instead of failing fast.
+func TestAdmissionWaitQueues(t *testing.T) {
+	s := newTestServer(t, crackdb.Shared, Config{MaxInFlight: 1, AdmissionWait: 5 * time.Second})
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	s.hold = func() {
+		started <- struct{}{}
+		<-release
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+			strings.NewReader(`{"lo": 0, "hi": 10}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started // first request owns the slot
+
+	second := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+			strings.NewReader(`{"lo": 0, "hi": 10}`))
+		if err != nil {
+			second <- -1
+			return
+		}
+		resp.Body.Close()
+		second <- resp.StatusCode
+	}()
+	// The second request must be parked in the admission queue, not 429ed.
+	select {
+	case code := <-second:
+		t.Fatalf("second request finished early with %d", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release) // first request finishes; its slot admits the second
+	if code := <-second; code != http.StatusOK {
+		t.Fatalf("queued request finished with %d, want 200", code)
+	}
+	s.hold = nil
+	if got := s.rejects.Load(); got != 0 {
+		t.Fatalf("rejects = %d, want 0", got)
+	}
+}
+
+// TestUpdateBatchResponse: a multi-value insert reports one consistent
+// post-batch pending count and how many values it applied.
+func TestUpdateBatchResponse(t *testing.T) {
+	s := newTestServer(t, crackdb.Shared, Config{})
+	rec := post(t, s, "/v1/insert", `{"values": [10001, 10002, 10003]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var ur UpdateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Accepted != 3 || ur.Pending != 3 {
+		t.Fatalf("accepted=%d pending=%d, want 3/3", ur.Accepted, ur.Pending)
+	}
+	if ur.Grouped {
+		t.Fatal("Grouped true without group commit")
+	}
+	rec = post(t, s, "/v1/delete", `{"values": [5]}`)
+	var dr UpdateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &dr); err != nil {
+		t.Fatal(err)
+	}
+	// Deletes queue separately until a covering query merges them, so
+	// pending is the consistent post-batch total: 3 inserts + 1 delete.
+	if dr.Accepted != 1 || dr.Pending != 4 {
+		t.Fatalf("accepted=%d pending=%d, want 1/4", dr.Accepted, dr.Pending)
+	}
+	// The queued updates are visible to queries (lazy merge).
+	q := decodeQuery(t, post(t, s, "/v1/query", `{"lo": 10000, "hi": 10010, "aggregate": true}`))
+	if q.Results[0].Count != 3 {
+		t.Fatalf("count = %d, want 3", q.Results[0].Count)
+	}
+	q = decodeQuery(t, post(t, s, "/v1/query", `{"lo": 0, "hi": 10, "aggregate": true}`))
+	if q.Results[0].Count != 9 {
+		t.Fatalf("count = %d, want 9 (5 deleted)", q.Results[0].Count)
+	}
+}
+
+// TestGroupCommitOverHTTP: the full path — writes through /v1/insert on a
+// group-commit DB are acked, visible, decomposed in the response, and
+// surfaced on /v1/stats and /debug/metrics.
+func TestGroupCommitOverHTTP(t *testing.T) {
+	s := newGroupCommitServer(t, Config{})
+	rec := post(t, s, "/v1/insert", `{"values": [10001, 10002, 10003, 10004]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var ur UpdateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ur); err != nil {
+		t.Fatal(err)
+	}
+	if !ur.Grouped || ur.Accepted != 4 {
+		t.Fatalf("grouped=%v accepted=%d, want true/4", ur.Grouped, ur.Accepted)
+	}
+	if ur.ApplyNS <= 0 {
+		t.Fatalf("apply_ns = %d, want > 0", ur.ApplyNS)
+	}
+	q := decodeQuery(t, post(t, s, "/v1/query", `{"lo": 10000, "hi": 10010, "aggregate": true}`))
+	if q.Results[0].Count != 4 {
+		t.Fatalf("count = %d, want 4", q.Results[0].Count)
+	}
+
+	var st StatsResponse
+	if err := json.Unmarshal(get(t, s, "/v1/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.GroupCommit == nil {
+		t.Fatal("stats: group_commit missing on a group-commit DB")
+	}
+	if st.GroupCommit.Ops != 4 || st.GroupCommit.Flushes == 0 {
+		t.Fatalf("stats: ops=%d flushes=%d", st.GroupCommit.Ops, st.GroupCommit.Flushes)
+	}
+	if st.GroupCommit.BatchSize != 64 {
+		t.Fatalf("stats: batch_size = %d, want 64", st.GroupCommit.BatchSize)
+	}
+
+	body := get(t, s, "/debug/metrics").Body.String()
+	for _, want := range []string{
+		"crackserver_groupcommit_flushes_total",
+		"crackserver_groupcommit_ops_total 4",
+		"crackserver_groupcommit_enqueued_total",
+		"crackserver_groupcommit_max_batch",
+		`crackserver_update_stage_seconds_count{stage="apply"} 1`,
+		`crackserver_update_stage_seconds_bucket{stage="queue",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	crackdb "repro"
 )
 
 // endpoint indexes the per-endpoint request counters.
@@ -91,6 +93,28 @@ var latencyBuckets = []float64{
 	1, 5, 10,
 }
 
+// updateStage indexes the decomposed write-latency histograms: where a
+// /v1/insert / /v1/delete request's time went.
+type updateStage int
+
+const (
+	stageQueue updateStage = iota // enqueue → sealed into a batch
+	stageFlush                    // waiting for the exclusive section
+	stageApply                    // holding the exclusive section
+	numStages
+)
+
+func (st updateStage) String() string {
+	switch st {
+	case stageQueue:
+		return "queue"
+	case stageFlush:
+		return "flush"
+	default:
+		return "apply"
+	}
+}
+
 // metrics holds the server's atomic counters, exposed in Prometheus text
 // format on /debug/metrics. Everything is fixed-size and lock-free on the
 // hot path.
@@ -105,10 +129,18 @@ type metrics struct {
 	latCounts []atomic.Int64
 	latSumNs  atomic.Int64
 	latTotal  atomic.Int64
+	// Per-stage write-latency histograms (same bucket bounds as the query
+	// histogram), fed by every applied /v1/insert and /v1/delete batch.
+	updCounts [numStages][]atomic.Int64
+	updSumNs  [numStages]atomic.Int64
+	updTotal  [numStages]atomic.Int64
 }
 
 func (m *metrics) init() {
 	m.latCounts = make([]atomic.Int64, len(latencyBuckets))
+	for st := range m.updCounts {
+		m.updCounts[st] = make([]atomic.Int64, len(latencyBuckets))
+	}
 }
 
 // observe records one finished request. Only successfully answered
@@ -130,6 +162,23 @@ func (m *metrics) observe(ep endpoint, status int, d time.Duration) {
 	}
 	m.latSumNs.Add(d.Nanoseconds())
 	m.latTotal.Add(1)
+}
+
+// observeUpdate records one applied write batch's decomposed latency.
+// Without group commit, Queue is zero and the flush/apply split still
+// reports the exclusive-section cost.
+func (m *metrics) observeUpdate(tm crackdb.UpdateTimings) {
+	for st, d := range [numStages]time.Duration{stageQueue: tm.Queue, stageFlush: tm.Flush, stageApply: tm.Apply} {
+		secs := d.Seconds()
+		for i, le := range latencyBuckets {
+			if secs <= le {
+				m.updCounts[st][i].Add(1)
+				break
+			}
+		}
+		m.updSumNs[st].Add(d.Nanoseconds())
+		m.updTotal[st].Add(1)
+	}
 }
 
 // handleMetrics writes the Prometheus text exposition: serving counters,
@@ -180,6 +229,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "crackserver_query_seconds_bucket{le=\"+Inf\"} %d\n", total)
 	fmt.Fprintf(w, "crackserver_query_seconds_sum %g\n", float64(s.met.latSumNs.Load())/1e9)
 	fmt.Fprintf(w, "crackserver_query_seconds_count %d\n", total)
+
+	fmt.Fprintf(w, "# HELP crackserver_update_stage_seconds Decomposed write latency by stage (queue, flush, apply).\n")
+	fmt.Fprintf(w, "# TYPE crackserver_update_stage_seconds histogram\n")
+	for st := updateStage(0); st < numStages; st++ {
+		cum = 0
+		for i, le := range latencyBuckets {
+			cum += s.met.updCounts[st][i].Load()
+			fmt.Fprintf(w, "crackserver_update_stage_seconds_bucket{stage=%q,le=%q} %d\n", st, formatLe(le), cum)
+		}
+		n := s.met.updTotal[st].Load()
+		fmt.Fprintf(w, "crackserver_update_stage_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", st, n)
+		fmt.Fprintf(w, "crackserver_update_stage_seconds_sum{stage=%q} %g\n", st, float64(s.met.updSumNs[st].Load())/1e9)
+		fmt.Fprintf(w, "crackserver_update_stage_seconds_count{stage=%q} %d\n", st, n)
+	}
+
+	if gc, ok := cur.db.GroupCommitStats(); ok {
+		fmt.Fprintf(w, "# HELP crackserver_groupcommit_flushes_total Group-commit batches flushed through the exclusive section.\n")
+		fmt.Fprintf(w, "# TYPE crackserver_groupcommit_flushes_total counter\n")
+		fmt.Fprintf(w, "crackserver_groupcommit_flushes_total %d\n", gc.Flushes)
+		fmt.Fprintf(w, "# HELP crackserver_groupcommit_ops_total Individual update operations applied via group commit.\n")
+		fmt.Fprintf(w, "# TYPE crackserver_groupcommit_ops_total counter\n")
+		fmt.Fprintf(w, "crackserver_groupcommit_ops_total %d\n", gc.Ops)
+		fmt.Fprintf(w, "# HELP crackserver_groupcommit_enqueued_total Write requests admitted into the group-commit queue.\n")
+		fmt.Fprintf(w, "# TYPE crackserver_groupcommit_enqueued_total counter\n")
+		fmt.Fprintf(w, "crackserver_groupcommit_enqueued_total %d\n", gc.Enqueued)
+		fmt.Fprintf(w, "# HELP crackserver_groupcommit_max_batch Largest single flushed batch (ops).\n")
+		fmt.Fprintf(w, "# TYPE crackserver_groupcommit_max_batch gauge\n")
+		fmt.Fprintf(w, "crackserver_groupcommit_max_batch %d\n", gc.MaxBatch)
+	}
 
 	fmt.Fprintf(w, "# HELP crackserver_index_queries_total Queries answered by the index (all paths).\n")
 	fmt.Fprintf(w, "# TYPE crackserver_index_queries_total counter\n")

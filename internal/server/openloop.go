@@ -1,0 +1,302 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// OpenLoadConfig configures RunOpenLoad, the open-loop (fixed-rate) load
+// generator. Unlike RunLoad's closed loop — where each client waits for
+// its answer before sending the next query, so a slow server quietly
+// slows the offered load — an open loop fires requests on an arrival
+// process at a fixed target rate regardless of completions. Latency under
+// open-loop load includes the queueing delay a closed loop hides, which
+// is exactly where group-commit batching and bounded admission earn their
+// keep.
+type OpenLoadConfig struct {
+	// URL of the crackserver (e.g. "http://127.0.0.1:8080").
+	URL string
+	// Rate is the target arrival rate in requests per second.
+	Rate float64
+	// Arrival selects the arrival process: "poisson" (default;
+	// exponential inter-arrival gaps, the classic open-loop model) or
+	// "fixed" (deterministic 1/Rate spacing).
+	Arrival string
+	// Duration is how long load is offered.
+	Duration time.Duration
+	// WritePct is the percentage of arrivals that are writes ([0, 100]);
+	// the rest are aggregate range reads. Answer validation is off as soon
+	// as writes run: the permutation oracle no longer holds.
+	WritePct int
+	// WriteBatch is how many fresh values each write request carries
+	// (default 1). Every written value is unique across the run.
+	WriteBatch int
+	// S is the read selectivity in value units (default 10).
+	S int64
+	// Seed drives the arrival gaps, the read ranges and the write values.
+	Seed uint64
+	// Deadline bounds each request (default 1s). A request that misses it
+	// counts as a deadline miss, not a transport error.
+	Deadline time.Duration
+	// Token is the bearer token presented on every request.
+	Token string
+	// HTTPClient overrides the transport. Nil uses http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (cfg OpenLoadConfig) withDefaults() OpenLoadConfig {
+	if cfg.Arrival == "" {
+		cfg.Arrival = "poisson"
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.WriteBatch <= 0 {
+		cfg.WriteBatch = 1
+	}
+	if cfg.S <= 0 {
+		cfg.S = 10
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = time.Second
+	}
+	return cfg
+}
+
+// LatencySummary is one request class's latency distribution.
+type LatencySummary struct {
+	Count int
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+func summarize(lats []time.Duration) LatencySummary {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	s := LatencySummary{Count: len(lats)}
+	if len(lats) > 0 {
+		s.P50 = quantile(lats, 0.50)
+		s.P90 = quantile(lats, 0.90)
+		s.P99 = quantile(lats, 0.99)
+		s.Max = lats[len(lats)-1]
+	}
+	return s
+}
+
+// OpenLoadResult summarizes one RunOpenLoad: how much of the offered load
+// was served, the per-class end-to-end latency, and — when the server
+// runs group commit — the write latency decomposed into its queue, flush
+// and apply stages (each a distribution over the run's writes).
+type OpenLoadResult struct {
+	Offered        int // arrivals generated
+	Reads, Writes  int // requests answered OK per class
+	Rejected       int // 429s (admission control shedding load)
+	DeadlineMisses int // requests that blew their deadline
+	Errors         int // everything else
+	Elapsed        time.Duration
+	Throughput     float64 // answered requests per second
+
+	ReadLat  LatencySummary
+	WriteLat LatencySummary
+	// Queue/Flush/Apply decompose the write latency server-side (zeroes
+	// without group commit, where only flush/apply are populated).
+	Queue, Flush, Apply LatencySummary
+
+	// GroupCommit is the server's batcher counters after the run, when
+	// the DB runs group commit.
+	GroupCommit *GroupCommitInfo
+}
+
+// RunOpenLoad offers cfg's load to a running crackserver and returns the
+// summary. Arrivals that cannot be admitted (429) or answered within the
+// deadline are counted, not retried: an open loop measures what the
+// server sheds as much as what it serves.
+func RunOpenLoad(ctx context.Context, cfg OpenLoadConfig, out io.Writer) (*OpenLoadResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("openloop: need a positive -rate, got %g", cfg.Rate)
+	}
+	if cfg.Arrival != "poisson" && cfg.Arrival != "fixed" {
+		return nil, fmt.Errorf("openloop: unknown arrival process %q (poisson, fixed)", cfg.Arrival)
+	}
+	if cfg.WritePct < 0 || cfg.WritePct > 100 {
+		return nil, fmt.Errorf("openloop: -write-pct %d out of [0, 100]", cfg.WritePct)
+	}
+	c := NewClient(cfg.URL, cfg.HTTPClient, WithToken(cfg.Token))
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("openloop: reaching %s: %w", cfg.URL, err)
+	}
+	if st.Rows <= 0 {
+		return nil, fmt.Errorf("openloop: server reports %d rows", st.Rows)
+	}
+	fmt.Fprintf(out, "server %s: %s mode=%s rows=%d\n", cfg.URL, st.Name, st.Mode, st.Rows)
+	fmt.Fprintf(out, "offering %.0f req/s (%s arrivals) for %v, %d%% writes (batch %d), deadline %v\n",
+		cfg.Rate, cfg.Arrival, cfg.Duration, cfg.WritePct, cfg.WriteBatch, cfg.Deadline)
+
+	type sample struct {
+		write               bool
+		lat                 time.Duration
+		queue, flush, apply time.Duration
+		rejected            bool
+		deadline            bool
+		err                 bool
+	}
+	var (
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+	)
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+
+	rng := xrand.New(cfg.Seed)
+	// Fresh write values live above the served domain so they never
+	// collide with resident data; nextVal hands them out run-uniquely.
+	nextVal := st.Rows
+	gap := func() time.Duration {
+		mean := float64(time.Second) / cfg.Rate
+		if cfg.Arrival == "fixed" {
+			return time.Duration(mean)
+		}
+		// Exponential inter-arrival gap: -ln(U) * mean, U in (0, 1].
+		u := (float64(rng.Int63n(1<<52)) + 1) / float64(1<<52)
+		return time.Duration(-math.Log(u) * mean)
+	}
+
+	start := time.Now()
+	deadlineAt := start.Add(cfg.Duration)
+	offered := 0
+	next := start
+	for time.Now().Before(deadlineAt) && ctx.Err() == nil {
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		next = next.Add(gap())
+		offered++
+
+		isWrite := cfg.WritePct > 0 && int(rng.Int63n(100)) < cfg.WritePct
+		var values []int64
+		var lo, hi int64
+		if isWrite {
+			values = make([]int64, cfg.WriteBatch)
+			for i := range values {
+				values[i] = nextVal
+				nextVal++
+			}
+		} else {
+			lo = rng.Int63n(st.Rows)
+			hi = lo + cfg.S
+		}
+		// Open loop: the arrival never waits for a completion; each request
+		// runs in its own goroutine against its own deadline.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rctx, cancel := context.WithTimeout(ctx, cfg.Deadline)
+			defer cancel()
+			t0 := time.Now()
+			var err error
+			var ur UpdateResponse
+			if isWrite {
+				ur, err = c.InsertBatch(rctx, values)
+			} else {
+				_, err = c.Aggregate(rctx, lo, hi)
+			}
+			s := sample{write: isWrite, lat: time.Since(t0)}
+			switch {
+			case err == nil:
+				if isWrite {
+					s.queue = time.Duration(ur.QueueNS)
+					s.flush = time.Duration(ur.FlushNS)
+					s.apply = time.Duration(ur.ApplyNS)
+				}
+			case isStatus(err, http.StatusTooManyRequests):
+				s.rejected = true
+			case errors.Is(err, context.DeadlineExceeded) || isStatus(err, StatusClientClosedRequest) || isStatus(err, http.StatusGatewayTimeout):
+				s.deadline = true
+			default:
+				s.err = true
+			}
+			record(s)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &OpenLoadResult{Offered: offered, Elapsed: elapsed}
+	var readLats, writeLats, qLats, fLats, aLats []time.Duration
+	for _, s := range samples {
+		switch {
+		case s.rejected:
+			res.Rejected++
+		case s.deadline:
+			res.DeadlineMisses++
+		case s.err:
+			res.Errors++
+		case s.write:
+			res.Writes++
+			writeLats = append(writeLats, s.lat)
+			qLats = append(qLats, s.queue)
+			fLats = append(fLats, s.flush)
+			aLats = append(aLats, s.apply)
+		default:
+			res.Reads++
+			readLats = append(readLats, s.lat)
+		}
+	}
+	res.Throughput = float64(res.Reads+res.Writes) / elapsed.Seconds()
+	res.ReadLat = summarize(readLats)
+	res.WriteLat = summarize(writeLats)
+	res.Queue = summarize(qLats)
+	res.Flush = summarize(fLats)
+	res.Apply = summarize(aLats)
+	if fin, err := c.Stats(ctx); err == nil && fin.GroupCommit != nil {
+		res.GroupCommit = fin.GroupCommit
+	}
+
+	fmt.Fprintf(out, "\noffered %d, served %d (%.0f req/s): %d reads, %d writes; %d rejected (429), %d deadline misses, %d errors\n",
+		res.Offered, res.Reads+res.Writes, res.Throughput,
+		res.Reads, res.Writes, res.Rejected, res.DeadlineMisses, res.Errors)
+	fmt.Fprintf(out, "%-14s %8s %10s %10s %10s %10s\n", "class", "count", "p50", "p90", "p99", "max")
+	for _, row := range []struct {
+		name string
+		s    LatencySummary
+	}{{"read", res.ReadLat}, {"write", res.WriteLat}, {"write.queue", res.Queue}, {"write.flush", res.Flush}, {"write.apply", res.Apply}} {
+		if row.s.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "%-14s %8d %10v %10v %10v %10v\n",
+			row.name, row.s.Count, row.s.P50, row.s.P90, row.s.P99, row.s.Max)
+	}
+	if gc := res.GroupCommit; gc != nil {
+		fmt.Fprintf(out, "group commit: %d ops in %d flushes (avg batch %.1f, max %d)\n",
+			gc.Ops, gc.Flushes, gc.AvgBatch, gc.MaxBatch)
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// isStatus reports whether err is an APIError with the given HTTP status.
+func isStatus(err error, status int) bool {
+	var api *APIError
+	return errors.As(err, &api) && api.Status == status
+}

@@ -105,6 +105,13 @@ type Config struct {
 	// get 429. 0 means 8 x pool.Size(); negative disables admission
 	// control.
 	MaxInFlight int
+	// AdmissionWait bounds how long a request arriving at the MaxInFlight
+	// limit may queue for an admission slot before the 429 — additionally
+	// bounded by the request's own context deadline, so a caller never
+	// queues past the point where it stopped listening. 0 keeps the
+	// fail-fast behavior (immediate 429). Every 429 carries a Retry-After
+	// header either way.
+	AdmissionWait time.Duration
 	// SnapshotPath is the file POST /v1/snapshot (and the periodic saver,
 	// Server.SaveSnapshot) writes the DB's adapted state to, atomically.
 	// Empty disables the endpoint (422). The path is fixed at
@@ -158,10 +165,11 @@ type Server struct {
 	// modes.
 	serial *sync.Mutex
 
-	sem         chan struct{} // admission slots; nil disables the limit
-	maxInFlight int
-	inFlight    atomic.Int64
-	rejects     atomic.Int64
+	sem           chan struct{} // admission slots; nil disables the limit
+	maxInFlight   int
+	admissionWait time.Duration
+	inFlight      atomic.Int64
+	rejects       atomic.Int64
 
 	mux *http.ServeMux
 	met metrics
@@ -205,6 +213,7 @@ func New(db *crackdb.DB, cfg Config) *Server {
 	if s.maxInFlight > 0 {
 		s.sem = make(chan struct{}, s.maxInFlight)
 	}
+	s.admissionWait = cfg.AdmissionWait
 	s.snapshotPath = cfg.SnapshotPath
 	s.met.init()
 	s.mux = http.NewServeMux()
@@ -322,9 +331,20 @@ type UpdateRequest struct {
 }
 
 // UpdateResponse reports the queue depth after the update: updates merge
-// lazily, so Pending is the number queued across the DB, not a failure.
+// lazily, so Pending is the number queued across the DB *after this
+// request's whole value list was applied* (one consistent post-batch
+// reading, not a per-value running count), not a failure. Accepted is how
+// many values this request applied. When the DB runs with group commit,
+// Grouped is true and the *_ns fields decompose the write's latency:
+// QueueNS waiting to be sealed into a batch, FlushNS waiting for the
+// exclusive section, ApplyNS holding it.
 type UpdateResponse struct {
-	Pending int `json:"pending"`
+	Pending  int   `json:"pending"`
+	Accepted int   `json:"accepted"`
+	Grouped  bool  `json:"grouped,omitempty"`
+	QueueNS  int64 `json:"queue_ns,omitempty"`
+	FlushNS  int64 `json:"flush_ns,omitempty"`
+	ApplyNS  int64 `json:"apply_ns,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response: a human-readable
@@ -391,6 +411,28 @@ type StatsResponse struct {
 	Pieces         *stats.PieceStats `json:"pieces,omitempty"`
 	PieceHistogram []HistBucket      `json:"piece_histogram,omitempty"`
 	Convergence    *ConvergenceInfo  `json:"convergence,omitempty"`
+
+	// GroupCommit is present when the DB runs writes through the
+	// group-commit batcher (crackdb.WithGroupCommit).
+	GroupCommit *GroupCommitInfo `json:"group_commit,omitempty"`
+}
+
+// GroupCommitInfo is the batcher's cumulative counters: how writes were
+// grouped (AvgBatch = Ops/Flushes, MaxBatch the largest single flush) and
+// where their time went, as summed nanoseconds per latency stage (queue:
+// enqueue→sealed into a batch; flush: waiting for the exclusive section;
+// apply: holding it).
+type GroupCommitInfo struct {
+	BatchSize int     `json:"batch_size"`
+	MaxWaitNS int64   `json:"max_wait_ns"`
+	Enqueued  int64   `json:"enqueued"`
+	Ops       int64   `json:"ops"`
+	Flushes   int64   `json:"flushes"`
+	MaxBatch  int64   `json:"max_batch"`
+	AvgBatch  float64 `json:"avg_batch"`
+	QueueNS   int64   `json:"queue_ns"`
+	FlushNS   int64   `json:"flush_ns"`
+	ApplyNS   int64   `json:"apply_ns"`
 }
 
 // HealthResponse is the body of GET /healthz: liveness plus the
@@ -432,9 +474,12 @@ type queryBuffers struct {
 var bufPool = sync.Pool{New: func() any { return new(queryBuffers) }}
 
 // admit takes an admission slot, reporting false (after counting the
-// reject) when the server is at MaxInFlight. release must be called
-// exactly once when ok.
-func (s *Server) admit() (release func(), ok bool) {
+// reject) when the server is at MaxInFlight. With AdmissionWait set, a
+// request arriving at the limit queues for a slot up to that long —
+// bounded by its own context, so a hung-up caller leaves the queue
+// immediately — instead of failing fast. release must be called exactly
+// once when ok.
+func (s *Server) admit(ctx context.Context) (release func(), ok bool) {
 	s.inFlight.Add(1)
 	if s.sem == nil {
 		return func() { s.inFlight.Add(-1) }, true
@@ -443,10 +488,35 @@ func (s *Server) admit() (release func(), ok bool) {
 	case s.sem <- struct{}{}:
 		return func() { <-s.sem; s.inFlight.Add(-1) }, true
 	default:
-		s.inFlight.Add(-1)
-		s.rejects.Add(1)
-		return nil, false
 	}
+	if s.admissionWait > 0 && ctx.Err() == nil {
+		timer := time.NewTimer(s.admissionWait)
+		defer timer.Stop()
+		select {
+		case s.sem <- struct{}{}:
+			return func() { <-s.sem; s.inFlight.Add(-1) }, true
+		case <-timer.C:
+		case <-ctx.Done():
+		}
+	}
+	s.inFlight.Add(-1)
+	s.rejects.Add(1)
+	return nil, false
+}
+
+// rejectOverCapacity writes the 429 admission reject. Per RFC 9110 it
+// carries a Retry-After hint: the admission wait when one is configured
+// (the queue turns over within roughly that long), else one second.
+func (s *Server) rejectOverCapacity(w http.ResponseWriter) {
+	secs := int64(1)
+	if s.admissionWait > 0 {
+		if v := int64((s.admissionWait + time.Second - 1) / time.Second); v > secs {
+			secs = v
+		}
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeError(w, http.StatusTooManyRequests, "over_capacity",
+		fmt.Sprintf("server at its in-flight limit (%d); retry", s.maxInFlight))
 }
 
 // lockSerial takes the Single-mode serialization lock, a no-op in the
@@ -461,10 +531,9 @@ func (s *Server) lockSerial() func() {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	release, ok := s.admit()
+	release, ok := s.admit(r.Context())
 	if !ok {
-		writeError(w, http.StatusTooManyRequests, "over_capacity",
-			fmt.Sprintf("server at its in-flight limit (%d); retry", s.maxInFlight))
+		s.rejectOverCapacity(w)
 		return
 	}
 	defer release()
@@ -559,23 +628,21 @@ func valuesResult(vals []int64) QueryResult {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
-	db := s.state().db
-	s.handleUpdate(w, r, db, db.Insert)
+	s.handleUpdate(w, r, false)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	db := s.state().db
-	s.handleUpdate(w, r, db, db.Delete)
+	s.handleUpdate(w, r, true)
 }
 
-func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, db *crackdb.DB, apply func(int64) error) {
-	release, ok := s.admit()
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, del bool) {
+	release, ok := s.admit(r.Context())
 	if !ok {
-		writeError(w, http.StatusTooManyRequests, "over_capacity",
-			fmt.Sprintf("server at its in-flight limit (%d); retry", s.maxInFlight))
+		s.rejectOverCapacity(w)
 		return
 	}
 	defer release()
+	db := s.state().db
 
 	var req UpdateRequest
 	if !decodeBody(w, r, &req) {
@@ -589,23 +656,35 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, db *crackd
 		writeError(w, http.StatusBadRequest, "bad_request", "no values")
 		return
 	}
+	// The whole value list rides one batch through one exclusive section
+	// (amortized under group commit), so Pending below is a single
+	// consistent post-batch reading.
+	var inserts, deletes []int64
+	if del {
+		deletes = values
+	} else {
+		inserts = values
+	}
 	unlock := s.lockSerial()
 	var pending int
-	err := func() error {
-		for _, v := range values {
-			if err := apply(v); err != nil {
-				return err
-			}
-		}
+	tm, err := db.ApplyBatch(r.Context(), inserts, deletes)
+	if err == nil {
 		pending = db.PendingUpdates()
-		return nil
-	}()
+	}
 	unlock()
 	if err != nil {
 		writeMappedError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, UpdateResponse{Pending: pending})
+	s.met.observeUpdate(tm)
+	writeJSON(w, http.StatusOK, UpdateResponse{
+		Pending:  pending,
+		Accepted: len(values),
+		Grouped:  tm.Grouped,
+		QueueNS:  tm.Queue.Nanoseconds(),
+		FlushNS:  tm.Flush.Nanoseconds(),
+		ApplyNS:  tm.Apply.Nanoseconds(),
+	})
 }
 
 // SnapshotRequest is the optional body of POST /v1/snapshot. Strict
@@ -642,10 +721,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	// competes for an admission slot like one: under overload the caller
 	// gets a fast 429 instead of convoying yet another drain behind the
 	// backlog.
-	release, ok := s.admit()
+	release, ok := s.admit(r.Context())
 	if !ok {
-		writeError(w, http.StatusTooManyRequests, "over_capacity",
-			fmt.Sprintf("server at its in-flight limit (%d); retry", s.maxInFlight))
+		s.rejectOverCapacity(w)
 		return
 	}
 	defer release()
@@ -719,10 +797,9 @@ func (s *Server) handleSnapshotRange(w http.ResponseWriter, r *http.Request) {
 			"need integer query params lo < hi")
 		return
 	}
-	release, ok := s.admit()
+	release, ok := s.admit(r.Context())
 	if !ok {
-		writeError(w, http.StatusTooManyRequests, "over_capacity",
-			fmt.Sprintf("server at its in-flight limit (%d); retry", s.maxInFlight))
+		s.rejectOverCapacity(w)
 		return
 	}
 	defer release()
@@ -781,10 +858,9 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 			"server started without a restore hook")
 		return
 	}
-	release, ok := s.admit()
+	release, ok := s.admit(r.Context())
 	if !ok {
-		writeError(w, http.StatusTooManyRequests, "over_capacity",
-			fmt.Sprintf("server at its in-flight limit (%d); retry", s.maxInFlight))
+		s.rejectOverCapacity(w)
 		return
 	}
 	defer release()
@@ -848,10 +924,9 @@ func (s *Server) handleRetain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "need lo < hi")
 		return
 	}
-	release, ok := s.admit()
+	release, ok := s.admit(r.Context())
 	if !ok {
-		writeError(w, http.StatusTooManyRequests, "over_capacity",
-			fmt.Sprintf("server at its in-flight limit (%d); retry", s.maxInFlight))
+		s.rejectOverCapacity(w)
 		return
 	}
 	defer release()
@@ -922,6 +997,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		HasPathStats: hasPath,
 		ReadQueries:  reads,
 		WriteQueries: writes,
+	}
+	if gc, ok := cur.db.GroupCommitStats(); ok {
+		info := &GroupCommitInfo{
+			BatchSize: gc.BatchSize, MaxWaitNS: gc.MaxWait.Nanoseconds(),
+			Enqueued: gc.Enqueued, Ops: gc.Ops, Flushes: gc.Flushes,
+			MaxBatch: gc.MaxBatch,
+			QueueNS:  gc.QueueNS, FlushNS: gc.FlushNS, ApplyNS: gc.ApplyNS,
+		}
+		if gc.Flushes > 0 {
+			info.AvgBatch = float64(gc.Ops) / float64(gc.Flushes)
+		}
+		resp.GroupCommit = info
 	}
 	if sizesErr == nil {
 		ps := stats.FromSizes(sizes, int(cur.info.Rows))

@@ -116,6 +116,20 @@ func (p *Pending) Delete(v int64) {
 	p.deletes = insertSorted(p.deletes, v)
 }
 
+// InsertMany queues every value in vs for insertion. The batch is sorted
+// once and merged into the queue in a single pass — O(k·log k + m) for k
+// new values over an m-entry queue, against O(k·m) for k one-value
+// inserts — which is what keeps the group-commit batcher's bulk apply
+// cheap at large batch sizes.
+func (p *Pending) InsertMany(vs []int64) {
+	p.inserts = mergeSorted(p.inserts, vs)
+}
+
+// DeleteMany queues every value in vs for deletion, like InsertMany.
+func (p *Pending) DeleteMany(vs []int64) {
+	p.deletes = mergeSorted(p.deletes, vs)
+}
+
 // Len returns the number of pending operations.
 func (p *Pending) Len() int { return len(p.inserts) + len(p.deletes) }
 
@@ -154,6 +168,34 @@ func takeRange(queue *[]int64, a, b int64) []int64 {
 	}
 	out := append([]int64(nil), q[lo:hi]...)
 	*queue = append(q[:lo], q[hi:]...)
+	return out
+}
+
+// mergeSorted merges a batch of values (any order) into the sorted queue
+// q, returning the merged queue. The batch is copied before sorting, so
+// the caller's slice is never reordered.
+func mergeSorted(q []int64, vs []int64) []int64 {
+	switch len(vs) {
+	case 0:
+		return q
+	case 1:
+		return insertSorted(q, vs[0])
+	}
+	batch := append([]int64(nil), vs...)
+	sort.Slice(batch, func(i, j int) bool { return batch[i] < batch[j] })
+	out := make([]int64, 0, len(q)+len(batch))
+	i, j := 0, 0
+	for i < len(q) && j < len(batch) {
+		if q[i] <= batch[j] {
+			out = append(out, q[i])
+			i++
+		} else {
+			out = append(out, batch[j])
+			j++
+		}
+	}
+	out = append(out, q[i:]...)
+	out = append(out, batch[j:]...)
 	return out
 }
 
@@ -206,6 +248,13 @@ func (u *Index) Insert(v int64) { u.pending.Insert(v) }
 // Delete queues v for deletion; it takes effect before the first query
 // whose range covers it.
 func (u *Index) Delete(v int64) { u.pending.Delete(v) }
+
+// InsertMany queues every value in vs for insertion in one sorted merge
+// (the group-commit bulk apply path).
+func (u *Index) InsertMany(vs []int64) { u.pending.InsertMany(vs) }
+
+// DeleteMany queues every value in vs for deletion, like InsertMany.
+func (u *Index) DeleteMany(vs []int64) { u.pending.DeleteMany(vs) }
 
 // Pending returns the number of not-yet-merged updates.
 func (u *Index) Pending() int { return u.pending.Len() }

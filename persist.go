@@ -162,7 +162,11 @@ func OpenSnapshot(snap DBSnapshot, algorithm string, opts ...Option) (*DB, error
 		if err != nil {
 			return nil, fmt.Errorf("crackdb: %w", err)
 		}
-		return &DB{mode: cfg.conc, rows: snap.Rows(), sh: sh}, nil
+		db := &DB{mode: cfg.conc, rows: snap.Rows(), sh: sh}
+		if err := db.attachGroupCommit(cfg); err != nil {
+			return nil, err
+		}
+		return db, nil
 	}
 	st, err := snap.Merged()
 	if err != nil {
@@ -177,6 +181,9 @@ func OpenSnapshot(snap DBSnapshot, algorithm string, opts ...Option) (*DB, error
 		db.x = ix.executor()
 	} else {
 		db.ix = ix
+	}
+	if err := db.attachGroupCommit(cfg); err != nil {
+		return nil, err
 	}
 	return db, nil
 }

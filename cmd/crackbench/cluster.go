@@ -2,16 +2,24 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"net"
 	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
+	"repro/internal/cluster/client"
+	"repro/internal/cluster/faultproxy"
 	"repro/internal/server"
+	"repro/internal/xrand"
 )
 
 // clusterExperiment measures the distributed layer end to end, entirely
@@ -145,4 +153,275 @@ func clusterExperiment(n int64, q int, s int64, seed uint64, backends, clients i
 		return rows, err
 	}
 	return rows, nil
+}
+
+// killReplicaExperiment measures what per-range replication buys when a
+// backend actually dies: availability (failed requests per million) and
+// p99 latency during the kill window, replicated (2 copies per range)
+// versus unreplicated (1 copy), plus the warm-pieces evidence that a
+// full-node drain re-homes sole-copy ranges with their refinement
+// intact.
+//
+// Both arms run the same storm: `clients` workers issue oracle-checked
+// aggregate queries through a live coordinator whose backends sit
+// behind fault proxies; once a quarter of the budget has completed, one
+// backend's proxy is killed (connection refused — a crashed process)
+// and the rest of the run is the "kill window". The unreplicated arm
+// keeps serving its surviving range and fails the dead one — its error
+// rate IS the availability cost. The replicated arm must absorb the
+// kill completely: any failed request or oracle mismatch fails the
+// whole experiment, mirroring TestReplicatedClusterSurvivesBackendKill.
+//
+// Rows slot into crackdb-bench/v1 under experiment "cluster-kill":
+// per-arm `replicas=R:kill-window-p99` (PerQueryNS = p99 of successful
+// kill-window requests) and `replicas=R:kill-window-error-ppm`
+// (PerQueryNS = failed requests per million in the window, Q = the raw
+// failure count), and `replicas=2:drain-migrate-pieces` (Pieces = the
+// refinement carried by the drain's migrate move).
+func killReplicaExperiment(n int64, q int, seed uint64, clients int, out io.Writer) ([]bench.JSONRow, error) {
+	const ranges = 2
+	var rows []bench.JSONRow
+	for _, replicas := range []int{1, 2} {
+		algo := fmt.Sprintf("cluster-%dx%d(dd1r)", ranges, replicas)
+		r, err := killReplicaArm(n, q, seed, ranges, replicas, clients, algo, out)
+		rows = append(rows, r...)
+		if err != nil {
+			return rows, err
+		}
+	}
+	return rows, nil
+}
+
+// killWindow accumulates per-request outcomes observed after the kill.
+type killWindow struct {
+	mu         sync.Mutex
+	latencies  []time.Duration
+	errs       int64
+	mismatches int64
+	began      time.Time
+}
+
+func killReplicaArm(n int64, q int, seed uint64, ranges, replicas, clients int, algo string, out io.Writer) ([]bench.JSONRow, error) {
+	// Backends behind fault proxies: replica k of range r serves the same
+	// [lo, hi) slice as its siblings.
+	var urls []string
+	proxies := make([][]*faultproxy.Proxy, ranges)
+	var closers []func()
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	for r := 0; r < ranges; r++ {
+		lo := n * int64(r) / int64(ranges)
+		hi := n * int64(r+1) / int64(ranges)
+		for k := 0; k < replicas; k++ {
+			nd, err := cluster.StartLocalNode(cluster.LocalNodeConfig{
+				N: n, Seed: seed, Lo: lo, Hi: hi, Algorithm: "dd1r",
+			})
+			if err != nil {
+				return nil, fmt.Errorf("cluster-kill: range %d replica %d: %w", r, k, err)
+			}
+			closers = append(closers, nd.Close)
+			p, err := faultproxy.New(nd.URL, uint64(r*10+k+1))
+			if err != nil {
+				return nil, fmt.Errorf("cluster-kill: proxy for range %d replica %d: %w", r, k, err)
+			}
+			closers = append(closers, p.Close)
+			proxies[r] = append(proxies[r], p)
+			urls = append(urls, p.URL())
+		}
+	}
+
+	bootCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	coord, err := cluster.New(bootCtx, urls, cluster.Config{
+		Replicas:       replicas,
+		HealthInterval: 50 * time.Millisecond,
+		Client: client.Config{
+			Timeout: 5 * time.Second, Retries: 1,
+			Backoff: 5 * time.Millisecond, HedgeDelay: 25 * time.Millisecond,
+		},
+	})
+	cancel()
+	if err != nil {
+		return nil, fmt.Errorf("cluster-kill: coordinator (%d replicas): %w", replicas, err)
+	}
+	defer coord.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: coord.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	coordURL := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "cluster-kill: %d ranges x %d replicas behind %s\n", ranges, replicas, coordURL)
+
+	// The storm. Every worker checks each answer against the closed-form
+	// permutation oracle; whichever request crosses the quarter mark
+	// kills the last replica of range 0.
+	perWorker := q / clients
+	if perWorker < 20 {
+		perWorker = 20
+	}
+	total := int64(perWorker * clients)
+	var completed atomic.Int64
+	var killOnce sync.Once
+	win := &killWindow{}
+	victim := proxies[0][len(proxies[0])-1]
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(seed + uint64(w)*7919)
+			for i := 0; i < perWorker; i++ {
+				width := 1 + rng.Int63n(n/8)
+				a := rng.Int63n(n - width)
+				b := a + width
+				start := time.Now()
+				cnt, sum, err := clusterAggQuery(httpc, coordURL, a, b)
+				lat := time.Since(start)
+				win.mu.Lock()
+				inWindow := !win.began.IsZero()
+				if inWindow {
+					if err != nil {
+						win.errs++
+					} else {
+						win.latencies = append(win.latencies, lat)
+						if cnt != b-a || sum != (a+b-1)*(b-a)/2 {
+							win.mismatches++
+						}
+					}
+				}
+				win.mu.Unlock()
+				if !inWindow && err == nil && (cnt != b-a || sum != (a+b-1)*(b-a)/2) {
+					win.mu.Lock()
+					win.mismatches++
+					win.mu.Unlock()
+				}
+				if completed.Add(1) >= total/4 {
+					killOnce.Do(func() {
+						victim.Kill()
+						win.mu.Lock()
+						win.began = time.Now()
+						win.mu.Unlock()
+						fmt.Fprintf(out, "cluster-kill: killed a range-0 replica after %d requests\n", completed.Load())
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	windowTotal := int64(len(win.latencies)) + win.errs
+	p99 := time.Duration(0)
+	if len(win.latencies) > 0 {
+		sort.Slice(win.latencies, func(i, j int) bool { return win.latencies[i] < win.latencies[j] })
+		p99 = win.latencies[len(win.latencies)*99/100]
+	}
+	ppm := int64(0)
+	if windowTotal > 0 {
+		ppm = win.errs * 1_000_000 / windowTotal
+	}
+	verdict := "ok"
+	if win.mismatches > 0 {
+		verdict = fmt.Sprintf("%d oracle mismatches", win.mismatches)
+	}
+	fmt.Fprintf(out, "cluster-kill: replicas=%d window: %d requests, %d failed (%d ppm), p99 %v, %d mismatches\n",
+		replicas, windowTotal, win.errs, ppm, p99, win.mismatches)
+	rows := []bench.JSONRow{
+		{
+			Experiment: "cluster-kill", Algorithm: algo,
+			Workload: fmt.Sprintf("replicas=%d:kill-window-p99", replicas),
+			N:        n, Q: windowTotal, PerQueryNS: p99.Nanoseconds(), Oracle: verdict,
+		},
+		{
+			Experiment: "cluster-kill", Algorithm: algo,
+			Workload: fmt.Sprintf("replicas=%d:kill-window-error-ppm", replicas),
+			N:        n, Q: win.errs, PerQueryNS: ppm, Oracle: verdict,
+		},
+	}
+	if win.mismatches > 0 {
+		return rows, fmt.Errorf("cluster-kill: replicas=%d: %d oracle mismatches", replicas, win.mismatches)
+	}
+	if replicas > 1 && win.errs > 0 {
+		return rows, fmt.Errorf("cluster-kill: replicated arm saw %d failed requests during the kill window, want 0", win.errs)
+	}
+
+	if replicas > 1 {
+		// Drain both replicas of range 1: the first is a pure handoff (its
+		// sibling keeps serving), the second forces a migrate whose Pieces
+		// count proves the re-homed range arrived warm.
+		ctx := context.Background()
+		pieces := 0
+		for k := replicas - 1; k >= 0; k-- {
+			resp, err := coord.Drain(ctx, proxies[1][k].URL())
+			if err != nil {
+				return rows, fmt.Errorf("cluster-kill: drain replica %d of range 1: %w", k, err)
+			}
+			for _, mv := range resp.Moves {
+				fmt.Fprintf(out, "cluster-kill: drain %s: [%d, %d) -> %s (%s, %d pieces)\n",
+					resp.Backend, mv.Lo, mv.Hi, mv.To, mv.Mode, mv.Pieces)
+				if mv.Mode == "migrate" {
+					pieces += mv.Pieces
+				}
+			}
+		}
+		// The drained topology must still answer correctly.
+		rng := xrand.New(seed + 99)
+		for i := 0; i < 20; i++ {
+			width := 1 + rng.Int63n(n/4)
+			a := rng.Int63n(n - width)
+			cnt, sum, err := clusterAggQuery(httpc, coordURL, a, a+width)
+			if err != nil {
+				return rows, fmt.Errorf("cluster-kill: post-drain query: %w", err)
+			}
+			if cnt != width || sum != (2*a+width-1)*width/2 {
+				return rows, fmt.Errorf("cluster-kill: post-drain mismatch on [%d, %d)", a, a+width)
+			}
+		}
+		drainRow := bench.JSONRow{
+			Experiment: "cluster-kill", Algorithm: algo,
+			Workload: "replicas=2:drain-migrate-pieces",
+			N:        n, Oracle: "ok", Pieces: pieces,
+		}
+		if pieces < 2 {
+			drainRow.Oracle = fmt.Sprintf("drain migrate restored only %d pieces: the re-homed range arrived cold", pieces)
+		}
+		rows = append(rows, drainRow)
+		if drainRow.Oracle != "ok" {
+			return rows, fmt.Errorf("cluster-kill: %s", drainRow.Oracle)
+		}
+	}
+	return rows, nil
+}
+
+// clusterAggQuery issues one aggregate range query and decodes the
+// single (count, sum) result.
+func clusterAggQuery(httpc *http.Client, base string, lo, hi int64) (int64, int64, error) {
+	body := fmt.Sprintf(`{"lo":%d,"hi":%d,"aggregate":true}`, lo, hi)
+	resp, err := httpc.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("query [%d, %d): status %d: %s", lo, hi, resp.StatusCode, data)
+	}
+	var qr struct {
+		Results []struct {
+			Count int64 `json:"count"`
+			Sum   int64 `json:"sum"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &qr); err != nil || len(qr.Results) != 1 {
+		return 0, 0, fmt.Errorf("query [%d, %d): bad body %s", lo, hi, data)
+	}
+	return qr.Results[0].Count, qr.Results[0].Sum, nil
 }

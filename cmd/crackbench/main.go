@@ -70,6 +70,7 @@ func main() {
 		resume     = flag.Bool("resume", false, "measure restored-vs-cold convergence: run half the workload, snapshot, restore into every mode (incl. re-sharded), finish the workload; rows join the -json report under experiment \"resume\"")
 		clusterRun = flag.Bool("cluster", false, "cluster mode: spawn an in-process coordinator over -cluster-backends local shard servers, replay the workloads through it with oracle validation, then live-migrate a range to a fresh node and replay again; rows join the -json report under experiments \"cluster\" and \"cluster-migrate\"")
 		clusterN   = flag.Int("cluster-backends", 3, "backend count for -cluster")
+		killRep    = flag.Bool("kill-replica", false, "with -cluster: instead of the migration scenario, measure availability and p99 while a backend is killed mid-run, replicated (2 copies per range) vs unreplicated, then drain a full node; rows join the -json report under experiment \"cluster-kill\"")
 		serve      = flag.Bool("serve", false, "load-generator mode: replay workloads against a running crackserver and exit")
 		serveURL   = flag.String("serve-url", "http://127.0.0.1:8080", "crackserver base URL for -serve")
 		clients    = flag.Int("clients", 8, "concurrent clients for -serve")
@@ -161,7 +162,13 @@ func main() {
 				nClients = 4
 			}
 		}
-		rows, err := clusterExperiment(*n, *q, *s, *seed, *clusterN, nClients, os.Stdout)
+		var rows []bench.JSONRow
+		var err error
+		if *killRep {
+			rows, err = killReplicaExperiment(*n, *q, *seed, nClients, os.Stdout)
+		} else {
+			rows, err = clusterExperiment(*n, *q, *s, *seed, *clusterN, nClients, os.Stdout)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "crackbench: cluster:", err)
 			os.Exit(1)

@@ -27,6 +27,13 @@
 //	crackserver -addr :9002 -shard-of 1000000 -shard-lo 500000 -shard-hi 1000000
 //	crackserver -addr :8080 -coordinator -backends=http://127.0.0.1:9001,http://127.0.0.1:9002
 //
+// Backends announcing the same [lo, hi) range form a replica set: the
+// coordinator fans every update out to all of them, hedges reads across
+// them, and keeps serving (and re-seeding the laggard) when one dies.
+// -replicas makes the minimum per-range replica count a boot-time check;
+// POST /v1/drain moves all of a node's ranges elsewhere for maintenance
+// (see internal/cluster).
+//
 // -tls-cert/-tls-key serve HTTPS; -auth-token requires a bearer token on
 // every request but GET /healthz (both modes).
 //
@@ -86,6 +93,7 @@ func main() {
 		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator over -backends instead of serving data")
 		backends    = flag.String("backends", "", "comma-separated backend base URLs for -coordinator")
 		backendTok  = flag.String("backend-token", "", "bearer token the coordinator presents to its backends (default: -auth-token)")
+		replicas    = flag.Int("replicas", 0, "coordinator: refuse to boot unless every range has at least this many replicas (0: no minimum)")
 	)
 	flag.Parse()
 
@@ -94,7 +102,7 @@ func main() {
 	}
 
 	if *coordinator {
-		runCoordinator(*addr, *addrFile, *backends, *authToken, *backendTok, *tlsCert, *tlsKey, *drain)
+		runCoordinator(*addr, *addrFile, *backends, *authToken, *backendTok, *tlsCert, *tlsKey, *drain, *replicas)
 		return
 	}
 
@@ -233,7 +241,7 @@ func main() {
 
 // runCoordinator boots the scatter-gather coordinator over the given
 // backend URLs and serves the same v1 API surface.
-func runCoordinator(addr, addrFile, backendList, authToken, backendTok, tlsCert, tlsKey string, drain time.Duration) {
+func runCoordinator(addr, addrFile, backendList, authToken, backendTok, tlsCert, tlsKey string, drain time.Duration, replicas int) {
 	var urls []string
 	for _, u := range strings.Split(backendList, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -251,6 +259,7 @@ func runCoordinator(addr, addrFile, backendList, authToken, backendTok, tlsCert,
 	coord, err := cluster.New(bootCtx, urls, cluster.Config{
 		Client:    client.Config{Token: backendTok},
 		AuthToken: authToken,
+		Replicas:  replicas,
 	})
 	if err != nil {
 		log.Fatalf("crackserver: %v", err)

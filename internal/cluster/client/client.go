@@ -39,11 +39,12 @@ type Config struct {
 	// Backoff is the sleep before the first retry, doubling per attempt
 	// (default 25ms).
 	Backoff time.Duration
-	// HedgeDelay, when > 0, re-issues an in-flight read to the same
-	// backend after this delay and takes whichever response lands first —
-	// the paper-adjacent tail-tolerance trick for a non-replicated
-	// cluster (there is no second copy to ask, but a fresh request can
-	// overtake one stuck behind a reorganization drain).
+	// HedgeDelay, when > 0, hedges an in-flight read after this delay and
+	// takes whichever response lands first. Through Backend.Query the
+	// hedge re-asks the same backend (a fresh request can overtake one
+	// stuck behind a reorganization drain); through QueryAcross — the
+	// replicated read path — the hedge goes to the next replica instead,
+	// which turns the tail-tolerance trick into fault tolerance.
 	HedgeDelay time.Duration
 	// FailThreshold is the number of consecutive failures that opens the
 	// circuit (default 3).
@@ -144,6 +145,17 @@ func (b *Backend) CircuitState() (state string, consecutiveFails int, trips int6
 	return state, b.fails, b.trips
 }
 
+// ResetCircuit force-closes the breaker. The coordinator calls this
+// when it has out-of-band evidence the backend is back — an operator
+// recover request or a passed health probe — so catch-up traffic is not
+// rejected by a cooldown left over from the outage it is repairing.
+func (b *Backend) ResetCircuit() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = circuitClosed
+	b.fails = 0
+}
+
 // Counters reports the retry and hedge totals for metrics.
 func (b *Backend) Counters() (retries, hedges int64) {
 	b.mu.Lock()
@@ -206,6 +218,15 @@ func retriableRead(err error) bool {
 	}
 	return !errors.Is(err, context.Canceled)
 }
+
+// ProvablyNotApplied reports whether a failed update provably never
+// reached the backend's index: connection refusals, the fast-reject
+// statuses (429, 503) sent before any state changed, and an open
+// circuit. The coordinator's replication layer keys its journal on this
+// — an op that provably missed a replica can be queued and replayed
+// later without double-apply risk, while an ambiguous failure forces a
+// full re-seed of that replica instead.
+func ProvablyNotApplied(err error) bool { return retriableUpdate(err) }
 
 // retriableUpdate reports whether an update provably never applied, so a
 // retry cannot double-apply it.
@@ -378,6 +399,92 @@ func (b *Backend) RestoreSnapshot(ctx context.Context, stream []byte, lo, hi int
 	resp, err := b.api.RestoreSnapshot(actx, stream, lo, hi)
 	b.record(err)
 	return resp, err
+}
+
+// QueryAcross answers one read against a replica set: it asks bs[0] (the
+// preferred replica) first, points the hedge at the *next* replica —
+// after HedgeDelay without an answer a second copy of the request races
+// on the other node — and fails over immediately when an attempt errors.
+// The first success wins; the call fails only when every replica has
+// failed. With one backend it degrades to Backend.Query (same-node
+// hedging), so an unreplicated route behaves exactly as before.
+func QueryAcross(ctx context.Context, bs []*Backend, req server.QueryRequest) (server.QueryResponse, error) {
+	switch len(bs) {
+	case 0:
+		return server.QueryResponse{}, errors.New("cluster: no replicas to query")
+	case 1:
+		return bs[0].Query(ctx, req)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		resp server.QueryResponse
+		err  error
+	}
+	results := make(chan outcome, len(bs))
+	next := 0
+	launch := func() {
+		b := bs[next]
+		next++
+		go func() {
+			// Per-attempt retries still apply, but no same-node hedge: the
+			// sibling replica *is* the hedge here.
+			resp, err := retrying(hctx, b, retriableRead, func(ctx context.Context) (server.QueryResponse, error) {
+				return b.api.Query(ctx, req)
+			})
+			results <- outcome{resp, err}
+		}()
+	}
+	launch()
+	var hedgeC <-chan time.Time
+	var timer *time.Timer
+	if delay := bs[0].cfg.HedgeDelay; delay > 0 {
+		timer = time.NewTimer(delay)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	inflight := 1
+	var lastErr error
+	for {
+		select {
+		case <-hedgeC:
+			if next < len(bs) {
+				// Count the hedge against the replica that was too slow.
+				bs[0].mu.Lock()
+				bs[0].hedges++
+				bs[0].mu.Unlock()
+				launch()
+				inflight++
+				timer.Reset(bs[0].cfg.HedgeDelay)
+			}
+		case res := <-results:
+			inflight--
+			if res.err == nil {
+				return res.resp, nil
+			}
+			lastErr = res.err
+			if next < len(bs) {
+				// Immediate failover: a dead replica costs one failed attempt,
+				// not the request.
+				launch()
+				inflight++
+			} else if inflight == 0 {
+				return server.QueryResponse{}, lastErr
+			}
+		case <-ctx.Done():
+			return server.QueryResponse{}, ctx.Err()
+		}
+	}
+}
+
+// Drain flips the backend's own drain flag (POST /v1/drain) so its
+// /healthz reports draining — best-effort bookkeeping at the end of a
+// coordinator drain. One attempt; the routing table, not this flag, is
+// what stops traffic.
+func (b *Backend) Drain(ctx context.Context) (server.DrainResponse, error) {
+	return attempt(ctx, b, func(ctx context.Context) (server.DrainResponse, error) {
+		return b.api.Drain(ctx)
+	})
 }
 
 // Retain asks the backend to shrink to [lo, hi) — the donor's final

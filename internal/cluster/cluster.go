@@ -12,26 +12,38 @@
 // built against one crackserver (crackbench -serve, the closed-form
 // oracle validation, the Go client) works unchanged against a cluster.
 //
-// # Routing
+// # Routing and replication
 //
 // The routing table is an ascending list of half-open value ranges
-// tiling the whole int64 domain, one backend per entry, behind an atomic
-// pointer: reads load it once per request, migrations swap it wholesale.
-// Every sub-request is clamped to its entry's range — which is what
-// makes migration safe: a donor may retain stale tuples of a moved range
-// (e.g. when its shrink step failed), but no query ever asks it for
-// values outside the range the table says it owns.
+// tiling the whole int64 domain, each entry carrying a *replica set*
+// (one or more backends holding identical copies of the range), behind
+// an atomic pointer: reads load it once per request, migrations and
+// drains swap it wholesale. Every sub-request is clamped to its entry's
+// range — which is what makes both migration and replica recovery safe:
+// a node may hold stale tuples outside the ranges the table says it
+// owns, but no query ever asks it for them.
+//
+// Reads go to the preferred (first) replica; the read hedge points at
+// the *next* replica rather than the same node, and an error fails over
+// immediately, so a dead backend degrades latency, not availability.
+// Updates ack only after every live replica acked; a replica that
+// provably missed an op is taken out of the read set and journaled, and
+// is caught up (journal replay, or a full re-seed from a peer snapshot
+// when the miss was ambiguous) before it rejoins. See replication.go
+// for the ack/journal argument and drain.go for planned handoff.
 //
 // # Live shard migration
 //
-// Migrate moves [lo, hi) from the backend owning it to a joining node in
-// four steps: capture the donor's range (GET /v1/snapshot/range, pending
-// updates ride along in the v3 stream), restore it into the joiner (POST
-// /v1/restore — the joiner starts warm, with every crack the donor
-// earned), swap the routing table atomically, then shrink the donor
-// (POST /v1/retain). Updates are blocked for the whole window (updMu);
-// queries keep flowing throughout — the donor still holds the moving
-// range until the swap, and clamping hides whatever it holds after.
+// Migrate moves [lo, hi) from the replica set owning it to a joining
+// node in four steps: capture the range from a live replica (GET
+// /v1/snapshot/range, pending updates ride along in the v3 stream),
+// restore it into the joiner (POST /v1/restore — the joiner starts
+// warm, with every crack the donor earned), swap the routing table
+// atomically, then shrink the donors (POST /v1/retain). Updates are
+// blocked for the whole window (updMu); queries keep flowing throughout
+// — the donors still hold the moving range until the swap, and clamping
+// hides whatever they hold after. Replica bootstrap (AddReplica) is the
+// same protocol minus the shrink: restore without retain.
 package cluster
 
 import (
@@ -60,6 +72,11 @@ type Config struct {
 	// HealthInterval is the background health-probe period (default
 	// 500ms).
 	HealthInterval time.Duration
+	// Replicas, when > 0, requires every shard range to be covered by at
+	// least this many backends at boot (backends reporting the same
+	// shard range form a replica set). 0 accepts any layout, including
+	// unreplicated.
+	Replicas int
 	// AuthToken, when non-empty, requires the coordinator's own clients
 	// to present "Authorization: Bearer <token>" (GET /healthz stays
 	// open), mirroring the single-server behavior.
@@ -79,12 +96,61 @@ type node struct {
 	healthy atomic.Bool
 	// last successful readiness payload (nil before the first probe).
 	last atomic.Pointer[server.HealthResponse]
+
+	// out marks a replica that missed an acknowledged update: it leaves
+	// the read set (its state is stale) until catch-up replays what it
+	// missed. Set under jmu together with the journal append.
+	out atomic.Bool
+	// resync marks a replica whose journal is no longer sufficient — an
+	// ambiguous failure (it may have half-applied an op) or journal
+	// overflow. Catch-up must re-seed it from a peer snapshot.
+	resync atomic.Bool
+	// drained marks a node whose ranges were handed off; it never
+	// rejoins its old routes (re-admit it via AddReplica).
+	drained atomic.Bool
+	// recovering dedupes the health loop's automatic catch-up spawns.
+	recovering atomic.Bool
+
+	// jmu guards journal: the ops this replica provably missed, in ack
+	// order, replayed by catch-up before the replica rejoins reads.
+	jmu     sync.Mutex
+	journal []journalOp
 }
 
-// route is one routing-table entry: node b owns values in [lo, hi).
+// live reports whether the node is part of its routes' serving sets —
+// neither taken out for missing updates nor drained. Probe health is
+// deliberately not consulted here: the data path discovers trouble
+// inline (circuits, failover) and a slow probe must never drop a
+// serving replica.
+func (n *node) live() bool { return !n.out.Load() && !n.drained.Load() }
+
+// route is one routing-table entry: the nodes in replicas each hold a
+// copy of the values in [lo, hi). The first replica is preferred for
+// reads; the rest are hedge/failover targets.
 type route struct {
-	lo, hi int64
-	b      *node
+	lo, hi   int64
+	replicas []*node
+}
+
+func (rt *route) has(n *node) bool {
+	for _, r := range rt.replicas {
+		if r == n {
+			return true
+		}
+	}
+	return false
+}
+
+// liveReplicas returns the replicas currently serving reads, preferred
+// first.
+func (rt *route) liveReplicas() []*node {
+	out := make([]*node, 0, len(rt.replicas))
+	for _, n := range rt.replicas {
+		if n.live() {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // Coordinator scatter-gathers the v1 API across the routing table. Build
@@ -101,11 +167,12 @@ type Coordinator struct {
 	nodesMu sync.Mutex
 	nodes   []*node
 
-	// updMu serializes updates against migrations: updates take the read
-	// side, a migration's capture-swap-shrink window takes the write
-	// side. Queries take neither — they are safe throughout.
+	// updMu serializes updates against migrations and replica catch-up:
+	// updates take the read side; a migration's capture-swap-shrink
+	// window, a drain and a catch-up's replay each take the write side.
+	// Queries take neither — they are safe throughout.
 	updMu sync.RWMutex
-	// migMu serializes migrations themselves.
+	// migMu serializes migrations, drains and catch-ups themselves.
 	migMu sync.Mutex
 
 	// rows/permutation describe the cluster dataset (derived at New from
@@ -114,19 +181,22 @@ type Coordinator struct {
 	permutation bool
 	algorithm   string
 
-	mux        *http.ServeMux
-	queries    atomic.Int64
-	migrations atomic.Int64
-	stop       context.CancelFunc
-	loopDone   chan struct{}
+	mux          *http.ServeMux
+	queries      atomic.Int64
+	migrations   atomic.Int64
+	replications atomic.Int64
+	drains       atomic.Int64
+	catchups     atomic.Int64
+	stop         context.CancelFunc
+	loopDone     chan struct{}
 }
 
 // New builds a Coordinator over the backends at urls, probing each one's
-// /healthz readiness payload to learn the shard range it owns. The
-// reported ranges must be non-overlapping and contiguous after sorting;
-// the first and last entries are extended to the domain edges. Probes
-// retry until ctx expires, so backends may still be booting when New is
-// called.
+// /healthz readiness payload to learn the shard range it owns. Backends
+// reporting the same shard range form a replica set; the distinct
+// ranges must be non-overlapping and contiguous after sorting, and the
+// first and last are extended to the domain edges. Probes retry until
+// ctx expires, so backends may still be booting when New is called.
 func New(ctx context.Context, urls []string, cfg Config) (*Coordinator, error) {
 	if len(urls) == 0 {
 		return nil, errors.New("cluster: no backends")
@@ -157,32 +227,60 @@ func New(ctx context.Context, urls []string, cfg Config) (*Coordinator, error) {
 			return nil, fmt.Errorf("cluster: backend %s: %w", urls[i], err)
 		}
 	}
-	sort.Slice(ps, func(i, j int) bool { return ps[i].h.ShardLo < ps[j].h.ShardLo })
-	routes := make([]route, len(ps))
-	var total int64
-	perm := true
-	for i, p := range ps {
-		lo, hi := p.h.ShardLo, p.h.ShardHi
-		if i > 0 && lo != ps[i-1].h.ShardHi {
-			return nil, fmt.Errorf("cluster: shard ranges not contiguous: %s ends at %d, %s starts at %d",
-				ps[i-1].n.URL(), ps[i-1].h.ShardHi, p.n.URL(), lo)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].h.ShardLo != ps[j].h.ShardLo {
+			return ps[i].h.ShardLo < ps[j].h.ShardLo
 		}
-		routes[i] = route{lo: lo, hi: hi, b: p.n}
-		total += p.h.Rows
+		if ps[i].h.ShardHi != ps[j].h.ShardHi {
+			return ps[i].h.ShardHi < ps[j].h.ShardHi
+		}
+		return ps[i].n.URL() < ps[j].n.URL()
+	})
+	// Group backends reporting the same range into replica sets.
+	var routes []route
+	var total int64
+	for i := 0; i < len(ps); {
+		lo, hi := ps[i].h.ShardLo, ps[i].h.ShardHi
+		j := i
+		var reps []*node
+		for ; j < len(ps) && ps[j].h.ShardLo == lo && ps[j].h.ShardHi == hi; j++ {
+			if ps[j].h.Rows != ps[i].h.Rows {
+				return nil, fmt.Errorf("cluster: replicas of [%d, %d) disagree on rows: %s has %d, %s has %d",
+					lo, hi, ps[i].n.URL(), ps[i].h.Rows, ps[j].n.URL(), ps[j].h.Rows)
+			}
+			reps = append(reps, ps[j].n)
+		}
+		if len(routes) > 0 && lo != routes[len(routes)-1].hi {
+			return nil, fmt.Errorf("cluster: shard ranges not contiguous: previous range ends at %d, %s starts at %d",
+				routes[len(routes)-1].hi, reps[0].URL(), lo)
+		}
+		if cfg.Replicas > 0 && len(reps) < cfg.Replicas {
+			return nil, fmt.Errorf("cluster: range [%d, %d) has %d replica(s), need %d",
+				lo, hi, len(reps), cfg.Replicas)
+		}
+		routes = append(routes, route{lo: lo, hi: hi, replicas: reps})
+		total += ps[i].h.Rows
+		i = j
+	}
+	for _, p := range ps {
 		p.n.healthy.Store(true)
 		h := p.h
 		p.n.last.Store(&h)
 	}
 	// The cluster data is one permutation of [0, total) exactly when each
-	// backend holds every value of its range clamped to [0, total): a
+	// range holds every value of its span clamped to [0, total): a
 	// permutation has each value once, so the count must equal the
 	// clamped range width.
-	for _, p := range ps {
-		if p.h.Rows != rangeWidth(p.h.ShardLo, p.h.ShardHi, total) {
+	perm := true
+	for _, rt := range routes {
+		if h := rt.replicas[0].last.Load(); h.Rows != rangeWidth(rt.lo, rt.hi, total) {
 			perm = false
 		}
 	}
 	extendToDomain(routes)
+	if err := validateRoutes(routes); err != nil {
+		return nil, err
+	}
 	c.routes.Store(&routes)
 	c.rows = total
 	c.permutation = perm
@@ -200,6 +298,9 @@ func New(ctx context.Context, urls []string, cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("POST /v1/insert", func(w http.ResponseWriter, r *http.Request) { c.handleUpdate(w, r, true) })
 	c.mux.HandleFunc("POST /v1/delete", func(w http.ResponseWriter, r *http.Request) { c.handleUpdate(w, r, false) })
 	c.mux.HandleFunc("POST /v1/migrate", c.handleMigrate)
+	c.mux.HandleFunc("POST /v1/replicate", c.handleReplicate)
+	c.mux.HandleFunc("POST /v1/drain", c.handleDrain)
+	c.mux.HandleFunc("POST /v1/recover", c.handleRecover)
 	c.mux.HandleFunc("GET /v1/stats", c.handleStats)
 	c.mux.HandleFunc("GET /healthz", c.handleHealth)
 	c.mux.HandleFunc("GET /debug/metrics", c.handleMetrics)
@@ -245,6 +346,39 @@ func extendToDomain(routes []route) {
 	routes[len(routes)-1].hi = maxInt64
 }
 
+// validateRoutes checks the invariants every routing-table swap must
+// preserve: non-empty, ascending, contiguous, tiling the full int64
+// domain, and every range keeping at least one live replica. Swaps that
+// would violate any of these are refused — a bad drain plan must fail
+// the drain, not the cluster.
+func validateRoutes(routes []route) error {
+	if len(routes) == 0 {
+		return errors.New("cluster: empty routing table")
+	}
+	if routes[0].lo != minInt64 {
+		return fmt.Errorf("cluster: routing table starts at %d, not the domain edge", routes[0].lo)
+	}
+	if routes[len(routes)-1].hi != maxInt64 {
+		return fmt.Errorf("cluster: routing table ends at %d, not the domain edge", routes[len(routes)-1].hi)
+	}
+	for i := range routes {
+		rt := &routes[i]
+		if rt.lo >= rt.hi {
+			return fmt.Errorf("cluster: empty route [%d, %d)", rt.lo, rt.hi)
+		}
+		if i > 0 && rt.lo != routes[i-1].hi {
+			return fmt.Errorf("cluster: routes not contiguous at %d", rt.lo)
+		}
+		if len(rt.replicas) == 0 {
+			return fmt.Errorf("cluster: range [%d, %d) has no replicas", rt.lo, rt.hi)
+		}
+		if len(rt.liveReplicas()) == 0 {
+			return fmt.Errorf("cluster: range [%d, %d) has no live replicas", rt.lo, rt.hi)
+		}
+	}
+	return nil
+}
+
 const (
 	minInt64 = int64(-1 << 63)
 	maxInt64 = int64(1<<63 - 1)
@@ -281,10 +415,11 @@ func (c *Coordinator) Handler() http.Handler {
 func (c *Coordinator) Rows() int64 { return c.rows }
 
 // healthLoop probes every node's readiness payload on a fixed cadence,
-// maintaining the healthy flags /healthz and /debug/metrics report. The
-// data path does not consult the flags — circuits and retries handle
-// trouble inline — so a slow probe can never take a serving backend out
-// of rotation.
+// maintaining the healthy flags /healthz and /debug/metrics report, and
+// kicks off catch-up for an out replica as soon as it answers probes
+// again. The data path does not consult the flags — circuits and
+// retries handle trouble inline — so a slow probe can never take a
+// serving backend out of rotation.
 func (c *Coordinator) healthLoop(ctx context.Context) {
 	defer close(c.loopDone)
 	tick := time.NewTicker(c.cfg.HealthInterval)
@@ -308,6 +443,11 @@ func (c *Coordinator) healthLoop(ctx context.Context) {
 			}
 			n.healthy.Store(true)
 			n.last.Store(&h)
+			// A reachable out replica is ready to be caught up; do it in
+			// the background so the probe cadence is unaffected.
+			if n.out.Load() && !n.drained.Load() && n.recovering.CompareAndSwap(false, true) {
+				go func(n *node) { _ = c.catchUp(ctx, n) }(n)
+			}
 		}
 	}
 }
@@ -342,59 +482,86 @@ func itemRanges(it server.QueryItem) ([][2]int64, error) {
 	return rs, nil
 }
 
+// span is one clamped sub-request of a scatter: route ri answers
+// [lo, hi).
+type span struct {
+	ri     int
+	lo, hi int64
+}
+
+// planSpans clamps [lo, hi) against the routing table: one span per
+// intersecting route, ascending and disjoint, unioning back to exactly
+// the requested range.
+func planSpans(routes []route, lo, hi int64) []span {
+	var spans []span
+	for i := range routes {
+		slo, shi := lo, hi
+		if slo < routes[i].lo {
+			slo = routes[i].lo
+		}
+		if shi > routes[i].hi {
+			shi = routes[i].hi
+		}
+		if slo < shi {
+			spans = append(spans, span{ri: i, lo: slo, hi: shi})
+		}
+	}
+	return spans
+}
+
 // scatter answers one half-open range across the routing table: one
-// clamped sub-request per intersecting backend, gathered in ascending
-// route (= value-range) order so multi-backend answers merge
-// deterministically.
+// clamped sub-request per intersecting range, each answered by that
+// range's replica set (preferred replica first, cross-replica hedge and
+// failover behind it), gathered in ascending route (= value-range)
+// order so multi-range answers merge deterministically.
 func (c *Coordinator) scatter(ctx context.Context, lo, hi int64, aggregate bool) (server.QueryResult, error) {
 	var out server.QueryResult
 	if lo >= hi {
 		return out, nil
 	}
 	routes := *c.routes.Load()
-	type sub struct {
-		b      *node
-		lo, hi int64
-	}
-	var subs []sub
-	for _, rt := range routes {
-		slo, shi := lo, hi
-		if slo < rt.lo {
-			slo = rt.lo
-		}
-		if shi > rt.hi {
-			shi = rt.hi
-		}
-		if slo < shi {
-			subs = append(subs, sub{b: rt.b, lo: slo, hi: shi})
-		}
-	}
-	if len(subs) == 0 {
+	spans := planSpans(routes, lo, hi)
+	if len(spans) == 0 {
 		return out, nil
 	}
-	results := make([]server.QueryResult, len(subs))
-	errs := make([]error, len(subs))
+	results := make([]server.QueryResult, len(spans))
+	errs := make([]error, len(spans))
 	run := func(i int) {
+		rt := &routes[spans[i].ri]
+		live := rt.liveReplicas()
+		if len(live) == 0 {
+			errs[i] = &rangeUnavailableError{lo: rt.lo, hi: rt.hi, cause: errors.New("no live replicas")}
+			return
+		}
+		bs := make([]*client.Backend, len(live))
+		for j, n := range live {
+			bs[j] = n.Backend
+		}
 		req := server.QueryRequest{
-			QueryItem: server.QueryItem{Lo: subs[i].lo, Hi: subs[i].hi},
+			QueryItem: server.QueryItem{Lo: spans[i].lo, Hi: spans[i].hi},
 			Aggregate: aggregate,
 		}
-		resp, err := subs[i].b.Query(ctx, req)
+		resp, err := client.QueryAcross(ctx, bs, req)
 		if err != nil {
-			errs[i] = fmt.Errorf("backend %s: %w", subs[i].b.URL(), err)
+			var apiErr *server.APIError
+			if errors.As(err, &apiErr) && apiErr.Status < 500 {
+				errs[i] = err // the request itself is wrong; not an availability problem
+				return
+			}
+			errs[i] = &rangeUnavailableError{lo: rt.lo, hi: rt.hi, cause: err}
 			return
 		}
 		if len(resp.Results) != 1 {
-			errs[i] = fmt.Errorf("backend %s: %d results for one range", subs[i].b.URL(), len(resp.Results))
+			errs[i] = fmt.Errorf("range [%d, %d): %d results for one sub-range", rt.lo, rt.hi, len(resp.Results))
 			return
 		}
 		results[i] = resp.Results[0]
 	}
-	if len(subs) == 1 {
+	if len(spans) == 1 {
 		run(0)
 	} else {
 		var wg sync.WaitGroup
-		for i := 1; i < len(subs); i++ {
+		for i := 1; i < len(spans); i++ {
 			wg.Add(1)
 			go func(i int) { defer wg.Done(); run(i) }(i)
 		}
@@ -406,8 +573,8 @@ func (c *Coordinator) scatter(ctx context.Context, lo, hi int64, aggregate bool)
 			return out, err
 		}
 	}
-	// Gather in route order: backend i's values all precede backend
-	// i+1's, so a split-range answer concatenates into one deterministic
+	// Gather in route order: range i's values all precede range i+1's,
+	// so a split-range answer concatenates into one deterministic
 	// ascending-by-shard sequence.
 	for _, res := range results {
 		out.Count += res.Count
@@ -461,13 +628,13 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// routeFor returns the routing entry owning value v.
-func routeFor(routes []route, v int64) *route {
+// routeIndexFor returns the index of the routing entry owning value v.
+func routeIndexFor(routes []route, v int64) int {
 	i := sort.Search(len(routes), func(i int) bool { return v < routes[i].hi })
 	if i == len(routes) {
 		i = len(routes) - 1 // v == MaxInt64: the top entry absorbs its bound
 	}
-	return &routes[i]
+	return i
 }
 
 func (c *Coordinator) handleUpdate(w http.ResponseWriter, r *http.Request, insert bool) {
@@ -484,26 +651,21 @@ func (c *Coordinator) handleUpdate(w http.ResponseWriter, r *http.Request, inser
 		return
 	}
 	// Updates hold the read side for their whole span so a migration's
-	// capture-swap window can exclude them wholesale.
+	// capture-swap window — and a recovering replica's journal replay —
+	// can exclude them wholesale.
 	c.updMu.RLock()
 	defer c.updMu.RUnlock()
 	routes := *c.routes.Load()
-	byNode := map[*node][]int64{}
+	byRoute := map[int][]int64{}
 	for _, v := range values {
-		rt := routeFor(routes, v)
-		byNode[rt.b] = append(byNode[rt.b], v)
+		ri := routeIndexFor(routes, v)
+		byRoute[ri] = append(byRoute[ri], v)
 	}
 	pending := 0
-	for n, vals := range byNode {
-		var p int
-		var err error
-		if insert {
-			p, err = n.Insert(r.Context(), vals...)
-		} else {
-			p, err = n.Delete(r.Context(), vals...)
-		}
+	for ri, vals := range byRoute {
+		p, err := c.applyReplicated(r.Context(), &routes[ri], vals, insert)
 		if err != nil {
-			writeBackendError(w, fmt.Errorf("backend %s: %w", n.URL(), err))
+			writeBackendError(w, err)
 			return
 		}
 		pending += p
@@ -522,25 +684,50 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueriesServed: c.queries.Load(),
 	}
 	var maxPiece int
+	// One representative per range: a node holding several ranges
+	// reports them all in one stats payload, so a range whose live
+	// replica was already counted is covered. Within a range, fail over
+	// across replicas.
 	seen := map[*node]bool{}
-	for _, rt := range routes {
-		if seen[rt.b] {
+	for i := range routes {
+		rt := &routes[i]
+		covered := false
+		for _, n := range rt.replicas {
+			if seen[n] && n.live() {
+				covered = true
+				break
+			}
+		}
+		if covered {
 			continue
 		}
-		seen[rt.b] = true
-		st, err := rt.b.Stats(r.Context())
-		if err != nil {
-			writeBackendError(w, fmt.Errorf("backend %s: %w", rt.b.URL(), err))
-			return
+		var lastErr error
+		done := false
+		for _, n := range rt.liveReplicas() {
+			st, err := n.Stats(r.Context())
+			if err != nil {
+				lastErr = fmt.Errorf("backend %s: %w", n.URL(), err)
+				continue
+			}
+			seen[n] = true
+			resp.PendingUpdates += st.PendingUpdates
+			resp.Index.Queries += st.Index.Queries
+			resp.Index.Touched += st.Index.Touched
+			resp.Index.Swaps += st.Index.Swaps
+			resp.Index.Cracks += st.Index.Cracks
+			resp.Index.Pieces += st.Index.Pieces
+			if st.Pieces != nil && st.Pieces.MaxSize > maxPiece {
+				maxPiece = st.Pieces.MaxSize
+			}
+			done = true
+			break
 		}
-		resp.PendingUpdates += st.PendingUpdates
-		resp.Index.Queries += st.Index.Queries
-		resp.Index.Touched += st.Index.Touched
-		resp.Index.Swaps += st.Index.Swaps
-		resp.Index.Cracks += st.Index.Cracks
-		resp.Index.Pieces += st.Index.Pieces
-		if st.Pieces != nil && st.Pieces.MaxSize > maxPiece {
-			maxPiece = st.Pieces.MaxSize
+		if !done {
+			if lastErr == nil {
+				lastErr = errors.New("no live replicas")
+			}
+			writeBackendError(w, &rangeUnavailableError{lo: rt.lo, hi: rt.hi, cause: lastErr})
+			return
 		}
 	}
 	if resp.Index.Pieces > 0 && c.rows > 0 {
@@ -553,12 +740,14 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // ClusterHealth is the coordinator's /healthz body: overall status
-// ("ok" when every routed backend is healthy, "degraded" otherwise) and
-// the per-backend view.
+// ("ok" when every routed backend is live and healthy and every range
+// has its full replica set, "degraded" otherwise), the per-backend view
+// and the per-range replica counts.
 type ClusterHealth struct {
 	Status   string          `json:"status"`
 	Rows     int64           `json:"rows"`
 	Backends []BackendHealth `json:"backends"`
+	Ranges   []RangeHealth   `json:"ranges"`
 }
 
 // BackendHealth is one backend's row in the coordinator's /healthz.
@@ -573,24 +762,46 @@ type BackendHealth struct {
 	// after a warm start or a migration restore).
 	Restored bool   `json:"restored"`
 	Circuit  string `json:"circuit"`
+	// Out is true while the replica is excluded from reads because it
+	// missed an acknowledged update and has not been caught up yet.
+	Out bool `json:"out,omitempty"`
+	// Draining is true once the node's ranges were handed off.
+	Draining bool `json:"draining,omitempty"`
+	// JournalOps is the number of missed ops queued for catch-up replay.
+	JournalOps int `json:"journal_ops,omitempty"`
+}
+
+// RangeHealth is one routing range's replica census.
+type RangeHealth struct {
+	Lo       int64 `json:"lo"`
+	Hi       int64 `json:"hi"`
+	Replicas int   `json:"replicas"`
+	Live     int   `json:"live"`
 }
 
 func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
 	routes := *c.routes.Load()
 	routed := map[*node][2]int64{}
-	for _, rt := range routes {
-		routed[rt.b] = [2]int64{rt.lo, rt.hi}
+	for i := range routes {
+		for _, n := range routes[i].replicas {
+			if _, ok := routed[n]; !ok {
+				routed[n] = [2]int64{routes[i].lo, routes[i].hi}
+			}
+		}
 	}
 	c.nodesMu.Lock()
 	nodes := append([]*node(nil), c.nodes...)
 	c.nodesMu.Unlock()
 	resp := ClusterHealth{Status: "ok", Rows: c.rows}
 	for _, n := range nodes {
-		bh := BackendHealth{URL: n.URL(), Healthy: n.healthy.Load()}
+		bh := BackendHealth{
+			URL: n.URL(), Healthy: n.healthy.Load(),
+			Out: n.out.Load(), Draining: n.drained.Load(), JournalOps: n.journalLen(),
+		}
 		if rg, ok := routed[n]; ok {
 			bh.Routed = true
 			bh.ShardLo, bh.ShardHi = rg[0], rg[1]
-			if !bh.Healthy {
+			if !bh.Healthy || bh.Out {
 				resp.Status = "degraded"
 			}
 		}
@@ -601,14 +812,26 @@ func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
 		bh.Circuit, _, _ = n.CircuitState()
 		resp.Backends = append(resp.Backends, bh)
 	}
+	for i := range routes {
+		rt := &routes[i]
+		live := len(rt.liveReplicas())
+		resp.Ranges = append(resp.Ranges, RangeHealth{
+			Lo: rt.lo, Hi: rt.hi, Replicas: len(rt.replicas), Live: live,
+		})
+		if live < len(rt.replicas) {
+			resp.Status = "degraded"
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	routes := *c.routes.Load()
 	routed := map[*node]bool{}
-	for _, rt := range routes {
-		routed[rt.b] = true
+	for i := range routes {
+		for _, n := range routes[i].replicas {
+			routed[n] = true
+		}
 	}
 	c.nodesMu.Lock()
 	nodes := append([]*node(nil), c.nodes...)
@@ -621,6 +844,15 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP crackcluster_migrations_total Completed shard migrations.\n")
 	fmt.Fprintf(w, "# TYPE crackcluster_migrations_total counter\n")
 	fmt.Fprintf(w, "crackcluster_migrations_total %d\n", c.migrations.Load())
+	fmt.Fprintf(w, "# HELP crackcluster_replications_total Completed replica bootstraps.\n")
+	fmt.Fprintf(w, "# TYPE crackcluster_replications_total counter\n")
+	fmt.Fprintf(w, "crackcluster_replications_total %d\n", c.replications.Load())
+	fmt.Fprintf(w, "# HELP crackcluster_drains_total Completed node drains.\n")
+	fmt.Fprintf(w, "# TYPE crackcluster_drains_total counter\n")
+	fmt.Fprintf(w, "crackcluster_drains_total %d\n", c.drains.Load())
+	fmt.Fprintf(w, "# HELP crackcluster_catchups_total Replicas caught up and returned to the read set.\n")
+	fmt.Fprintf(w, "# TYPE crackcluster_catchups_total counter\n")
+	fmt.Fprintf(w, "crackcluster_catchups_total %d\n", c.catchups.Load())
 	fmt.Fprintf(w, "# HELP crackcluster_backend_up Backend health as seen by the probe loop.\n")
 	fmt.Fprintf(w, "# TYPE crackcluster_backend_up gauge\n")
 	for _, n := range nodes {
@@ -630,6 +862,20 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(w, "crackcluster_backend_up{backend=%q,routed=%q} %d\n",
 			n.URL(), fmt.Sprint(routed[n]), up)
+	}
+	fmt.Fprintf(w, "# HELP crackcluster_replica_out Replica excluded from reads pending catch-up.\n")
+	fmt.Fprintf(w, "# TYPE crackcluster_replica_out gauge\n")
+	for _, n := range nodes {
+		out := 0
+		if n.out.Load() {
+			out = 1
+		}
+		fmt.Fprintf(w, "crackcluster_replica_out{backend=%q} %d\n", n.URL(), out)
+	}
+	fmt.Fprintf(w, "# HELP crackcluster_journal_ops Missed ops queued for catch-up replay.\n")
+	fmt.Fprintf(w, "# TYPE crackcluster_journal_ops gauge\n")
+	for _, n := range nodes {
+		fmt.Fprintf(w, "crackcluster_journal_ops{backend=%q} %d\n", n.URL(), n.journalLen())
 	}
 	fmt.Fprintf(w, "# HELP crackcluster_backend_circuit Per-backend circuit state (1 in exactly one state).\n")
 	fmt.Fprintf(w, "# TYPE crackcluster_backend_circuit gauge\n")
@@ -651,9 +897,9 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // MigrateRequest is the body of POST /v1/migrate: move the value range
-// [Lo, Hi) from the backend owning it to the (typically fresh and empty)
-// node at To. The range must touch an edge of the donor's owned range —
-// moving an interior slice would leave the donor owning two disjoint
+// [Lo, Hi) from the replica set owning it to the (typically fresh and
+// empty) node at To. The range must touch an edge of the owning range —
+// moving an interior slice would leave the donors owning two disjoint
 // ranges, which one routing entry cannot express.
 type MigrateRequest struct {
 	To string `json:"to"`
@@ -681,7 +927,9 @@ type MigrateResponse struct {
 	RetainFailed bool `json:"retain_failed,omitempty"`
 }
 
-// Migrate moves [lo, hi) to the node at toURL. See MigrateRequest.
+// Migrate moves [lo, hi) to the node at toURL. See MigrateRequest. The
+// moved range starts unreplicated (the joiner is its only copy); use
+// AddReplica to restore redundancy.
 func (c *Coordinator) Migrate(ctx context.Context, toURL string, lo, hi int64) (MigrateResponse, error) {
 	if lo >= hi {
 		return MigrateResponse{}, errors.New("cluster: migrate: need lo < hi")
@@ -699,12 +947,16 @@ func (c *Coordinator) Migrate(ctx context.Context, toURL string, lo, hi int64) (
 		}
 	}
 	if di < 0 {
-		return MigrateResponse{}, fmt.Errorf("cluster: migrate: [%d, %d) not owned by a single backend", lo, hi)
+		return MigrateResponse{}, fmt.Errorf("cluster: migrate: [%d, %d) not owned by a single range", lo, hi)
 	}
 	donor := routes[di]
 	if lo != donor.lo && hi != donor.hi {
 		return MigrateResponse{}, fmt.Errorf(
-			"cluster: migrate: [%d, %d) is interior to the donor's [%d, %d); move a range touching an edge", lo, hi, donor.lo, donor.hi)
+			"cluster: migrate: [%d, %d) is interior to the owner's [%d, %d); move a range touching an edge", lo, hi, donor.lo, donor.hi)
+	}
+	src := firstServing(donor.replicas)
+	if src == nil {
+		return MigrateResponse{}, fmt.Errorf("cluster: migrate: no live replica of [%d, %d) to capture from", donor.lo, donor.hi)
 	}
 
 	joiner := c.admitNode(toURL)
@@ -713,33 +965,38 @@ func (c *Coordinator) Migrate(ctx context.Context, toURL string, lo, hi int64) (
 	}
 
 	// Block updates for the whole capture-restore-swap-shrink window:
-	// an update routed to the donor after the capture would be lost when
-	// the donor shrinks. Queries keep flowing — the donor serves the
+	// an update routed to the donors after the capture would be lost
+	// when they shrink. Queries keep flowing — the donors serve the
 	// moving range until the swap, the joiner after.
 	c.updMu.Lock()
 	defer c.updMu.Unlock()
 
-	stream, err := donor.b.SnapshotRange(ctx, lo, hi)
+	stream, err := src.SnapshotRange(ctx, lo, hi)
 	if err != nil {
-		return MigrateResponse{}, fmt.Errorf("cluster: capturing [%d, %d) from %s: %w", lo, hi, donor.b.URL(), err)
+		return MigrateResponse{}, fmt.Errorf("cluster: capturing [%d, %d) from %s: %w", lo, hi, src.URL(), err)
 	}
 	restored, err := joiner.RestoreSnapshot(ctx, stream, lo, hi)
 	if err != nil {
 		return MigrateResponse{}, fmt.Errorf("cluster: restoring into %s: %w", toURL, err)
 	}
 
-	// Swap the routing table: the joiner takes [lo, hi), the donor keeps
-	// the rest of its range (nothing, when the whole range moved).
+	// Swap the routing table: the joiner takes [lo, hi) alone, the
+	// donors keep the rest of their range with the full replica set
+	// (nothing, when the whole range moved).
 	next := make([]route, 0, len(routes)+1)
 	next = append(next, routes[:di]...)
 	if donor.lo < lo {
-		next = append(next, route{lo: donor.lo, hi: lo, b: donor.b})
+		next = append(next, route{lo: donor.lo, hi: lo, replicas: donor.replicas})
 	}
-	next = append(next, route{lo: lo, hi: hi, b: joiner})
+	next = append(next, route{lo: lo, hi: hi, replicas: []*node{joiner}})
 	if hi < donor.hi {
-		next = append(next, route{lo: hi, hi: donor.hi, b: donor.b})
+		next = append(next, route{lo: hi, hi: donor.hi, replicas: donor.replicas})
 	}
 	next = append(next, routes[di+1:]...)
+	joiner.rejoin()
+	if err := validateRoutes(next); err != nil {
+		return MigrateResponse{}, err
+	}
 	c.routes.Store(&next)
 	joiner.healthy.Store(true)
 	// Refresh the joiner's cached readiness right away — its pre-restore
@@ -750,24 +1007,52 @@ func (c *Coordinator) Migrate(ctx context.Context, toURL string, lo, hi int64) (
 	}
 
 	resp := MigrateResponse{
-		From: donor.b.URL(), To: toURL, Lo: lo, Hi: hi,
+		From: src.URL(), To: toURL, Lo: lo, Hi: hi,
 		Rows: restored.Rows, Pieces: restored.Pieces, Pending: restored.Pending,
 	}
-	// Shrink the donor to what it still owns. A failure here is
-	// survivable (see RetainFailed) — the routing table already hides
+	// Shrink every donor replica to what it still owns. A failure here
+	// is survivable (see RetainFailed) — the routing table already hides
 	// the moved range.
 	if donor.lo < lo || hi < donor.hi {
 		keepLo, keepHi := donor.lo, lo
 		if lo == donor.lo {
 			keepLo, keepHi = hi, donor.hi
 		}
-		if _, err := donor.b.Retain(ctx, keepLo, keepHi); err != nil {
-			resp.RetainFailed = true
+		for _, n := range donor.replicas {
+			if _, err := n.Retain(ctx, keepLo, keepHi); err != nil {
+				resp.RetainFailed = true
+			}
 		}
 	}
 	c.migrations.Add(1)
 	resp.ElapsedMS = time.Since(start).Milliseconds()
 	return resp, nil
+}
+
+// firstServing returns the first replica that is both live (in the read
+// set) and probe-healthy — the node to capture a snapshot from. Probe
+// health matters here, unlike on the data path: a capture source is a
+// choice the coordinator makes up front, not a request it can fail over
+// mid-flight.
+func firstServing(replicas []*node) *node {
+	for _, n := range replicas {
+		if n.live() && n.healthy.Load() {
+			return n
+		}
+	}
+	return nil
+}
+
+// rejoin clears every exclusion flag on a node that is being given a
+// fresh range (migration target or new replica): whatever it missed
+// before is irrelevant, it was just seeded from a live copy.
+func (n *node) rejoin() {
+	n.jmu.Lock()
+	n.journal = nil
+	n.resync.Store(false)
+	n.out.Store(false)
+	n.jmu.Unlock()
+	n.drained.Store(false)
 }
 
 // admitNode returns the node for url, creating and registering it if the
@@ -783,6 +1068,18 @@ func (c *Coordinator) admitNode(url string) *node {
 	n := &node{Backend: client.New(url, c.cfg.Client)}
 	c.nodes = append(c.nodes, n)
 	return n
+}
+
+// findNode returns the admitted node for url, or nil.
+func (c *Coordinator) findNode(url string) *node {
+	c.nodesMu.Lock()
+	defer c.nodesMu.Unlock()
+	for _, n := range c.nodes {
+		if n.URL() == url {
+			return n
+		}
+	}
+	return nil
 }
 
 func (c *Coordinator) handleMigrate(w http.ResponseWriter, r *http.Request) {
@@ -821,11 +1118,35 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// writeBackendError maps a scatter failure: a backend's own API error
-// passes through with its status, transport-level trouble becomes a 502
-// so clients can tell "the cluster is degraded" from "my request is
-// wrong".
+// rangeUnavailableError reports that a value range currently has no
+// replica able to answer: every live replica failed, or none are live.
+// It maps to a 503 with code "unavailable_range" and a Retry-After —
+// the request is fine, the cluster needs a moment (a kill is being
+// failed over, a catch-up is running).
+type rangeUnavailableError struct {
+	lo, hi int64
+	cause  error
+}
+
+func (e *rangeUnavailableError) Error() string {
+	return fmt.Sprintf("range [%d, %d) unavailable: %v", e.lo, e.hi, e.cause)
+}
+
+func (e *rangeUnavailableError) Unwrap() error { return e.cause }
+
+// writeBackendError maps a scatter/update failure: a backend's own API
+// error passes through with its status, an unavailable range becomes a
+// machine-readable 503 with Retry-After (mirroring the server's 429
+// convention — same flat {"error","code"} body, same header), and other
+// transport-level trouble becomes a 502, so clients can tell "retry in
+// a moment" from "the cluster is broken" from "my request is wrong".
 func writeBackendError(w http.ResponseWriter, err error) {
+	var unavail *rangeUnavailableError
+	if errors.As(err, &unavail) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "unavailable_range", err.Error())
+		return
+	}
 	var apiErr *server.APIError
 	if errors.As(err, &apiErr) && apiErr.Status < 500 {
 		writeError(w, apiErr.Status, apiErr.Code, err.Error())

@@ -187,8 +187,8 @@ func TestSplitRangeMergeOrdering(t *testing.T) {
 }
 
 // TestBackendDownMidQuery: killing a backend degrades the ranges it
-// owned (502) while every other range keeps answering correctly — and
-// /healthz says "degraded".
+// owned (503 unavailable_range — retryable) while every other range
+// keeps answering correctly — and /healthz says "degraded".
 func TestBackendDownMidQuery(t *testing.T) {
 	coord, nodes := startCluster(t, 3, Config{
 		Client:         client.Config{Timeout: time.Second, Retries: 1, Backoff: 5 * time.Millisecond},
@@ -205,8 +205,8 @@ func TestBackendDownMidQuery(t *testing.T) {
 	// A range needing the dead shard fails as a backend error, not a
 	// hang or a wrong answer.
 	code := do(t, h, "POST", "/v1/query", `{"lo":9000,"hi":21000,"aggregate":true}`, nil)
-	if code != http.StatusBadGateway {
-		t.Fatalf("query through dead shard: status %d, want 502", code)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("query through dead shard: status %d, want 503", code)
 	}
 	// The health loop notices and /healthz degrades.
 	deadline := time.Now().Add(5 * time.Second)

@@ -1,0 +1,212 @@
+// Package faultproxy is the cluster test suite's fault-injection
+// substrate: a reverse proxy that sits between a coordinator and one
+// backend and misbehaves on command. Tests script per-endpoint rules —
+// stall, blackhole, flaky 5xx — and whole-process faults — Kill closes
+// the listener (connection refused, like a crashed node), Revive
+// re-listens on the same address (like a restart) — while the real
+// backend underneath stays correct, so every assertion about the
+// cluster's answers still has its oracle.
+//
+// Determinism: the only randomness is the flaky rule's coin, drawn from
+// a seeded xrand stream, so a failing chaos run replays with the same
+// seed. Kill/stall/blackhole are not random at all — tests place them.
+//
+// The injected 503 fires before the request is proxied, so it is
+// truthfully "provably not applied" in the replication layer's sense:
+// an update rejected by a flaky rule never reached the backend's index.
+package faultproxy
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Mode is what a rule does to a matching request.
+type Mode int
+
+const (
+	// Pass proxies the request through untouched (the default).
+	Pass Mode = iota
+	// Stall sleeps Rule.Delay before proxying — a slow node, not a dead
+	// one. The request still completes if the client waits.
+	Stall
+	// Blackhole never answers: the handler parks until the client gives
+	// up. Connections accept, bytes go nowhere — a network partition.
+	Blackhole
+	// Flaky rejects a Rule.Rate fraction of requests with an injected
+	// 503 before proxying, passing the rest through.
+	Flaky
+)
+
+// Rule scripts one endpoint's misbehavior.
+type Rule struct {
+	Mode Mode
+	// Delay is the Stall sleep.
+	Delay time.Duration
+	// Rate is the Flaky rejection probability in [0, 1].
+	Rate float64
+}
+
+// Proxy is one scriptable chokepoint in front of a backend. Zero or one
+// rule per endpoint path prefix, plus whole-process Kill/Revive.
+type Proxy struct {
+	target *url.URL
+	rp     *httputil.ReverseProxy
+
+	mu    sync.Mutex
+	rules map[string]Rule
+	rng   *xrand.Rand
+	addr  string
+	ln    net.Listener
+	hs    *http.Server
+}
+
+// New starts a proxy in front of the backend at target (a base URL like
+// "http://127.0.0.1:4321"). The seed drives the flaky coin and nothing
+// else.
+func New(target string, seed uint64) (*Proxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("faultproxy: bad target %q: %w", target, err)
+	}
+	p := &Proxy{
+		target: u,
+		rp:     httputil.NewSingleHostReverseProxy(u),
+		rules:  map[string]Rule{},
+		rng:    xrand.New(seed),
+	}
+	// A killed backend behind the proxy produces transport errors; map
+	// them to 502 quietly instead of httputil's default log spam.
+	p.rp.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprintf(w, `{"error":%q,"code":"proxy_backend_down"}`, err.Error())
+	}
+	p.rp.ErrorLog = nil
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p.addr = ln.Addr().String()
+	p.serve(ln)
+	return p, nil
+}
+
+func (p *Proxy) serve(ln net.Listener) {
+	hs := &http.Server{Handler: http.HandlerFunc(p.handle)}
+	p.ln, p.hs = ln, hs
+	go func() { _ = hs.Serve(ln) }()
+}
+
+// URL returns the proxy's base URL — what the coordinator is given as
+// the backend address.
+func (p *Proxy) URL() string { return "http://" + p.addr }
+
+// Set installs the rule for requests whose path starts with endpoint;
+// the empty endpoint is the default rule for everything unmatched.
+// Setting a Pass rule removes the entry.
+func (p *Proxy) Set(endpoint string, r Rule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r.Mode == Pass {
+		delete(p.rules, endpoint)
+		return
+	}
+	p.rules[endpoint] = r
+}
+
+// Kill closes the proxy's listener and in-flight connections: callers
+// see connection refused, exactly like a crashed process. The backend
+// underneath is untouched.
+func (p *Proxy) Kill() {
+	p.mu.Lock()
+	hs := p.hs
+	p.hs, p.ln = nil, nil
+	p.mu.Unlock()
+	if hs != nil {
+		_ = hs.Close()
+	}
+}
+
+// Revive re-listens on the same address — a restart of the "process"
+// Kill took down. The OS can briefly hold the port, so it retries.
+func (p *Proxy) Revive() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.hs != nil {
+		return nil
+	}
+	var ln net.Listener
+	var err error
+	for i := 0; i < 50; i++ {
+		if ln, err = net.Listen("tcp", p.addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("faultproxy: revive %s: %w", p.addr, err)
+	}
+	p.serve(ln)
+	return nil
+}
+
+// Close shuts the proxy down for good.
+func (p *Proxy) Close() { p.Kill() }
+
+func (p *Proxy) ruleFor(path string) Rule {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var best string
+	found := false
+	for ep := range p.rules {
+		if ep != "" && strings.HasPrefix(path, ep) && len(ep) > len(best) {
+			best, found = ep, true
+		}
+	}
+	if !found {
+		if r, ok := p.rules[""]; ok {
+			return r
+		}
+		return Rule{}
+	}
+	return p.rules[best]
+}
+
+// flip draws the flaky coin from the seeded stream.
+func (p *Proxy) flip(rate float64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Float64() < rate
+}
+
+func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
+	rule := p.ruleFor(r.URL.Path)
+	switch rule.Mode {
+	case Stall:
+		select {
+		case <-time.After(rule.Delay):
+		case <-r.Context().Done():
+			return
+		}
+	case Blackhole:
+		<-r.Context().Done()
+		return
+	case Flaky:
+		if p.flip(rule.Rate) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"injected fault","code":"injected_fault"}`)
+			return
+		}
+	}
+	p.rp.ServeHTTP(w, r)
+}

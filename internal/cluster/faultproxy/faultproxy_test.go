@@ -1,0 +1,145 @@
+package faultproxy
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func startBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "real:"+r.URL.Path)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestPassThrough(t *testing.T) {
+	srv := startBackend(t)
+	p, err := New(srv.URL, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if code, body := get(t, p.URL()+"/v1/stats"); code != 200 || body != "real:/v1/stats" {
+		t.Fatalf("pass-through: got %d %q", code, body)
+	}
+}
+
+func TestKillRefusesAndReviveRestores(t *testing.T) {
+	srv := startBackend(t)
+	p, err := New(srv.URL, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	url := p.URL()
+	p.Kill()
+	_, err = http.Get(url + "/healthz")
+	if err == nil {
+		t.Fatal("killed proxy answered")
+	}
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		// Accept any transport error, but a refused connection is the
+		// realistic crash signature we are after.
+		var opErr *net.OpError
+		if !errors.As(err, &opErr) {
+			t.Fatalf("killed proxy: want transport error, got %v", err)
+		}
+	}
+	if err := p.Revive(); err != nil {
+		t.Fatal(err)
+	}
+	if p.URL() != url {
+		t.Fatalf("revive changed address: %s vs %s", p.URL(), url)
+	}
+	if code, _ := get(t, url+"/healthz"); code != 200 {
+		t.Fatalf("revived proxy: got %d", code)
+	}
+}
+
+func TestFlakyIsSeededAndScoped(t *testing.T) {
+	srv := startBackend(t)
+	run := func(seed uint64) []int {
+		p, err := New(srv.URL, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		p.Set("/v1/insert", Rule{Mode: Flaky, Rate: 0.5})
+		var codes []int
+		for i := 0; i < 40; i++ {
+			code, _ := get(t, p.URL()+"/v1/insert")
+			codes = append(codes, code)
+		}
+		// Unmatched endpoints are untouched by the scoped rule.
+		if code, _ := get(t, p.URL()+"/v1/query"); code != 200 {
+			t.Fatalf("scoped flaky leaked to /v1/query: %d", code)
+		}
+		return codes
+	}
+	a, b := run(7), run(7)
+	saw503 := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] == http.StatusServiceUnavailable {
+			saw503 = true
+		} else if a[i] != http.StatusOK {
+			t.Fatalf("unexpected status %d", a[i])
+		}
+	}
+	if !saw503 {
+		t.Fatal("rate-0.5 flaky rule injected nothing in 40 requests")
+	}
+}
+
+func TestStallDelaysAndBlackholeHangs(t *testing.T) {
+	srv := startBackend(t)
+	p, err := New(srv.URL, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Set("/slow", Rule{Mode: Stall, Delay: 80 * time.Millisecond})
+	start := time.Now()
+	if code, _ := get(t, p.URL()+"/slow"); code != 200 {
+		t.Fatalf("stalled request failed: %d", code)
+	}
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("stall returned in %v, want >= 80ms", d)
+	}
+
+	p.Set("/hole", Rule{Mode: Blackhole})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, p.URL()+"/hole", nil)
+	if _, err := http.DefaultClient.Do(req); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blackhole: want deadline exceeded, got %v", err)
+	}
+	// Clearing the rule restores service.
+	p.Set("/hole", Rule{Mode: Pass})
+	if code, _ := get(t, p.URL()+"/hole"); code != 200 {
+		t.Fatalf("cleared blackhole still broken: %d", code)
+	}
+}

@@ -431,19 +431,26 @@ func (x *Executor) ApplyOps(ops []Op) (lockWait, apply time.Duration, err error)
 	x.mu.Lock()
 	locked := time.Now()
 	if bulk, ok := x.ins.(bulkInserter); ok {
-		var ins, del []int64
-		for _, op := range ops {
-			if op.Delete {
-				del = append(del, op.Value)
-			} else {
-				ins = append(ins, op.Value)
+		// Apply maximal same-kind runs in batch order. Order matters: a
+		// delete annihilates a pending insert queued before it, so a
+		// batch-wide insert/delete split would resolve an
+		// insert-then-delete pair differently from serial application.
+		for i := 0; i < len(ops); {
+			j := i + 1
+			for j < len(ops) && ops[j].Delete == ops[i].Delete {
+				j++
 			}
+			run := make([]int64, 0, j-i)
+			for _, op := range ops[i:j] {
+				run = append(run, op.Value)
+			}
+			if ops[i].Delete {
+				bulk.DeleteMany(run)
+			} else {
+				bulk.InsertMany(run)
+			}
+			i = j
 		}
-		// The pending queues are disjoint, so the insert/delete split
-		// preserves per-value semantics: deletes cancel against the
-		// column at merge time, exactly as if queued one by one.
-		bulk.DeleteMany(del)
-		bulk.InsertMany(ins)
 	} else {
 		for _, op := range ops {
 			if op.Delete {

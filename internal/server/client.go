@@ -185,6 +185,13 @@ func (c *Client) Retain(ctx context.Context, lo, hi int64) (RestoreResponse, err
 	return resp, err
 }
 
+// Drain flips the server's draining flag (POST /v1/drain).
+func (c *Client) Drain(ctx context.Context) (DrainResponse, error) {
+	var resp DrainResponse
+	err := c.post(ctx, "/v1/drain", struct{}{}, &resp)
+	return resp, err
+}
+
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {

@@ -187,6 +187,11 @@ type Server struct {
 	snapshotPath string
 	snapshots    atomic.Int64
 
+	// draining is flipped by POST /v1/drain once a coordinator has
+	// migrated this node's ranges away; /healthz then reports "draining"
+	// so orchestration can tell a handed-off node from a sick one.
+	draining atomic.Bool
+
 	// hold, when non-nil, runs inside the admission slot before the query
 	// executes. Test hook for pinning in-flight occupancy.
 	hold func()
@@ -226,6 +231,7 @@ func New(db *crackdb.DB, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/retain", s.instrument(epRestore, s.handleRetain))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument(epStats, s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.instrument(epHealth, s.handleHealth))
+	s.mux.HandleFunc("POST /v1/drain", s.instrument(epHealth, s.handleDrain))
 	s.mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
 	return s
 }
@@ -458,6 +464,15 @@ type HealthResponse struct {
 	Restored bool `json:"restored"`
 	// PendingUpdates is the queued, not-yet-merged update count.
 	PendingUpdates int `json:"pending_updates"`
+	// Draining is true after POST /v1/drain: the node's ranges have been
+	// handed off and it is waiting to be shut down.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// DrainResponse is the body of POST /v1/drain.
+type DrainResponse struct {
+	Draining bool  `json:"draining"`
+	Rows     int64 `json:"rows"`
 }
 
 // queryBuffers is the pooled per-request scratch of the query handler:
@@ -1039,11 +1054,27 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	pieces := cur.db.Stats().Pieces
 	pending := cur.db.PendingUpdates()
 	unlock()
+	status := "ok"
+	draining := s.draining.Load()
+	if draining {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status: "ok", Name: cur.db.Name(), Mode: cur.db.Mode().String(),
+		Status: status, Name: cur.db.Name(), Mode: cur.db.Mode().String(),
 		Rows: int64(cur.db.Rows()), ShardLo: cur.lo, ShardHi: cur.hi,
 		Pieces: pieces, Restored: cur.restored, PendingUpdates: pending,
+		Draining: draining,
 	})
+}
+
+// handleDrain marks the node as drained. The coordinator calls this after
+// the last of the node's ranges has been handed off; the flag only
+// changes what /healthz reports — requests are still served, because the
+// routing table (not this node) decides who gets traffic.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.draining.Store(true)
+	cur := s.state()
+	writeJSON(w, http.StatusOK, DrainResponse{Draining: true, Rows: int64(cur.db.Rows())})
 }
 
 // instrument wraps a handler with request counting and, for the query

@@ -111,8 +111,18 @@ func (p *Pending) Insert(v int64) {
 	p.inserts = insertSorted(p.inserts, v)
 }
 
-// Delete queues value v for deletion.
+// Delete queues value v for deletion. A delete of a value still sitting
+// in the pending-insert queue annihilates that insert instead of
+// queueing: the merge applies deletes before inserts (so a queued
+// delete can find its column copy), which means a delete whose target
+// only exists as a pending insert would ripple through the column, find
+// nothing, and be dropped — resurrecting the value when the insert
+// merges after it.
 func (p *Pending) Delete(v int64) {
+	if i := sort.Search(len(p.inserts), func(i int) bool { return p.inserts[i] >= v }); i < len(p.inserts) && p.inserts[i] == v {
+		p.inserts = append(p.inserts[:i], p.inserts[i+1:]...)
+		return
+	}
 	p.deletes = insertSorted(p.deletes, v)
 }
 
@@ -125,9 +135,34 @@ func (p *Pending) InsertMany(vs []int64) {
 	p.inserts = mergeSorted(p.inserts, vs)
 }
 
-// DeleteMany queues every value in vs for deletion, like InsertMany.
+// DeleteMany queues every value in vs for deletion, like InsertMany,
+// with the same annihilation rule as Delete: each value first cancels
+// one matching pending insert, and only the survivors are queued. One
+// merge pass over the insert queue keeps the bulk path O(k·log k + m).
 func (p *Pending) DeleteMany(vs []int64) {
-	p.deletes = mergeSorted(p.deletes, vs)
+	if len(vs) == 0 {
+		return
+	}
+	batch := append([]int64(nil), vs...)
+	sort.Slice(batch, func(i, j int) bool { return batch[i] < batch[j] })
+	ins := p.inserts
+	kept := ins[:0]
+	var survivors []int64
+	i := 0
+	for _, v := range batch {
+		for i < len(ins) && ins[i] < v {
+			kept = append(kept, ins[i])
+			i++
+		}
+		if i < len(ins) && ins[i] == v {
+			i++ // annihilate one pending copy
+			continue
+		}
+		survivors = append(survivors, v)
+	}
+	kept = append(kept, ins[i:]...)
+	p.inserts = kept
+	p.deletes = mergeSorted(p.deletes, survivors)
 }
 
 // Len returns the number of pending operations.

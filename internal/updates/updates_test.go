@@ -356,6 +356,76 @@ func TestPendingOrderIndependence(t *testing.T) {
 	}
 }
 
+func TestPendingDeleteAnnihilatesPendingInsert(t *testing.T) {
+	// Regression: a delete whose target exists only as a pending insert
+	// must cancel that insert at enqueue time. If both are queued, the
+	// merge applies deletes first — the delete ripples, finds nothing in
+	// the column, and is dropped, then the insert resurrects the value.
+	t.Run("single", func(t *testing.T) {
+		var p Pending
+		p.Insert(42)
+		p.Delete(42)
+		if p.Len() != 0 {
+			t.Fatalf("insert+delete of same value left %d pending ops", p.Len())
+		}
+		// Duplicate inserts: one delete cancels exactly one copy.
+		p.Insert(7)
+		p.Insert(7)
+		p.Delete(7)
+		if got := takeRange(&p.inserts, 0, 100); len(got) != 1 || got[0] != 7 {
+			t.Fatalf("two inserts + one delete: surviving inserts %v, want [7]", got)
+		}
+		if len(p.deletes) != 0 {
+			t.Fatalf("annihilated delete still queued: %v", p.deletes)
+		}
+	})
+	t.Run("delete-then-insert", func(t *testing.T) {
+		// Order matters: delete first targets the column copy, so the
+		// later insert must NOT be annihilated.
+		var p Pending
+		p.Delete(42)
+		p.Insert(42)
+		if len(p.deletes) != 1 || len(p.inserts) != 1 {
+			t.Fatalf("delete-then-insert collapsed: inserts=%v deletes=%v", p.inserts, p.deletes)
+		}
+	})
+	t.Run("batch", func(t *testing.T) {
+		var p Pending
+		p.InsertMany([]int64{1, 2, 2, 3, 5})
+		p.DeleteMany([]int64{2, 3, 4, 5, 5})
+		// Cancels: one 2, the 3, one 5. Survivors: insert {1, 2}; deletes {4, 5}.
+		wantIns := []int64{1, 2}
+		wantDel := []int64{4, 5}
+		if len(p.inserts) != len(wantIns) || len(p.deletes) != len(wantDel) {
+			t.Fatalf("batch annihilation: inserts=%v deletes=%v", p.inserts, p.deletes)
+		}
+		for i, v := range wantIns {
+			if p.inserts[i] != v {
+				t.Fatalf("batch annihilation inserts=%v, want %v", p.inserts, wantIns)
+			}
+		}
+		for i, v := range wantDel {
+			if p.deletes[i] != v {
+				t.Fatalf("batch annihilation deletes=%v, want %v", p.deletes, wantDel)
+			}
+		}
+	})
+	t.Run("end-to-end", func(t *testing.T) {
+		// Through the index: insert then delete with no intervening query
+		// must not change what a later covering query sees.
+		const n = 1000
+		inner := core.NewCrack(xrand.New(3).Perm(n), core.Options{Seed: 3})
+		u, _ := Wrap(inner)
+		u.Query(100, 200) // warm a crack so merges ripple
+		u.Insert(150)
+		u.Delete(150)
+		res := u.Query(100, 200)
+		if got := res.Count(); got != 100 {
+			t.Fatalf("insert+delete leaked into query: count=%d, want 100", got)
+		}
+	})
+}
+
 func TestPendingInRange(t *testing.T) {
 	var p Pending
 	p.Insert(100)

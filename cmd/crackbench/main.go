@@ -70,6 +70,7 @@ func main() {
 		resume     = flag.Bool("resume", false, "measure restored-vs-cold convergence: run half the workload, snapshot, restore into every mode (incl. re-sharded), finish the workload; rows join the -json report under experiment \"resume\"")
 		clusterRun = flag.Bool("cluster", false, "cluster mode: spawn an in-process coordinator over -cluster-backends local shard servers, replay the workloads through it with oracle validation, then live-migrate a range to a fresh node and replay again; rows join the -json report under experiments \"cluster\" and \"cluster-migrate\"")
 		clusterN   = flag.Int("cluster-backends", 3, "backend count for -cluster")
+		tablesRun  = flag.Bool("tables", false, "multi-tenant smoke: boot an in-process two-table catalog server over a shared snapshot store, replay validated workloads per table, snapshot every table, warm-restart the catalog and replay again; rows join the -json report under experiment \"tables\"")
 		killRep    = flag.Bool("kill-replica", false, "with -cluster: instead of the migration scenario, measure availability and p99 while a backend is killed mid-run, replicated (2 copies per range) vs unreplicated, then drain a full node; rows join the -json report under experiment \"cluster-kill\"")
 		serve      = flag.Bool("serve", false, "load-generator mode: replay workloads against a running crackserver and exit")
 		serveURL   = flag.String("serve-url", "http://127.0.0.1:8080", "crackserver base URL for -serve")
@@ -178,6 +179,41 @@ func main() {
 		}
 		// -cluster -json writes just these rows (the full cell matrix is a
 		// separate, much longer run).
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crackbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.WriteJSONRows(bench.Config{N: *n, Q: *q, S: *s, Seed: *seed}, out, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "crackbench: json:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "json report written to %s\n", *jsonOut)
+		return
+	}
+	if *tablesRun {
+		nClients := *clients
+		if *quick {
+			set := map[string]bool{}
+			flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+			if !set["clients"] {
+				nClients = 4
+			}
+		}
+		rows, err := tablesExperiment(*n, *q, *s, *seed, nClients, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crackbench: tables:", err)
+			os.Exit(1)
+		}
+		if *jsonOut == "" {
+			return
+		}
+		// Like -cluster: -tables -json writes just these rows.
 		out := os.Stdout
 		if *jsonOut != "-" {
 			f, err := os.Create(*jsonOut)

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net"
+	"net/http"
+
+	crackdb "repro"
+	"repro/internal/bench"
+	"repro/internal/catalog"
+	"repro/internal/server"
+)
+
+// tablesExperiment smoke-tests multi-tenant catalog mode end to end,
+// entirely in-process: it boots a two-table catalog server over a shared
+// snapshot store, replays the paper's workloads against each table with
+// every answer oracle-validated (each table is its own permutation of
+// [0, rows)), snapshots every table into the store, shuts the catalog
+// down, boots a fresh one from the same store, asserts both tables come
+// back warm (restored, pieces carried over), and replays the validated
+// load again.
+//
+// That is exactly the crackserver -tables -snapshot-store lifecycle —
+// build, serve, snapshot, warm restart — with the process boundary
+// replaced by a second in-process boot. Rows slot into the
+// crackdb-bench/v1 schema under experiment "tables", phases "cold" and
+// "warm"; warm rows carry the restored piece count.
+func tablesExperiment(n int64, q int, s int64, seed uint64, clients int, out io.Writer) ([]bench.JSONRow, error) {
+	ctx := context.Background()
+	store := crackdb.NewMemSnapshotStore()
+	specs := []struct {
+		name string
+		rows int64
+	}{{"alpha", n}, {"beta", max(n/2, 1_000)}}
+
+	// boot builds a catalog over the shared store: warm for tables the
+	// store already holds, cold otherwise — the same decision crackserver
+	// -tables -snapshot-store makes at startup.
+	boot := func() (url string, shutdown func(), err error) {
+		cat := catalog.New(catalog.Config{})
+		var dbs []*crackdb.DB
+		closeAll := func() {
+			for _, db := range dbs {
+				db.Close()
+			}
+		}
+		for i, spec := range specs {
+			key := "tables/" + spec.name + ".crks"
+			tseed := seed + uint64(i)*1000 + 1
+			opts := []crackdb.Option{crackdb.WithSeed(tseed), crackdb.WithConcurrency(crackdb.Shared)}
+			db, err := crackdb.OpenSnapshotFrom(store, key, crackdb.DD1R, opts...)
+			restored := err == nil
+			if err != nil {
+				if !errors.Is(err, fs.ErrNotExist) {
+					closeAll()
+					return "", nil, fmt.Errorf("tables: %s: warm start: %w", spec.name, err)
+				}
+				db, err = crackdb.Open(crackdb.MakeData(spec.rows, tseed), crackdb.DD1R, opts...)
+				if err != nil {
+					closeAll()
+					return "", nil, fmt.Errorf("tables: %s: %w", spec.name, err)
+				}
+			}
+			dbs = append(dbs, db)
+			srv := server.New(db, server.Config{
+				Info:          server.Info{Rows: spec.rows, Algorithm: crackdb.DD1R, Seed: tseed, Permutation: true},
+				SnapshotStore: store,
+				SnapshotKey:   key,
+				Restored:      restored,
+			})
+			if err := cat.Add(spec.name, srv); err != nil {
+				closeAll()
+				return "", nil, err
+			}
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return "", nil, err
+		}
+		hs := &http.Server{Handler: cat.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		return "http://" + ln.Addr().String(), func() { hs.Close(); closeAll() }, nil
+	}
+
+	var rows []bench.JSONRow
+	// replay runs the validated workloads against every table of the
+	// catalog at url and appends one row per (table, workload).
+	replay := func(url, phase string, warm bool) error {
+		for _, spec := range specs {
+			fmt.Fprintf(out, "-- %s: table %s (%d rows) --\n", phase, spec.name, spec.rows)
+			c := server.NewClient(url, nil, server.WithTable(spec.name))
+			h, err := c.Health(ctx)
+			if err != nil {
+				return fmt.Errorf("tables: %s health: %w", spec.name, err)
+			}
+			if warm {
+				if !h.Restored {
+					return fmt.Errorf("tables: %s: expected a warm start, health reports cold", spec.name)
+				}
+				if h.Pieces < 2 {
+					return fmt.Errorf("tables: %s: warm start restored only %d pieces", spec.name, h.Pieces)
+				}
+				fmt.Fprintf(out, "table %s: warm, %d pieces restored\n", spec.name, h.Pieces)
+			}
+			res, err := server.RunLoad(ctx, server.LoadConfig{
+				URL: url, Table: spec.name, Clients: clients,
+				Q: q, S: s, Seed: seed, Aggregate: true,
+			}, out)
+			if err != nil {
+				return fmt.Errorf("tables: %s: %w", spec.name, err)
+			}
+			if !res.Validated {
+				return fmt.Errorf("tables: %s: %s run was not oracle-validated", spec.name, phase)
+			}
+			for _, wl := range res.Workloads {
+				rows = append(rows, bench.JSONRow{
+					Experiment: "tables", Algorithm: "catalog(dd1r)",
+					Workload: phase + "-" + spec.name + "-" + wl.Name,
+					N:        spec.rows, Q: int64(wl.Queries), Oracle: "ok",
+					PerQueryNS: wl.P50.Nanoseconds(),
+					TotalNS:    res.Elapsed.Nanoseconds(),
+					Pieces:     res.PiecesTo,
+				})
+			}
+		}
+		return nil
+	}
+
+	url, shutdown, err := boot()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "catalog: %s serving %d tables over a shared snapshot store\n\n", url, len(specs))
+	if err := replay(url, "cold", false); err != nil {
+		shutdown()
+		return rows, err
+	}
+	for _, spec := range specs {
+		c := server.NewClient(url, nil, server.WithTable(spec.name))
+		info, err := c.Snapshot(ctx, false)
+		if err != nil {
+			shutdown()
+			return rows, fmt.Errorf("tables: %s snapshot: %w", spec.name, err)
+		}
+		fmt.Fprintf(out, "table %s: snapshot -> %s (%d pieces, %d pending)\n",
+			spec.name, info.Path, info.Pieces, info.Pending)
+	}
+	shutdown()
+
+	// Warm restart: a brand-new catalog over the same store must resume
+	// every table's adaptation and answer identically.
+	url, shutdown, err = boot()
+	if err != nil {
+		return rows, err
+	}
+	defer shutdown()
+	fmt.Fprintf(out, "\ncatalog restarted: %s\n\n", url)
+	if err := replay(url, "warm", true); err != nil {
+		return rows, err
+	}
+	fmt.Fprintf(out, "\ntables smoke passed: %d tables cold + warm, all answers oracle-validated\n", len(specs))
+	return rows, nil
+}

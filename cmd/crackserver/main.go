@@ -34,8 +34,21 @@
 // POST /v1/drain moves all of a node's ranges elsewhere for maintenance
 // (see internal/cluster).
 //
+// # Multi-tenant catalog mode
+//
+// With -tables, one listener hosts several independent tables: each
+// name:rows spec builds (or warm-starts) its own DB and server, and the
+// /v1/tables/{name}/... surface dispatches to it — per-table admission
+// (-table-inflight), per-table snapshots, per-table stats. -snapshot-store
+// names a directory-backed snapshot store the whole catalog saves into
+// and warm-starts from (keys tables/<name>.crks; a single-table server
+// uses key db.crks), so a restarted or replacement process resumes every
+// table's earned adaptation from shared storage:
+//
+//	crackserver -tables users:100000,orders:50000 -snapshot-store /var/lib/crackdb
+//
 // -tls-cert/-tls-key serve HTTPS; -auth-token requires a bearer token on
-// every request but GET /healthz (both modes).
+// every request but GET /healthz (all modes).
 //
 // On SIGINT/SIGTERM the server drains gracefully: it stops accepting,
 // waits up to -drain for in-flight requests, then cancels their contexts
@@ -47,6 +60,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"io/fs"
 	"log"
 	"net"
 	"net/http"
@@ -58,6 +73,7 @@ import (
 	"time"
 
 	crackdb "repro"
+	"repro/internal/catalog"
 	"repro/internal/cluster"
 	"repro/internal/cluster/client"
 	"repro/internal/server"
@@ -74,7 +90,7 @@ func main() {
 		inflight = flag.Int("inflight", 0, "max in-flight data-plane requests before 429 (0: 8x worker pool; <0: unlimited)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGTERM before in-flight requests are canceled")
 		snapPath = flag.String("snapshot", "", "snapshot file: warm-start from it when it exists (resuming all adaptation earned before the restart), and the save target for POST /v1/snapshot and -snapshot-interval")
-		snapIntv = flag.Duration("snapshot-interval", 0, "periodically save a snapshot to -snapshot (0 disables)")
+		snapIntv = flag.Duration("snapshot-interval", 0, "periodically save a snapshot to -snapshot or -snapshot-store (0 disables)")
 		parCrack = flag.Bool("parallel-crack", false, "crack large pieces with the chunked parallel kernel (values-only columns)")
 		coarse   = flag.Int("coarse-init", 0, "coarse-granular initialization: pre-cut a cold build into this many pieces (0 disables; ignored on warm start)")
 
@@ -89,6 +105,10 @@ func main() {
 		shardOf = flag.Int64("shard-of", 0, "cluster mode: this node holds the [-shard-lo, -shard-hi) value slice of a permutation of [0, shard-of) (overrides -n)")
 		shardLo = flag.Int64("shard-lo", 0, "owned value range start (with -shard-of)")
 		shardHi = flag.Int64("shard-hi", 0, "owned value range end, exclusive (with -shard-of)")
+
+		tables        = flag.String("tables", "", "multi-tenant catalog mode: comma-separated name:rows specs, each served as its own DB under /v1/tables/<name>/ (overrides -n)")
+		snapStore     = flag.String("snapshot-store", "", "snapshot store directory: warm-start from it and save snapshots into it (key db.crks, or tables/<name>.crks with -tables); wins over -snapshot for saves")
+		tableInflight = flag.Int("table-inflight", 0, "catalog mode: per-table max in-flight requests before 429 (0: 8x worker pool; <0: unlimited)")
 
 		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator over -backends instead of serving data")
 		backends    = flag.String("backends", "", "comma-separated backend base URLs for -coordinator")
@@ -110,34 +130,84 @@ func main() {
 	if err != nil {
 		log.Fatalf("crackserver: %v", err)
 	}
-	if *snapIntv > 0 && *snapPath == "" {
-		log.Fatalf("crackserver: -snapshot-interval needs -snapshot")
+	if *snapIntv > 0 && *snapPath == "" && *snapStore == "" {
+		log.Fatalf("crackserver: -snapshot-interval needs -snapshot or -snapshot-store")
 	}
 	if *shardOf > 0 && !(0 <= *shardLo && *shardLo <= *shardHi && *shardHi <= *shardOf) {
 		log.Fatalf("crackserver: need 0 <= -shard-lo <= -shard-hi <= -shard-of")
 	}
 
-	opts := []crackdb.Option{crackdb.WithSeed(*seed), crackdb.WithConcurrency(conc)}
-	if *parCrack {
-		opts = append(opts, crackdb.WithParallelCrack())
-	}
-	if *coarse > 0 {
-		// A warm start ignores this by contract: the snapshot's cracks are
-		// recorded against the snapshot's layout, so Restore never pre-cuts.
-		opts = append(opts, crackdb.WithCoarseInit(*coarse))
-	}
-	if *groupCommit > 0 {
-		// opts also feeds Config.Reopen below, so a live restore/retain swap
-		// keeps group commit on across the replacement DB.
-		opts = append(opts, crackdb.WithGroupCommit(*groupCommit, *groupWait))
+	// mkOpts builds the DB construction options for one dataset seed —
+	// shared between the single-table boot, every catalog table (each
+	// with its own derived seed), and Config.Reopen, so a live
+	// restore/retain swap keeps tuning (group commit, parallel crack)
+	// across the replacement DB.
+	mkOpts := func(seed uint64) []crackdb.Option {
+		opts := []crackdb.Option{crackdb.WithSeed(seed), crackdb.WithConcurrency(conc)}
+		if *parCrack {
+			opts = append(opts, crackdb.WithParallelCrack())
+		}
+		if *coarse > 0 {
+			// A warm start ignores this by contract: the snapshot's cracks are
+			// recorded against the snapshot's layout, so Restore never pre-cuts.
+			opts = append(opts, crackdb.WithCoarseInit(*coarse))
+		}
+		if *groupCommit > 0 {
+			opts = append(opts, crackdb.WithGroupCommit(*groupCommit, *groupWait))
+		}
+		return opts
 	}
 
-	// Warm start when the snapshot file exists; cold permutation build
-	// otherwise. A warm start restores into whatever -mode says — the
-	// snapshot re-cuts itself along new shard bounds if the count changed.
+	var store crackdb.SnapshotStore
+	if *snapStore != "" {
+		fileStore, err := crackdb.NewFileSnapshotStore(*snapStore)
+		if err != nil {
+			log.Fatalf("crackserver: -snapshot-store: %v", err)
+		}
+		store = fileStore
+	}
+
+	if *tables != "" {
+		if *shardOf > 0 {
+			log.Fatalf("crackserver: -tables cannot combine with -shard-of")
+		}
+		runTables(tablesConfig{
+			specs: *tables, algo: *algo, seed: *seed, mkOpts: mkOpts,
+			store: store, inflight: *tableInflight, admWait: *admWait,
+			snapIntv: *snapIntv, authToken: *authToken,
+			addr: *addr, addrFile: *addrFile, tlsCert: *tlsCert, tlsKey: *tlsKey,
+			drain: *drain,
+		})
+		return
+	}
+
+	opts := mkOpts(*seed)
+
+	// Warm start when the snapshot store holds the db.crks key (or the
+	// snapshot file exists); cold permutation build otherwise. A warm
+	// start restores into whatever -mode says — the snapshot re-cuts
+	// itself along new shard bounds if the count changed.
+	const storeKey = "db.crks"
 	var db *crackdb.DB
 	restored := false
-	if *snapPath != "" {
+	if store != nil {
+		db, err = crackdb.OpenSnapshotFrom(store, storeKey, *algo, opts...)
+		switch {
+		case err == nil:
+			restored = true
+			if *shardOf == 0 && int64(db.Rows()) != *n {
+				log.Printf("snapshot holds %d rows; overriding -n %d", db.Rows(), *n)
+				*n = int64(db.Rows())
+			}
+			log.Printf("warm start from store key %s: %d rows, %d pieces restored (%s)",
+				storeKey, db.Rows(), db.Stats().Pieces, db.Mode())
+		case errors.Is(err, fs.ErrNotExist):
+			// Cold start; the first save will create the key.
+			db = nil
+		default:
+			log.Fatalf("crackserver: warm start from store key %s: %v", storeKey, err)
+		}
+	} else if *snapPath != "" {
 		// Only a confirmed not-exist falls through to a cold start: any
 		// other stat failure is fatal, because proceeding cold would let
 		// the next save overwrite a real snapshot with an unrefined index.
@@ -190,7 +260,7 @@ func main() {
 		info.Rows = int64(db.Rows())
 		info.Permutation = false
 	}
-	srv := server.New(db, server.Config{
+	srvCfg := server.Config{
 		MaxInFlight:   *inflight,
 		AdmissionWait: *admWait,
 		SnapshotPath:  *snapPath,
@@ -202,7 +272,11 @@ func main() {
 		Reopen: func(snap crackdb.DBSnapshot) (*crackdb.DB, error) {
 			return crackdb.OpenSnapshot(snap, *algo, opts...)
 		},
-	})
+	}
+	if store != nil {
+		srvCfg.SnapshotStore, srvCfg.SnapshotKey = store, storeKey
+	}
+	srv := server.New(db, srvCfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -237,6 +311,182 @@ func main() {
 			*shardLo, *shardHi, *shardOf, db.Name(), db.Mode())
 	}
 	serve(ctx, *addr, *addrFile, *tlsCert, *tlsKey, *drain, srv.Handler(), banner)
+}
+
+// tablesConfig carries everything the catalog boot needs out of main's
+// parsed flags.
+type tablesConfig struct {
+	specs     string
+	algo      string
+	seed      uint64
+	mkOpts    func(seed uint64) []crackdb.Option
+	store     crackdb.SnapshotStore
+	inflight  int
+	admWait   time.Duration
+	snapIntv  time.Duration
+	authToken string
+
+	addr, addrFile, tlsCert, tlsKey string
+	drain                           time.Duration
+}
+
+// tableSpec is one parsed -tables entry.
+type tableSpec struct {
+	name string
+	rows int64
+}
+
+// runTables boots multi-tenant catalog mode: one DB and one
+// server.Server per -tables entry, all behind internal/catalog's
+// /v1/tables surface. Each table's data is its own seeded permutation of
+// [0, rows) — the seed derived from the table name, so every table stays
+// oracle-checkable and adding a table never reshuffles its neighbors.
+func runTables(cfg tablesConfig) {
+	specs, err := parseTables(cfg.specs)
+	if err != nil {
+		log.Fatalf("crackserver: %v", err)
+	}
+	if cfg.snapIntv > 0 && cfg.store == nil {
+		log.Fatalf("crackserver: -snapshot-interval with -tables needs -snapshot-store")
+	}
+
+	cat := catalog.New(catalog.Config{AuthToken: cfg.authToken})
+	type tableSrv struct {
+		name string
+		srv  *server.Server
+	}
+	var servers []tableSrv
+	for _, spec := range specs {
+		key := "tables/" + spec.name + ".crks"
+		tseed := cfg.seed ^ nameSeed(spec.name)
+		opts := cfg.mkOpts(tseed)
+
+		var db *crackdb.DB
+		restored := false
+		if cfg.store != nil {
+			db, err = crackdb.OpenSnapshotFrom(cfg.store, key, cfg.algo, opts...)
+			switch {
+			case err == nil:
+				restored = true
+				if int64(db.Rows()) != spec.rows {
+					log.Printf("table %s: snapshot holds %d rows; overriding spec's %d",
+						spec.name, db.Rows(), spec.rows)
+					spec.rows = int64(db.Rows())
+				}
+				log.Printf("table %s: warm start from store key %s: %d rows, %d pieces restored (%s)",
+					spec.name, key, db.Rows(), db.Stats().Pieces, db.Mode())
+			case errors.Is(err, fs.ErrNotExist):
+				// Cold start; the first save will create the key.
+				db = nil
+			default:
+				log.Fatalf("crackserver: table %s: warm start from store key %s: %v", spec.name, key, err)
+			}
+		}
+		if db == nil {
+			log.Printf("table %s: building %d-row permutation (seed %d)...", spec.name, spec.rows, tseed)
+			db, err = crackdb.Open(crackdb.MakeData(spec.rows, tseed), cfg.algo, opts...)
+			if err != nil {
+				log.Fatalf("crackserver: table %s: %v", spec.name, err)
+			}
+		}
+		defer db.Close()
+
+		srvCfg := server.Config{
+			MaxInFlight:   cfg.inflight,
+			AdmissionWait: cfg.admWait,
+			Info: server.Info{
+				Rows: spec.rows, Algorithm: cfg.algo, Seed: tseed, Permutation: true,
+			},
+			Restored: restored,
+			Reopen: func(snap crackdb.DBSnapshot) (*crackdb.DB, error) {
+				return crackdb.OpenSnapshot(snap, cfg.algo, opts...)
+			},
+		}
+		if cfg.store != nil {
+			srvCfg.SnapshotStore, srvCfg.SnapshotKey = cfg.store, key
+		}
+		srv := server.New(db, srvCfg)
+		if err := cat.Add(spec.name, srv); err != nil {
+			log.Fatalf("crackserver: %v", err)
+		}
+		servers = append(servers, tableSrv{spec.name, srv})
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Periodic background saver, per table: same capture path as POST
+	// /v1/tables/{name}/snapshot. A tick that fails for one table logs
+	// and keeps going — the other tables' saves are independent.
+	if cfg.snapIntv > 0 {
+		go func() {
+			tick := time.NewTicker(cfg.snapIntv)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					for _, ts := range servers {
+						if info, err := ts.srv.SaveSnapshot(); err != nil {
+							log.Printf("periodic snapshot: table %s: %v", ts.name, err)
+						} else {
+							log.Printf("periodic snapshot: table %s: %d pieces -> %s (%dms)",
+								ts.name, info.Pieces, info.Path, info.ElapsedMS)
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	names := make([]string, len(servers))
+	for i, ts := range servers {
+		names[i] = ts.name
+	}
+	banner := fmt.Sprintf("serving catalog of %d tables (%s)", len(servers), strings.Join(names, ", "))
+	serve(ctx, cfg.addr, cfg.addrFile, cfg.tlsCert, cfg.tlsKey, cfg.drain, cat.Handler(), banner)
+}
+
+// parseTables parses the -tables spec list ("users:100000,orders:50000").
+func parseTables(list string) ([]tableSpec, error) {
+	var specs []tableSpec
+	seen := make(map[string]bool)
+	for _, item := range strings.Split(list, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, rowsStr, ok := strings.Cut(item, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -tables entry %q (want name:rows)", item)
+		}
+		if err := catalog.ValidName(name); err != nil {
+			return nil, err
+		}
+		rows, err := strconv.ParseInt(rowsStr, 10, 64)
+		if err != nil || rows < 1 {
+			return nil, fmt.Errorf("bad row count in -tables entry %q", item)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate table %q in -tables", name)
+		}
+		seen[name] = true
+		specs = append(specs, tableSpec{name: name, rows: rows})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-tables needs at least one name:rows entry")
+	}
+	return specs, nil
+}
+
+// nameSeed folds a table name into a seed offset (FNV-1a), so each
+// table's permutation is distinct but stable across restarts and
+// independent of the -tables spec order.
+func nameSeed(name string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return h.Sum64()
 }
 
 // runCoordinator boots the scatter-gather coordinator over the given

@@ -153,8 +153,10 @@ func Open(values []int64, algorithm string, opts ...Option) (*DB, error) {
 }
 
 // attachGroupCommit installs the group-commit batcher over the DB's
-// executor when WithGroupCommit was given. Single and table modes have
-// no concurrent write path to batch and fail with errors.ErrUnsupported.
+// executor when WithGroupCommit was given. Concurrent table modes get one
+// batcher per column (writes to different columns are independent);
+// Single mode — column or table — has no concurrent write path to batch
+// and fails with errors.ErrUnsupported.
 func (db *DB) attachGroupCommit(cfg config) error {
 	if !cfg.groupOn {
 		return nil
@@ -164,6 +166,8 @@ func (db *DB) attachGroupCommit(cfg config) error {
 		db.b = exec.NewBatcher(db.x, cfg.groupOpt)
 	case db.sh != nil:
 		db.b = exec.NewBatcher(db.sh, cfg.groupOpt)
+	case db.stbl != nil:
+		db.stbl.EnableGroupCommit(cfg.groupOpt)
 	default:
 		return fmt.Errorf("crackdb: group commit in %s mode: %w", db.mode, errors.ErrUnsupported)
 	}
@@ -174,8 +178,9 @@ func (db *DB) attachGroupCommit(cfg config) error {
 // crack only the column the predicate names (scope predicates with
 // Predicate.On). Single mode serves queries unsynchronized; Shared gives
 // every selection column its own adaptive executor, so queries on
-// different columns run fully in parallel. Sharded tables are not
-// implemented and fail with errors.ErrUnsupported.
+// different columns run fully in parallel; Sharded(k) gives every column
+// k range-partitioned executors, so disjoint-range queries on the same
+// column proceed in parallel too.
 func OpenTable(cols map[string][]int64, algorithm string, opts ...Option) (*DB, error) {
 	cfg := applyOptions(opts)
 	t, err := table.New(cols, algorithm, cfg.core)
@@ -192,7 +197,10 @@ func OpenTable(cols map[string][]int64, algorithm string, opts ...Option) (*DB, 
 	case concShared:
 		db.stbl = table.NewShared(t)
 	case concSharded:
-		return nil, fmt.Errorf("crackdb: sharded tables: %w", errors.ErrUnsupported)
+		db.stbl = table.NewSharded(t, cfg.conc.shards)
+	}
+	if err := db.attachGroupCommit(cfg); err != nil {
+		return nil, err
 	}
 	return db, nil
 }
@@ -208,6 +216,9 @@ func (db *DB) Close() error {
 		// Stops the collector goroutine; writes already admitted are
 		// still flushed and acknowledged before Close returns.
 		db.b.Close()
+	}
+	if db.stbl != nil {
+		db.stbl.Close() // per-column batchers, same drain-first contract
 	}
 	return nil // idempotent, io.Closer-style: repeat closes are not errors
 }
@@ -232,6 +243,8 @@ func (db *DB) Name() string {
 		return db.x.Name()
 	case db.sh != nil:
 		return db.sh.Name()
+	case db.stbl != nil && db.stbl.Sharded() > 0:
+		return fmt.Sprintf("table(sharded-%d)", db.stbl.Sharded())
 	default:
 		return "table"
 	}
@@ -516,11 +529,17 @@ func (db *DB) aggRange(ctx context.Context, col string, lo, hi int64, agg Aggreg
 // the first query whose range covers it (Ripple merge). On a sharded DB
 // the value routes to the shard owning its range; with WithGroupCommit
 // the value rides a collector flush and Insert returns after the flush
-// applied it. It fails with ErrUpdatesUnsupported for algorithms that
-// cannot take updates and for table databases.
+// applied it. On a table database the value goes to the default column
+// (the only column of a one-column table; use InsertOn for wider
+// tables). It fails with ErrUpdatesUnsupported for algorithms that
+// cannot take updates.
 func (db *DB) Insert(v int64) error {
 	if db.closed.Load() {
 		return fmt.Errorf("crackdb: %w", ErrClosed)
+	}
+	if db.tbl != nil || db.stbl != nil {
+		_, err := db.applyTable(context.Background(), "", []int64{v}, nil)
+		return err
 	}
 	if db.b != nil {
 		_, err := db.b.Enqueue(context.Background(), []exec.Op{{Value: v}})
@@ -531,18 +550,28 @@ func (db *DB) Insert(v int64) error {
 		return db.ix.Insert(v)
 	case db.x != nil:
 		return db.x.Insert(v)
-	case db.sh != nil:
-		return db.sh.Insert(v)
 	default:
-		return fmt.Errorf("crackdb: table databases: %w", ErrUpdatesUnsupported)
+		return db.sh.Insert(v)
 	}
 }
 
+// InsertOn queues a value for insertion into the named table column.
+// Columns update independently (cracking is per attribute), so inserting
+// into one column widens that column only.
+func (db *DB) InsertOn(col string, v int64) error {
+	_, err := db.ApplyBatchOn(context.Background(), col, []int64{v}, nil)
+	return err
+}
+
 // Delete queues the removal of one occurrence of v, merged on demand like
-// Insert.
+// Insert. Table databases route to the default column, like Insert.
 func (db *DB) Delete(v int64) error {
 	if db.closed.Load() {
 		return fmt.Errorf("crackdb: %w", ErrClosed)
+	}
+	if db.tbl != nil || db.stbl != nil {
+		_, err := db.applyTable(context.Background(), "", nil, []int64{v})
+		return err
 	}
 	if db.b != nil {
 		_, err := db.b.Enqueue(context.Background(), []exec.Op{{Value: v, Delete: true}})
@@ -553,11 +582,16 @@ func (db *DB) Delete(v int64) error {
 		return db.ix.Delete(v)
 	case db.x != nil:
 		return db.x.Delete(v)
-	case db.sh != nil:
-		return db.sh.Delete(v)
 	default:
-		return fmt.Errorf("crackdb: table databases: %w", ErrUpdatesUnsupported)
+		return db.sh.Delete(v)
 	}
+}
+
+// DeleteOn queues the removal of one occurrence of v from the named
+// table column.
+func (db *DB) DeleteOn(col string, v int64) error {
+	_, err := db.ApplyBatchOn(context.Background(), col, nil, []int64{v})
+	return err
 }
 
 // UpdateTimings decomposes an acknowledged write batch's latency into
@@ -589,6 +623,9 @@ func (db *DB) ApplyBatch(ctx context.Context, inserts, deletes []int64) (UpdateT
 	if len(inserts)+len(deletes) == 0 {
 		return UpdateTimings{}, nil
 	}
+	if db.tbl != nil || db.stbl != nil {
+		return db.applyTable(ctx, "", inserts, deletes)
+	}
 	ops := make([]exec.Op, 0, len(inserts)+len(deletes))
 	for _, v := range deletes {
 		ops = append(ops, exec.Op{Value: v, Delete: true})
@@ -607,7 +644,7 @@ func (db *DB) ApplyBatch(ctx context.Context, inserts, deletes []int64) (UpdateT
 		lockWait, apply, err = db.x.ApplyOps(ops)
 	case db.sh != nil:
 		lockWait, apply, err = db.sh.ApplyOps(ops)
-	case db.ix != nil:
+	default:
 		start := time.Now()
 		for _, op := range ops {
 			if op.Delete {
@@ -620,15 +657,66 @@ func (db *DB) ApplyBatch(ctx context.Context, inserts, deletes []int64) (UpdateT
 			}
 		}
 		return UpdateTimings{Apply: time.Since(start)}, nil
-	default:
-		return UpdateTimings{}, fmt.Errorf("crackdb: table databases: %w", ErrUpdatesUnsupported)
 	}
 	return UpdateTimings{Flush: lockWait, Apply: apply}, err
 }
 
-// GroupCommitStats reports the group-commit batcher's counters; ok is
-// false when the DB was opened without WithGroupCommit.
+// ApplyBatchOn is ApplyBatch scoped to one table column: the batch
+// queues against col's index only, merged lazily by the next covering
+// query on that column. col may be empty on a one-column table (the
+// default column takes the batch) and on single-column DBs (where the
+// call is plain ApplyBatch).
+func (db *DB) ApplyBatchOn(ctx context.Context, col string, inserts, deletes []int64) (UpdateTimings, error) {
+	if db.tbl == nil && db.stbl == nil {
+		if col != "" {
+			return UpdateTimings{}, fmt.Errorf("crackdb: single-column database, batch is scoped to %q: %w", col, ErrUnknownColumn)
+		}
+		return db.ApplyBatch(ctx, inserts, deletes)
+	}
+	if err := db.check(ctx); err != nil {
+		return UpdateTimings{}, err
+	}
+	if len(inserts)+len(deletes) == 0 {
+		return UpdateTimings{}, nil
+	}
+	return db.applyTable(ctx, col, inserts, deletes)
+}
+
+// applyTable applies a write batch to one table column in either table
+// mode. Deletes go first, matching ApplyBatch's op order, so a delete in
+// the batch annihilates a matching queued insert.
+func (db *DB) applyTable(ctx context.Context, col string, inserts, deletes []int64) (UpdateTimings, error) {
+	if col == "" {
+		if db.defaultCol == "" {
+			return UpdateTimings{}, fmt.Errorf("crackdb: write names no column (use ApplyBatchOn): %w", ErrUnknownColumn)
+		}
+		col = db.defaultCol
+	}
+	if db.tbl != nil {
+		start := time.Now()
+		if err := db.tbl.Apply(col, inserts, deletes); err != nil {
+			return UpdateTimings{}, err
+		}
+		return UpdateTimings{Apply: time.Since(start)}, nil
+	}
+	ops := make([]exec.Op, 0, len(inserts)+len(deletes))
+	for _, v := range deletes {
+		ops = append(ops, exec.Op{Value: v, Delete: true})
+	}
+	for _, v := range inserts {
+		ops = append(ops, exec.Op{Value: v})
+	}
+	queue, flush, apply, grouped, err := db.stbl.Apply(ctx, col, ops)
+	return UpdateTimings{Queue: queue, Flush: flush, Apply: apply, Grouped: grouped}, err
+}
+
+// GroupCommitStats reports the group-commit batcher's counters — summed
+// across the per-column batchers on a table database; ok is false when
+// the DB was opened without WithGroupCommit.
 func (db *DB) GroupCommitStats() (st exec.BatcherStats, ok bool) {
+	if db.stbl != nil {
+		return db.stbl.GroupCommitStats()
+	}
 	if db.b == nil {
 		return exec.BatcherStats{}, false
 	}
@@ -636,7 +724,8 @@ func (db *DB) GroupCommitStats() (st exec.BatcherStats, ok bool) {
 }
 
 // PendingUpdates returns the number of queued, not-yet-merged updates
-// across the whole DB (all shards in Sharded mode).
+// across the whole DB (all shards in Sharded mode, all columns on a
+// table database).
 func (db *DB) PendingUpdates() int {
 	switch {
 	case db.ix != nil:
@@ -645,6 +734,10 @@ func (db *DB) PendingUpdates() int {
 		return db.x.Pending()
 	case db.sh != nil:
 		return db.sh.Pending()
+	case db.tbl != nil:
+		return db.tbl.PendingUpdates()
+	case db.stbl != nil:
+		return db.stbl.Pending()
 	default:
 		return 0
 	}
@@ -671,9 +764,10 @@ func (db *DB) Stats() Stats {
 // answered under the shared read lock versus the exclusive write lock —
 // the observable form of the executor's convergence-driven adaptivity
 // (README "Concurrency model"). ok is false for modes without an
-// executor (Single and table databases), whose counters would be
+// executor (Single mode, column or table), whose counters would be
 // meaningless. On a sharded DB a multi-shard query counts once per shard
-// it touched: the counters measure executor lock traffic.
+// it touched: the counters measure executor lock traffic. Concurrent
+// table databases sum the counters across their column executors.
 func (db *DB) PathStats() (reads, writes int64, ok bool) {
 	switch {
 	case db.x != nil:
@@ -681,6 +775,9 @@ func (db *DB) PathStats() (reads, writes int64, ok bool) {
 		return reads, writes, true
 	case db.sh != nil:
 		reads, writes = db.sh.PathStats()
+		return reads, writes, true
+	case db.stbl != nil:
+		reads, writes = db.stbl.PathStats()
 		return reads, writes, true
 	default:
 		return 0, 0, false
@@ -690,8 +787,9 @@ func (db *DB) PathStats() (reads, writes int64, ok bool) {
 // PieceSizes returns the current sizes (in tuples) of the column's
 // pieces, in storage order — the physical-refinement state the paper
 // reasons about. A Shared DB reads them under the exclusive lock; a
-// sharded DB concatenates its shards' pieces in shard order. Table
-// databases (piece structure is per column) and non-engine-backed
+// sharded DB concatenates its shards' pieces in shard order; a table
+// database concatenates its columns' pieces in column-name order
+// (never-queried columns report one unbroken piece). Non-engine-backed
 // algorithms are unsupported.
 func (db *DB) PieceSizes() ([]int, error) {
 	if db.closed.Load() {
@@ -725,8 +823,10 @@ func (db *DB) PieceSizes() ([]int, error) {
 			all = append(all, sizes...)
 		}
 		return all, nil
+	case db.tbl != nil:
+		return db.tbl.PieceSizes(), nil
 	default:
-		return nil, fmt.Errorf("crackdb: table databases: piece sizes: %w", errors.ErrUnsupported)
+		return db.stbl.PieceSizes(), nil
 	}
 }
 
@@ -741,8 +841,12 @@ func (db *DB) PieceSizes() ([]int, error) {
 // Queued, not-yet-merged updates are captured with the snapshot (the
 // manifest carries the pending queues; OpenSnapshot re-queues them), so a
 // capture never has to refuse because updates are in flight — use
-// SnapshotStrict when a caller explicitly wants that refusal. Table
-// databases fail with ErrSnapshotUnsupported.
+// SnapshotStrict when a caller explicitly wants that refusal.
+//
+// Table databases produce a table manifest: one entry per column, each
+// holding that column's cracked state and pending queues (row-id
+// payloads are dropped — see snapshot.TableColumn). Restore it with
+// OpenTableSnapshot, into any table concurrency mode.
 func (db *DB) Snapshot() (DBSnapshot, error) {
 	if db.closed.Load() {
 		return DBSnapshot{}, fmt.Errorf("crackdb: %w", ErrClosed)
@@ -781,8 +885,10 @@ func (db *DB) Snapshot() (DBSnapshot, error) {
 			return DBSnapshot{}, err
 		}
 		return DBSnapshot{Parts: parts}, nil
+	case db.tbl != nil:
+		return db.tbl.Snapshot()
 	default:
-		return DBSnapshot{}, fmt.Errorf("crackdb: table databases: %w", ErrSnapshotUnsupported)
+		return db.stbl.Snapshot()
 	}
 }
 

@@ -18,6 +18,7 @@ type Client struct {
 	base  string
 	hc    *http.Client
 	token string
+	table string
 }
 
 // ClientOption configures a Client.
@@ -27,6 +28,24 @@ type ClientOption func(*Client)
 // <token>" on every request, matching the server's Config.AuthToken.
 func WithToken(token string) ClientOption {
 	return func(c *Client) { c.token = token }
+}
+
+// WithTable scopes the client to one table of a multi-tenant catalog
+// server (crackserver -tables): every endpoint path is rewritten under
+// /v1/tables/<name>/, so the whole client API — queries, updates,
+// snapshots, stats, health — addresses that table.
+func WithTable(name string) ClientOption {
+	return func(c *Client) { c.table = name }
+}
+
+// path rewrites an endpoint path for the configured table scope:
+// /v1/query becomes /v1/tables/<name>/query, /healthz becomes
+// /v1/tables/<name>/healthz. Query strings pass through untouched.
+func (c *Client) path(p string) string {
+	if c.table == "" {
+		return p
+	}
+	return "/v1/tables/" + c.table + strings.TrimPrefix(p, "/v1")
 }
 
 // NewClient builds a client for the server at base (e.g.
@@ -142,7 +161,7 @@ func (c *Client) Snapshot(ctx context.Context, strict bool) (SnapshotResponse, e
 // migration. Feed the bytes to another node's RestoreSnapshot.
 func (c *Client) SnapshotRange(ctx context.Context, lo, hi int64) ([]byte, error) {
 	path := fmt.Sprintf("/v1/snapshot/range?lo=%d&hi=%d", lo, hi)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+c.path(path), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +185,7 @@ func (c *Client) SnapshotRange(ctx context.Context, lo, hi int64) ([]byte, error
 // [lo, hi) declares the value range the node owns afterwards.
 func (c *Client) RestoreSnapshot(ctx context.Context, stream []byte, lo, hi int64) (RestoreResponse, error) {
 	path := fmt.Sprintf("/v1/restore?lo=%d&hi=%d", lo, hi)
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(stream))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+c.path(path), bytes.NewReader(stream))
 	if err != nil {
 		return RestoreResponse{}, err
 	}
@@ -197,7 +216,7 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+c.path(path), bytes.NewReader(payload))
 	if err != nil {
 		return err
 	}
@@ -206,7 +225,7 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+c.path(path), nil)
 	if err != nil {
 		return err
 	}

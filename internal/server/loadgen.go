@@ -40,6 +40,10 @@ type LoadConfig struct {
 	// Token is the bearer token presented on every request, for servers
 	// started with -auth-token.
 	Token string
+	// Table scopes the run to one table of a multi-tenant catalog server
+	// (crackserver -tables): every request is addressed under
+	// /v1/tables/<Table>/. Empty targets a single-table server.
+	Table string
 	// HTTPClient overrides the transport (e.g. a TLS config trusting a
 	// test certificate). Nil uses http.DefaultClient.
 	HTTPClient *http.Client
@@ -99,7 +103,7 @@ type WorkloadLatency struct {
 // arithmetic) and any mismatch fails the run.
 func RunLoad(ctx context.Context, cfg LoadConfig, out io.Writer) (*LoadResult, error) {
 	cfg = cfg.withDefaults()
-	c := NewClient(cfg.URL, cfg.HTTPClient, WithToken(cfg.Token))
+	c := NewClient(cfg.URL, cfg.HTTPClient, WithToken(cfg.Token), WithTable(cfg.Table))
 
 	st, err := c.Stats(ctx)
 	if err != nil {

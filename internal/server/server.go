@@ -114,10 +114,19 @@ type Config struct {
 	AdmissionWait time.Duration
 	// SnapshotPath is the file POST /v1/snapshot (and the periodic saver,
 	// Server.SaveSnapshot) writes the DB's adapted state to, atomically.
-	// Empty disables the endpoint (422). The path is fixed at
-	// construction — clients trigger the capture but never choose where
-	// it lands.
+	// Empty disables the endpoint (422) unless SnapshotStore is set. The
+	// path is fixed at construction — clients trigger the capture but
+	// never choose where it lands.
 	SnapshotPath string
+	// SnapshotStore, when non-nil, receives snapshot captures under
+	// SnapshotKey instead of the SnapshotPath file — the pluggable store
+	// every fleet-shared save/load path uses (crackdb.SnapshotStore;
+	// file-backed today, object-store-shaped by design). When both are
+	// set the store wins.
+	SnapshotStore crackdb.SnapshotStore
+	// SnapshotKey is the store key captures land under (e.g.
+	// "tables/users.crks"). Required when SnapshotStore is set.
+	SnapshotKey string
 	// AuthToken, when non-empty, requires every request except GET
 	// /healthz to carry "Authorization: Bearer <token>" (401 otherwise).
 	AuthToken string
@@ -183,9 +192,11 @@ type Server struct {
 	// concurrent captures would race on the temp file, and back-to-back
 	// drains of the executor buy nothing. It is never held while waiting
 	// for an admission slot, so it cannot deadlock against the limit.
-	snapMu       sync.Mutex
-	snapshotPath string
-	snapshots    atomic.Int64
+	snapMu        sync.Mutex
+	snapshotPath  string
+	snapshotStore crackdb.SnapshotStore
+	snapshotKey   string
+	snapshots     atomic.Int64
 
 	// draining is flipped by POST /v1/drain once a coordinator has
 	// migrated this node's ranges away; /healthz then reports "draining"
@@ -220,6 +231,8 @@ func New(db *crackdb.DB, cfg Config) *Server {
 	}
 	s.admissionWait = cfg.AdmissionWait
 	s.snapshotPath = cfg.SnapshotPath
+	s.snapshotStore = cfg.SnapshotStore
+	s.snapshotKey = cfg.SnapshotKey
 	s.met.init()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/query", s.instrument(epQuery, s.handleQuery))
@@ -238,6 +251,36 @@ func New(db *crackdb.DB, cfg Config) *Server {
 
 // state loads the current serving state.
 func (s *Server) state() *dbState { return s.st.Load() }
+
+// TableInfo is one table's row in the catalog listing (GET /v1/tables):
+// the identity facts a tenant needs to pick an endpoint, without the
+// cost of the per-table stats handler.
+type TableInfo struct {
+	Name     string `json:"name"`
+	Mode     string `json:"mode"`
+	Layout   string `json:"layout"` // DB.Name(): algorithm + concurrency shape
+	Rows     int64  `json:"rows"`
+	Restored bool   `json:"restored"`
+	Pending  int    `json:"pending_updates"`
+}
+
+// Describe reports the serving state's identity facts for catalog
+// listings. Cheap relative to the stats handler: no piece-size walk, no
+// convergence sample — just the serial lock long enough to read the
+// pending count.
+func (s *Server) Describe() TableInfo {
+	cur := s.state()
+	unlock := s.lockSerial()
+	pending := cur.db.PendingUpdates()
+	unlock()
+	return TableInfo{
+		Mode:     cur.db.Mode().String(),
+		Layout:   cur.db.Name(),
+		Rows:     int64(cur.db.Rows()),
+		Restored: cur.restored,
+		Pending:  pending,
+	}
+}
 
 // Handler returns the Server's HTTP handler: the API mux, wrapped with
 // bearer-token enforcement when Config.AuthToken is set (GET /healthz
@@ -330,10 +373,13 @@ type QueryResponse struct {
 }
 
 // UpdateRequest is the body of POST /v1/insert and /v1/delete: one value,
-// or several under "values".
+// or several under "values", optionally scoped to a table column (col).
+// Unscoped updates go to the default column (single-column DBs and
+// one-column tables); wider tables require col.
 type UpdateRequest struct {
 	Value  *int64  `json:"value,omitempty"`
 	Values []int64 `json:"values,omitempty"`
+	Col    string  `json:"col,omitempty"`
 }
 
 // UpdateResponse reports the queue depth after the update: updates merge
@@ -682,7 +728,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, del bool) 
 	}
 	unlock := s.lockSerial()
 	var pending int
-	tm, err := db.ApplyBatch(r.Context(), inserts, deletes)
+	tm, err := db.ApplyBatchOn(r.Context(), req.Col, inserts, deletes)
 	if err == nil {
 		pending = db.PendingUpdates()
 	}
@@ -723,9 +769,9 @@ type SnapshotResponse struct {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	if s.snapshotPath == "" {
+	if s.snapshotPath == "" && s.snapshotStore == nil {
 		writeError(w, http.StatusUnprocessableEntity, "snapshot_unconfigured",
-			"server started without a snapshot path (-snapshot)")
+			"server started without a snapshot path (-snapshot) or store (-snapshot-store)")
 		return
 	}
 	var req SnapshotRequest
@@ -754,12 +800,12 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 // SaveSnapshot captures the DB's live adapted state and writes it to the
-// configured snapshot path (atomic temp-file write + rename). The
+// configured snapshot store key (or path; atomic either way). The
 // capture happens under the DB's own drain (exclusive per executor); the
-// file write happens after, outside every DB lock. Both the endpoint and
-// the periodic saver (cmd/crackserver -snapshot-interval) funnel through
-// here, serialized by snapMu. Pending updates are captured with the
-// state, never refused.
+// store write happens after, outside every DB lock. Both the endpoint
+// and the periodic saver (cmd/crackserver -snapshot-interval) funnel
+// through here, serialized by snapMu. Pending updates are captured with
+// the state, never refused.
 func (s *Server) SaveSnapshot() (SnapshotResponse, error) { return s.saveSnapshot(false) }
 
 func (s *Server) saveSnapshot(strict bool) (SnapshotResponse, error) {
@@ -779,23 +825,51 @@ func (s *Server) saveSnapshot(strict bool) (SnapshotResponse, error) {
 	if err != nil {
 		return SnapshotResponse{}, err
 	}
-	if err := crackdb.SaveSnapshotFile(s.snapshotPath, snap); err != nil {
+	// Where the capture lands: the store under its key when one is
+	// configured, the snapshot file otherwise. diskPath is the file to
+	// stat for the response's size (a file-backed store exposes the key's
+	// stable file mapping; a purely remote store reports zero bytes).
+	dest, diskPath := s.snapshotPath, s.snapshotPath
+	if s.snapshotStore != nil {
+		dest, diskPath = s.snapshotKey, ""
+		if err := s.snapshotStore.Save(s.snapshotKey, snap); err != nil {
+			return SnapshotResponse{}, err
+		}
+		if fs, ok := s.snapshotStore.(interface{ Path(string) string }); ok {
+			diskPath = fs.Path(s.snapshotKey)
+		}
+	} else if err := crackdb.SaveSnapshotFile(s.snapshotPath, snap); err != nil {
 		return SnapshotResponse{}, err
 	}
 	var size int64
-	if fi, err := os.Stat(s.snapshotPath); err == nil {
-		size = fi.Size()
+	if diskPath != "" {
+		if fi, err := os.Stat(diskPath); err == nil {
+			size = fi.Size()
+		}
 	}
 	s.snapshots.Add(1)
 	return SnapshotResponse{
-		Path:      s.snapshotPath,
+		Path:      dest,
 		Rows:      snap.Rows(),
-		Parts:     len(snap.Parts),
+		Parts:     snapParts(snap),
 		Pieces:    snap.Pieces(),
 		Pending:   snap.Pending(),
 		Bytes:     size,
 		ElapsedMS: time.Since(start).Milliseconds(),
 	}, nil
+}
+
+// snapParts counts a manifest's parts across both forms: shard parts for
+// a single-column manifest, summed per-column parts for a table one.
+func snapParts(snap crackdb.DBSnapshot) int {
+	if !snap.IsTable() {
+		return len(snap.Parts)
+	}
+	n := 0
+	for _, c := range snap.Columns {
+		n += len(c.Parts)
+	}
+	return n
 }
 
 // handleSnapshotRange captures the live state and streams the manifest of
@@ -885,7 +959,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "decoding snapshot stream: "+err.Error())
 		return
 	}
-	if len(snap.Parts) == 0 {
+	if len(snap.Parts) == 0 && !snap.IsTable() {
 		writeError(w, http.StatusBadRequest, "bad_request", "empty snapshot manifest")
 		return
 	}
@@ -896,7 +970,10 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeMappedError(w, err)
 		return
 	}
-	lo, hi := snap.Parts[0].Lo, snap.Parts[len(snap.Parts)-1].Hi
+	lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+	if !snap.IsTable() {
+		lo, hi = snap.Parts[0].Lo, snap.Parts[len(snap.Parts)-1].Hi
+	}
 	if q := r.URL.Query(); q.Get("lo") != "" || q.Get("hi") != "" {
 		qlo, err1 := strconv.ParseInt(q.Get("lo"), 10, 64)
 		qhi, err2 := strconv.ParseInt(q.Get("hi"), 10, 64)
@@ -909,7 +986,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	}
 	s.swapState(db, lo, hi)
 	writeJSON(w, http.StatusOK, RestoreResponse{
-		Rows: snap.Rows(), Parts: len(snap.Parts), Pieces: snap.Pieces(),
+		Rows: snap.Rows(), Parts: snapParts(snap), Pieces: snap.Pieces(),
 		Pending: snap.Pending(), ShardLo: lo, ShardHi: hi,
 		ElapsedMS: time.Since(start).Milliseconds(),
 	})

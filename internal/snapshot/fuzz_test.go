@@ -26,7 +26,10 @@ func FuzzSnapshotDecode(f *testing.F) {
 	v1r := encode(shardedManifest(f, 300, 1, true))
 	v2 := encode(shardedManifest(f, 500, 3, false))
 	v2r := encode(shardedManifest(f, 500, 4, true))
-	for _, seed := range [][]byte{v1, v1r, v2, v2r} {
+	// v4 table manifests: single-part and sharded per-column part lists.
+	v4 := encode(tableManifest(f, 300, 1))
+	v4s := encode(tableManifest(f, 500, 3))
+	for _, seed := range [][]byte{v1, v1r, v2, v2r, v4, v4s} {
 		f.Add(seed)
 		f.Add(seed[:len(seed)/2])
 		f.Add(seed[:9])
@@ -66,6 +69,15 @@ func FuzzSnapshotDecode(f *testing.F) {
 			if len(m2.Parts[i].State.Values) != len(m.Parts[i].State.Values) ||
 				len(m2.Parts[i].State.Cracks) != len(m.Parts[i].State.Cracks) {
 				t.Fatalf("round trip changed part %d shape", i)
+			}
+		}
+		if len(m2.Columns) != len(m.Columns) {
+			t.Fatalf("round trip changed column count %d -> %d", len(m.Columns), len(m2.Columns))
+		}
+		for i := range m.Columns {
+			if m2.Columns[i].Name != m.Columns[i].Name ||
+				len(m2.Columns[i].Parts) != len(m.Columns[i].Parts) {
+				t.Fatalf("round trip changed column %d shape", i)
 			}
 		}
 	})

@@ -25,8 +25,16 @@ type Part struct {
 // along new shard bounds (Reshard) without losing cracks — splitting a
 // shard splits its engine state at the bound, merging shards turns the
 // old boundaries into cracks.
+//
+// A manifest takes exactly one of two forms. A single-column manifest
+// fills Parts; a table manifest fills Columns, one named part list per
+// selection column (see TableColumn), and leaves Parts empty. The
+// aggregate accessors (Rows, Pieces, Pending) and Validate handle both;
+// the range surgery (Merged, Extract, Reshard) is single-column only —
+// callers re-cut a table one column at a time through Column.
 type Manifest struct {
-	Parts []Part
+	Parts   []Part
+	Columns []TableColumn
 }
 
 // Single wraps one engine state as a whole-domain manifest. Cracks at the
@@ -78,8 +86,18 @@ func clampSorted(q []int64, lo, hi int64) []int64 {
 	return append([]int64(nil), q[a:b]...)
 }
 
-// Rows returns the total tuple count across parts.
+// Rows returns the total tuple count across parts. For a table manifest
+// it returns the largest column's count — columns legitimately diverge
+// under per-column updates, and "rows" as a scalar means the table's
+// serving width, not a sum over attributes.
 func (m Manifest) Rows() int {
+	if m.IsTable() {
+		rows := 0
+		for _, c := range m.Columns {
+			rows = max(rows, (Manifest{Parts: c.Parts}).Rows())
+		}
+		return rows
+	}
 	total := 0
 	for _, p := range m.Parts {
 		total += len(p.State.Values)
@@ -88,8 +106,16 @@ func (m Manifest) Rows() int {
 }
 
 // Pieces returns the total piece count across parts (cracks + 1 per
-// part) — the refinement a restore resumes with.
+// part) — the refinement a restore resumes with. Table manifests sum
+// over columns.
 func (m Manifest) Pieces() int {
+	if m.IsTable() {
+		total := 0
+		for _, c := range m.Columns {
+			total += (Manifest{Parts: c.Parts}).Pieces()
+		}
+		return total
+	}
 	total := 0
 	for _, p := range m.Parts {
 		total += len(p.State.Cracks) + 1
@@ -97,8 +123,16 @@ func (m Manifest) Pieces() int {
 	return total
 }
 
-// Pending returns the total captured pending-update count across parts.
+// Pending returns the total captured pending-update count across parts
+// (and, for table manifests, across columns).
 func (m Manifest) Pending() int {
+	if m.IsTable() {
+		total := 0
+		for _, c := range m.Columns {
+			total += (Manifest{Parts: c.Parts}).Pending()
+		}
+		return total
+	}
 	total := 0
 	for _, p := range m.Parts {
 		total += p.State.Pending()
@@ -121,6 +155,9 @@ func covers(lo, hi, v int64) bool {
 // shard's range would silently break the boundary cracks Merged and
 // Reshard introduce).
 func (m Manifest) Validate() error {
+	if m.IsTable() {
+		return m.validateTable()
+	}
 	if len(m.Parts) == 0 {
 		return fmt.Errorf("snapshot: empty manifest: %w", ErrCorrupt)
 	}
@@ -168,6 +205,11 @@ func (m Manifest) Validate() error {
 // dberr.ErrSnapshotUnsupported when several parts carry row ids (row ids
 // are shard-local; concatenating them would alias rows).
 func (m Manifest) Merged() (core.SnapshotState, error) {
+	if m.IsTable() {
+		return core.SnapshotState{}, fmt.Errorf(
+			"snapshot: table manifest has no single merged state (pick a column first): %w",
+			dberr.ErrSnapshotUnsupported)
+	}
 	return m.slice(math.MinInt64, math.MaxInt64)
 }
 
@@ -176,6 +218,11 @@ func (m Manifest) Merged() (core.SnapshotState, error) {
 // live shard migration: the extracted state restores into a warm index on
 // a joining node, while the rest of the manifest is untouched.
 func (m Manifest) Extract(lo, hi int64) (core.SnapshotState, error) {
+	if m.IsTable() {
+		return core.SnapshotState{}, fmt.Errorf(
+			"snapshot: extracting a range from a table manifest (pick a column first): %w",
+			dberr.ErrSnapshotUnsupported)
+	}
 	if lo >= hi {
 		return core.SnapshotState{}, fmt.Errorf("snapshot: extract range [%d, %d) is empty", lo, hi)
 	}
@@ -188,6 +235,11 @@ func (m Manifest) Extract(lo, hi int64) (core.SnapshotState, error) {
 // piece the bound lands in), and shards merging into one part keep their
 // old boundaries as cracks.
 func (m Manifest) Reshard(bounds []int64) (Manifest, error) {
+	if m.IsTable() {
+		return Manifest{}, fmt.Errorf(
+			"snapshot: resharding a table manifest (re-cut one column at a time): %w",
+			dberr.ErrSnapshotUnsupported)
+	}
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
 			return Manifest{}, fmt.Errorf("snapshot: reshard bounds not ascending at %d (%d after %d)", i, bounds[i], bounds[i-1])

@@ -21,6 +21,11 @@
 //     lists, so a capture taken while updates are queued loses nothing.
 //     Manifests without pending updates are still written as v1/v2, so
 //     the new version only appears when it is needed.
+//   - v4 is the table manifest behind multi-column databases: a column
+//     count followed by one (name, part list) pair per column, names in
+//     strictly ascending order, each part in the v3 shape (bounds,
+//     engine state, pending queues). Cracking is per attribute, so a
+//     table snapshot is a set of named single-column snapshots.
 //
 // Everything is little-endian and a CRC32 trailer guards against torn
 // writes. Decoding failures wrap dberr.ErrSnapshotCorrupt (sentinel,
@@ -48,6 +53,7 @@ var (
 	magicV1 = [8]byte{'C', 'R', 'K', 'S', 0, 0, 0, 1}
 	magicV2 = [8]byte{'C', 'R', 'K', 'S', 0, 0, 0, 2}
 	magicV3 = [8]byte{'C', 'R', 'K', 'S', 0, 0, 0, 3}
+	magicV4 = [8]byte{'C', 'R', 'K', 'S', 0, 0, 0, 4}
 )
 
 // ErrCorrupt is the sentinel wrapped by every decoding failure
@@ -61,6 +67,8 @@ var ErrCorrupt = dberr.ErrSnapshotCorrupt
 const (
 	maxValues = 1 << 33
 	maxParts  = 1 << 16
+	// maxNameLen bounds one table-manifest column name on the wire.
+	maxNameLen = 1 << 10
 	// readChunk bounds per-step slice growth while decoding, in elements.
 	readChunk = 1 << 16
 )
@@ -97,8 +105,12 @@ func Write(w io.Writer, st core.SnapshotState) error {
 // manifests spanning the whole value domain are written in the v1 format
 // (content-equivalent), so unsharded snapshots remain loadable by v1
 // readers; multi-part manifests use v2; manifests carrying pending-update
-// queues on any part use v3 (the only version with room for them).
+// queues on any part use v3 (the only version with room for them); table
+// manifests always use v4 (the only version with named columns).
 func WriteManifest(w io.Writer, m Manifest) error {
+	if m.IsTable() {
+		return writeTableManifest(w, m)
+	}
 	v3 := m.Pending() > 0
 	if !v3 && len(m.Parts) == 1 && m.Parts[0].Lo == math.MinInt64 && m.Parts[0].Hi == math.MaxInt64 {
 		return Write(w, m.Parts[0].State)
@@ -126,6 +138,53 @@ func WriteManifest(w io.Writer, m Manifest) error {
 			return err
 		}
 		if v3 {
+			if err := writePending(bw, p.State); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// writeTableManifest serializes a table manifest in the v4 format:
+// column count, then per column a length-prefixed name and a v3-shaped
+// part list (every part carries its pending queues — v4 always has room
+// for them, so no version split exists within table snapshots).
+func writeTableManifest(w io.Writer, m Manifest) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	if _, err := bw.Write(magicV4[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(m.Columns))); err != nil {
+		return err
+	}
+	for _, c := range m.Columns {
+		if len(c.Name) == 0 || len(c.Name) > maxNameLen {
+			return fmt.Errorf("snapshot: column name %q out of range (1..%d bytes)", c.Name, maxNameLen)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(c.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(c.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(c.Parts))); err != nil {
+			return err
+		}
+		for _, p := range c.Parts {
+			if err := binary.Write(bw, binary.LittleEndian, p.Lo); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, p.Hi); err != nil {
+				return err
+			}
+			if err := writeState(bw, p.State); err != nil {
+				return err
+			}
 			if err := writePending(bw, p.State); err != nil {
 				return err
 			}
@@ -246,6 +305,57 @@ func ReadManifest(r io.Reader) (Manifest, error) {
 			// outside a part's range, but decoding normalizes foreign
 			// streams the same way so encode/decode stays idempotent.
 			man.Parts = append(man.Parts, ClampedPart(lo, hi, st))
+		}
+	case magicV4:
+		var cols uint64
+		if err := binary.Read(tr, binary.LittleEndian, &cols); err != nil {
+			return Manifest{}, corruptf("reading column count: %v", err)
+		}
+		if cols == 0 || cols > maxParts {
+			return Manifest{}, corruptf("claims %d columns", cols)
+		}
+		man.Columns = make([]TableColumn, 0, min(cols, readChunk))
+		for ci := uint64(0); ci < cols; ci++ {
+			var nameLen uint64
+			if err := binary.Read(tr, binary.LittleEndian, &nameLen); err != nil {
+				return Manifest{}, corruptf("column %d: reading name length: %v", ci, err)
+			}
+			if nameLen == 0 || nameLen > maxNameLen {
+				return Manifest{}, corruptf("column %d: name length %d out of range", ci, nameLen)
+			}
+			name := make([]byte, nameLen)
+			if _, err := io.ReadFull(tr, name); err != nil {
+				return Manifest{}, corruptf("column %d: reading name: %v", ci, err)
+			}
+			var parts uint64
+			if err := binary.Read(tr, binary.LittleEndian, &parts); err != nil {
+				return Manifest{}, corruptf("column %q: reading part count: %v", name, err)
+			}
+			if parts == 0 || parts > maxParts {
+				return Manifest{}, corruptf("column %q claims %d parts", name, parts)
+			}
+			col := TableColumn{Name: string(name), Parts: make([]Part, 0, min(parts, readChunk))}
+			for i := uint64(0); i < parts; i++ {
+				var lo, hi int64
+				if err := binary.Read(tr, binary.LittleEndian, &lo); err != nil {
+					return Manifest{}, corruptf("column %q part %d: reading bounds: %v", name, i, err)
+				}
+				if err := binary.Read(tr, binary.LittleEndian, &hi); err != nil {
+					return Manifest{}, corruptf("column %q part %d: reading bounds: %v", name, i, err)
+				}
+				st, err := readState(tr)
+				if err != nil {
+					return Manifest{}, fmt.Errorf("column %q part %d: %w", name, i, err)
+				}
+				if st.PendingInserts, err = readPendingQueue(tr); err != nil {
+					return Manifest{}, fmt.Errorf("column %q part %d: %w", name, i, err)
+				}
+				if st.PendingDeletes, err = readPendingQueue(tr); err != nil {
+					return Manifest{}, fmt.Errorf("column %q part %d: %w", name, i, err)
+				}
+				col.Parts = append(col.Parts, ClampedPart(lo, hi, st))
+			}
+			man.Columns = append(man.Columns, col)
 		}
 	default:
 		if m[0] == 'C' && m[1] == 'R' && m[2] == 'K' && m[3] == 'S' {

@@ -1,0 +1,134 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Store is a keyed home for snapshot manifests, so every save/load
+// path — the serving layer's snapshot endpoint, the periodic saver, the
+// warm-start probe, per-tenant catalog backups — talks to one interface
+// instead of the filesystem directly. The file-backed store is the
+// production implementation today; an S3/MinIO-style object store slots
+// in behind the same two-method surface, since the CRKS stream is
+// already a single self-checking blob.
+//
+// Keys are slash-separated relative paths ("tables/users.crks");
+// implementations must reject absolute or dot-dot keys. Save replaces
+// the key's manifest atomically: a crash mid-save leaves either the
+// previous manifest or the new one, never a torn mix. Load returns an
+// error matching fs.ErrNotExist (errors.Is) when the key was never
+// saved — the warm-start probe keys off exactly that.
+type Store interface {
+	Save(key string, m Manifest) error
+	Load(key string) (Manifest, error)
+}
+
+// validKey rejects keys that could escape a store's root: empty,
+// absolute, backslashed, or containing "." / ".." elements.
+func validKey(key string) error {
+	if key == "" || strings.Contains(key, "\\") || !fs.ValidPath(key) {
+		return fmt.Errorf("snapshot: invalid store key %q", key)
+	}
+	return nil
+}
+
+// FileStore is the file-backed Store: each key is a file under Dir,
+// written with the same temp-file + rename + CRC32 discipline as
+// SaveManifestFile. Parent directories are created on demand.
+type FileStore struct {
+	dir string
+}
+
+// NewFileStore opens (creating if needed) a file-backed store rooted at
+// dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("snapshot: file store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+// Path returns the file a key maps to (for size reporting and
+// diagnostics; the mapping is stable).
+func (s *FileStore) Path(key string) string {
+	return filepath.Join(s.dir, filepath.FromSlash(key))
+}
+
+// Save writes the manifest under key, atomically.
+func (s *FileStore) Save(key string, m Manifest) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	p := s.Path(key)
+	if dir := filepath.Dir(p); dir != s.dir {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return SaveManifestFile(p, m)
+}
+
+// Load reads the manifest under key; a never-saved key fails with an
+// error matching fs.ErrNotExist.
+func (s *FileStore) Load(key string) (Manifest, error) {
+	if err := validKey(key); err != nil {
+		return Manifest{}, err
+	}
+	return LoadManifestFile(s.Path(key))
+}
+
+// MemStore is an in-memory Store holding encoded CRKS streams — tests
+// and single-process fleets use it. Manifests round-trip through the
+// wire codec on every Save/Load, so it exercises exactly the bytes a
+// durable store would.
+type MemStore struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{blobs: make(map[string][]byte)} }
+
+// Save encodes the manifest and replaces the key's blob atomically
+// (under the store lock).
+func (s *MemStore) Save(key string, m Manifest) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, m); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.blobs[path.Clean(key)] = buf.Bytes()
+	s.mu.Unlock()
+	return nil
+}
+
+// Load decodes the key's blob; a never-saved key fails with an error
+// matching fs.ErrNotExist.
+func (s *MemStore) Load(key string) (Manifest, error) {
+	if err := validKey(key); err != nil {
+		return Manifest{}, err
+	}
+	s.mu.Lock()
+	blob, ok := s.blobs[path.Clean(key)]
+	s.mu.Unlock()
+	if !ok {
+		return Manifest{}, fmt.Errorf("snapshot: store key %q: %w", key, fs.ErrNotExist)
+	}
+	return ReadManifest(bytes.NewReader(blob))
+}

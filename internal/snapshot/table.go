@@ -1,0 +1,73 @@
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TableColumn is one named column of a table manifest: the column's own
+// multi-part physical state, exactly the shape a single-column manifest
+// holds in Parts. Cracking is per attribute (paper §2) — each column
+// adapts, snapshots and restores independently — so a table manifest is
+// a set of named single-column manifests, nothing more.
+//
+// Row alignment across columns is deliberately NOT captured: the DB
+// facade exposes only per-column value selections, row-id payloads are
+// shard-local and column-local, and the capture path drops them. A
+// restored table answers every selection byte-identically but cannot
+// serve the v1 shim's cross-column projections (those paths report
+// ErrSnapshotUnsupported).
+type TableColumn struct {
+	Name  string
+	Parts []Part
+}
+
+// IsTable reports whether the manifest is a table manifest (per-column
+// part lists under Columns) rather than a single-column one (Parts).
+func (m Manifest) IsTable() bool { return len(m.Columns) > 0 }
+
+// Table wraps named per-column states as a table manifest. Columns are
+// sorted by name (the deterministic order every table API uses); each
+// column's parts pass through ClampedPart-style normalization when they
+// were produced by the capture paths, which is the caller's job.
+func Table(cols []TableColumn) Manifest {
+	sorted := append([]TableColumn(nil), cols...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	return Manifest{Columns: sorted}
+}
+
+// Column returns the named column's part list as a single-column
+// manifest — the form every single-column restore path consumes — and
+// whether the column exists.
+func (m Manifest) Column(name string) (Manifest, bool) {
+	for _, c := range m.Columns {
+		if c.Name == name {
+			return Manifest{Parts: c.Parts}, true
+		}
+	}
+	return Manifest{}, false
+}
+
+// validateTable checks table-manifest consistency: at least one column,
+// strictly ascending unique names, no stray single-column parts, and
+// every column's part list valid as a single-column manifest. Columns
+// may hold different row counts — per-column lazy updates legitimately
+// diverge them — so no cross-column length check applies.
+func (m Manifest) validateTable() error {
+	if len(m.Parts) > 0 {
+		return fmt.Errorf("snapshot: manifest has both columns and parts: %w", ErrCorrupt)
+	}
+	for i, c := range m.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("snapshot: column %d has an empty name: %w", i, ErrCorrupt)
+		}
+		if i > 0 && c.Name <= m.Columns[i-1].Name {
+			return fmt.Errorf("snapshot: column names not strictly ascending at %d (%q after %q): %w",
+				i, c.Name, m.Columns[i-1].Name, ErrCorrupt)
+		}
+		if err := (Manifest{Parts: c.Parts}).Validate(); err != nil {
+			return fmt.Errorf("snapshot: column %q: %w", c.Name, err)
+		}
+	}
+	return nil
+}

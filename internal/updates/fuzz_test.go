@@ -1,0 +1,100 @@
+package updates
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// FuzzPendingInterleave drives an updatable index with arbitrary
+// interleavings of single and bulk inserts, deletes and range queries,
+// checking every answer against a multiset reference model. The
+// property under attack is the pending-queue bookkeeping — in
+// particular the annihilation rule (a delete whose target exists only
+// as a pending insert must cancel it, not resurrect it at merge time)
+// and its bulk-path twin in DeleteMany, across merge orders no
+// hand-written sequence would think to try.
+//
+// Program encoding: each 3-byte chunk is one operation. Byte 0 picks
+// the op (insert, delete, bulk insert, bulk delete, query) and the
+// query width; bytes 1-2 pick the value, deliberately overflowing the
+// initial domain so out-of-column inserts and misses are exercised.
+func FuzzPendingInterleave(f *testing.F) {
+	// The annihilation regression as a seed: insert-then-delete of a
+	// value the column never held, then a covering query.
+	f.Add([]byte{0, 77, 2, 1, 77, 2, 4, 70, 2})
+	// Bulk flavors of the same, plus duplicate-heavy traffic.
+	f.Add([]byte{2, 10, 0, 3, 10, 0, 4, 0, 0, 0, 10, 0, 0, 10, 0, 1, 10, 0, 4, 5, 0})
+	f.Add([]byte{4, 0, 1, 1, 200, 0, 0, 200, 0, 4, 190, 0, 3, 200, 0, 2, 100, 1})
+
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		const n = 512
+		const domain = 1200 // values beyond the initial permutation's [0, 512)
+		inner := core.NewCrack(xrand.New(11).Perm(n), core.Options{Seed: 11})
+		u, ok := Wrap(inner)
+		if !ok {
+			t.Fatal("Wrap rejected a crack index")
+		}
+		model := make([]int, domain) // multiset: count per value
+		for v := 0; v < n; v++ {
+			model[v] = 1
+		}
+		modelInsert := func(v int64) { model[v]++ }
+		modelDelete := func(v int64) {
+			// A delete of an absent value queues, ripples, finds nothing and
+			// is dropped — a no-op in multiset terms.
+			if model[v] > 0 {
+				model[v]--
+			}
+		}
+		check := func(a, b int64) {
+			res := u.Query(a, b)
+			wantC, wantS := 0, int64(0)
+			for v := a; v < b; v++ {
+				wantC += model[v]
+				wantS += v * int64(model[v])
+			}
+			if res.Count() != wantC || res.Sum() != wantS {
+				t.Fatalf("query [%d, %d): got (%d, %d), model says (%d, %d)",
+					a, b, res.Count(), res.Sum(), wantC, wantS)
+			}
+		}
+
+		for i := 0; i+2 < len(prog) && i < 3*200; i += 3 {
+			op := prog[i]
+			v := (int64(prog[i+1]) | int64(prog[i+2])<<8) % domain
+			switch op % 5 {
+			case 0:
+				u.Insert(v)
+				modelInsert(v)
+			case 1:
+				u.Delete(v)
+				modelDelete(v)
+			case 2:
+				vs := []int64{v, (v + 1) % domain, v} // duplicate on purpose
+				u.InsertMany(vs)
+				for _, x := range vs {
+					modelInsert(x)
+				}
+			case 3:
+				vs := []int64{v, v, (v + 3) % domain}
+				u.DeleteMany(vs)
+				for _, x := range vs {
+					modelDelete(x)
+				}
+			case 4:
+				width := int64(op>>4) + 1
+				a := v % n
+				check(a, min(a+width*13, domain))
+			}
+		}
+		// Final sweep: the whole domain merges everything still pending;
+		// counts, sums and crack invariants must all hold.
+		check(0, domain)
+		if u.Pending() != 0 {
+			t.Fatalf("%d updates still pending after a full-domain query", u.Pending())
+		}
+		checkPieces(t, inner.Engine().Column(), inner.Engine().CrackerIndex())
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/snapshot"
+	"repro/internal/table"
 	"repro/internal/updates"
 )
 
@@ -134,6 +135,9 @@ func OpenSnapshot(snap DBSnapshot, algorithm string, opts ...Option) (*DB, error
 	if err := snap.Validate(); err != nil {
 		return nil, fmt.Errorf("crackdb: %w", err)
 	}
+	if snap.IsTable() {
+		return openTableSnapshot(snap, algorithm, cfg)
+	}
 	if cfg.conc.kind == concSharded {
 		k := cfg.conc.shards
 		if k < 1 {
@@ -188,6 +192,36 @@ func OpenSnapshot(snap DBSnapshot, algorithm string, opts ...Option) (*DB, error
 	return db, nil
 }
 
+// openTableSnapshot restores a table DB from a table manifest, in any
+// table concurrency mode: every column resumes from its captured cracked
+// state and pending queues, consumed lazily on the column's first
+// selection (re-cut along shard bounds in Sharded(k) mode). Captured
+// tables carry no row-id payloads, so the restored DB serves every
+// per-column selection but the v1 shim's cross-column projections fail
+// with ErrSnapshotUnsupported.
+func openTableSnapshot(snap DBSnapshot, algorithm string, cfg config) (*DB, error) {
+	t, err := table.Restore(snap.Columns, algorithm, cfg.core)
+	if err != nil {
+		return nil, fmt.Errorf("crackdb: %w", err)
+	}
+	db := &DB{mode: cfg.conc, rows: t.Rows(), cols: t.Columns()}
+	if len(db.cols) == 1 {
+		db.defaultCol = db.cols[0]
+	}
+	switch cfg.conc.kind {
+	case concSingle:
+		db.tbl = t
+	case concShared:
+		db.stbl = table.NewShared(t)
+	case concSharded:
+		db.stbl = table.NewSharded(t, cfg.conc.shards)
+	}
+	if err := db.attachGroupCommit(cfg); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
 // LoadSnapshot reads a snapshot file written by SaveSnapshot and restores
 // an index from it.
 //
@@ -226,6 +260,45 @@ func WriteSnapshot(w io.Writer, snap DBSnapshot) error {
 // streams fail with ErrSnapshotCorrupt, never a partial manifest.
 func ReadSnapshot(r io.Reader) (DBSnapshot, error) {
 	return snapshot.ReadManifest(r)
+}
+
+// SnapshotStore is a keyed home for DB snapshots — the pluggable layer
+// behind every save/load path. The serving stack saves periodic backups
+// through it and warm-starts from it; a key that was never saved loads
+// with an error matching fs.ErrNotExist, which is how warm-start probes
+// distinguish "cold start" from "broken store". See snapshot.Store for
+// the key and atomicity contracts.
+type SnapshotStore = snapshot.Store
+
+// NewFileSnapshotStore opens (creating if needed) a file-backed snapshot
+// store rooted at dir: each key is a file under dir, written atomically
+// with the same temp-file + rename + CRC32 discipline as SaveSnapshot.
+func NewFileSnapshotStore(dir string) (*snapshot.FileStore, error) {
+	return snapshot.NewFileStore(dir)
+}
+
+// NewMemSnapshotStore returns an in-memory snapshot store holding
+// encoded CRKS streams — tests and single-process fleets use it; every
+// Save/Load round-trips the wire codec.
+func NewMemSnapshotStore() *snapshot.MemStore { return snapshot.NewMemStore() }
+
+// SaveSnapshotTo writes an already-captured DBSnapshot under key in the
+// store. Like SaveSnapshotFile, it holds no DB locks: capture first,
+// store outside the drain.
+func SaveSnapshotTo(store SnapshotStore, key string, snap DBSnapshot) error {
+	return store.Save(key, snap)
+}
+
+// OpenSnapshotFrom loads the manifest under key from the store and
+// restores a DB from it, in any concurrency mode — single-column or
+// table manifests alike (see OpenSnapshot). A never-saved key fails with
+// an error matching fs.ErrNotExist.
+func OpenSnapshotFrom(store SnapshotStore, key, algorithm string, opts ...Option) (*DB, error) {
+	m, err := store.Load(key)
+	if err != nil {
+		return nil, err
+	}
+	return OpenSnapshot(m, algorithm, opts...)
 }
 
 // LoadColumn reads an integer column from a file, accepting both the
